@@ -1,0 +1,185 @@
+// Command ricsa-bench regenerates the paper's evaluation artifacts as text
+// tables: Fig. 9 (end-to-end delay of six visualization loops over three
+// datasets), Fig. 10 (RICSA vs the ParaView-style comparator), the Section 3
+// transport stabilization behaviour, the Section 4.5 DP optimality and
+// scaling validation, and the Section 4.4 cost-model accuracy check.
+//
+// Usage:
+//
+//	ricsa-bench -exp all            # every experiment at full scale
+//	ricsa-bench -exp fig9           # one experiment
+//	ricsa-bench -exp fig9 -scale 4  # reduced-scale quick run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ricsa/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig9, fig10, transport, dp, cost, all")
+	scale := flag.Int("scale", 1, "dataset analysis scale divisor (1 = full size)")
+	trials := flag.Int("trials", 3, "trials per measurement")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	opt.AnalysisScale = *scale
+	opt.Trials = *trials
+
+	run := func(name string, fn func() error) {
+		switch *exp {
+		case name, "all":
+			if err := fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "ricsa-bench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	run("fig9", func() error { return runFig9(opt) })
+	run("fig10", func() error { return runFig10(opt) })
+	run("transport", func() error { return runTransport(opt) })
+	run("dp", func() error { return runDP(opt) })
+	run("cost", func() error { return runCost(opt) })
+	run("gain", func() error { return runGain(opt) })
+	run("predict", func() error { return runPredict(opt) })
+}
+
+func runGain(opt experiments.Options) error {
+	fmt.Println("== Ablation: Robbins-Monro gain schedule (Eq. 1 coefficients) ==")
+	rows := experiments.RunGainAblation(opt.Seed, 600*1024, 40*time.Second)
+	fmt.Printf("%-8s %-8s %-10s %-12s %-10s\n", "gain a", "decay", "converged", "conv time", "RMS err")
+	for _, r := range rows {
+		conv := "-"
+		if r.Converged {
+			conv = fmt.Sprintf("%.1fs", r.ConvergeSec)
+		}
+		fmt.Printf("%-8.2f %-8.1f %-10v %-12s %-10.3f\n", r.Gain, r.DecayExp, r.Converged, conv, r.RMS)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runPredict(opt experiments.Options) error {
+	fmt.Println("== Validation: Eq. 2 prediction vs realized delay per loop ==")
+	rows, err := experiments.RunPredictionAccuracy(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-44s %10s %10s %7s\n", "dataset", "loop", "predicted", "realized", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-44s %9.2fs %9.2fs %7.2f\n", r.Dataset, r.Loop, r.Predicted, r.Realized, r.Ratio)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig9(opt experiments.Options) error {
+	fmt.Println("== Fig. 9: end-to-end delay of visualization loops (seconds) ==")
+	res, err := experiments.RunFig9(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-44s", "loop")
+	for _, r := range res {
+		fmt.Printf("  %10s", fmt.Sprintf("%s(%dMB)", r.Dataset, int(r.SizeMB)))
+	}
+	fmt.Println()
+	for i := range res[0].Loops {
+		fmt.Printf("%-44s", res[0].Loops[i].Name)
+		for _, r := range res {
+			fmt.Printf("  %10.2f", r.Loops[i].Seconds)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-44s", "RICSA optimal (DP)")
+	for _, r := range res {
+		fmt.Printf("  %10.2f", r.Optimal)
+	}
+	fmt.Println()
+	for _, r := range res {
+		fmt.Printf("-- %s: optimal path %v, speedup vs best PC-PC %.2fx\n",
+			r.Dataset, r.OptimalPath, r.SpeedupVsPCPC)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig10(opt experiments.Options) error {
+	fmt.Println("== Fig. 10: RICSA optimal loop vs ParaView -crs (seconds) ==")
+	res, err := experiments.RunFig10(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12s %12s %8s\n", "dataset", "RICSA", "ParaView", "ratio")
+	for _, r := range res {
+		fmt.Printf("%-22s %12.2f %12.2f %8.2f\n",
+			fmt.Sprintf("%s(%dMB)", r.Dataset, int(r.SizeMB)), r.RICSA, r.ParaView, r.ParaView/r.RICSA)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runTransport(opt experiments.Options) error {
+	fmt.Println("== Sec. 3: control-channel goodput stabilization (g* = 6.4 Mb/s) ==")
+	target := 800.0 * 1024 // bytes/s
+	res := experiments.RunTransport(opt.Seed, target, []float64{0, 0.01, 0.02, 0.05, 0.10}, 60*time.Second)
+	fmt.Printf("%-8s %-10s %-12s %-10s %-10s %-10s\n",
+		"loss", "converged", "conv time", "RMS err", "CV stab", "CV AIMD")
+	for _, r := range res {
+		conv := "-"
+		if r.Converged {
+			conv = fmt.Sprintf("%.1fs", r.ConvergeSec)
+		}
+		fmt.Printf("%-8.2f %-10v %-12s %-10.3f %-10.3f %-10.3f\n",
+			r.Loss, r.Converged, conv, r.RMS, r.CVStable, r.CVAIMD)
+	}
+	fmt.Println("\n-- goodput trace at 5% loss (time s, goodput Mb/s):")
+	for _, s := range res[3].Trace {
+		fmt.Printf("   %6.1f %8.2f\n", s.At.Seconds(), s.Goodput*8/1e6)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runDP(opt experiments.Options) error {
+	fmt.Println("== Sec. 4.5: DP optimizer scaling O(n x |E|) and optimality ==")
+	rows := experiments.RunDPScaling(opt.Seed,
+		[]int{2, 4, 8, 16, 32}, []int{6, 12, 25, 50, 100})
+	fmt.Printf("%-9s %-7s %-7s %-12s %-10s\n", "modules", "nodes", "|E|", "DP (us)", "optimal?")
+	for _, r := range rows {
+		check := "-"
+		if r.Checked {
+			if r.MatchedExhaustive {
+				check = "yes"
+			} else {
+				check = "NO"
+			}
+		}
+		fmt.Printf("%-9d %-7d %-7d %-12.1f %-10s\n", r.Modules, r.Nodes, r.Edges, r.DPMicros, check)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runCost(opt experiments.Options) error {
+	fmt.Println("== Sec. 4.4: visualization cost model accuracy ==")
+	scale := opt.AnalysisScale
+	if scale < 4 {
+		scale = 4 // full-size wall-clock extraction would run for minutes
+	}
+	rows := experiments.RunCostAccuracy(scale)
+	fmt.Printf("%-14s %-14s %12s %12s %8s\n", "technique", "dataset", "predicted", "measured", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-14s %-14s %11.3fs %11.3fs %8.2f\n",
+			r.Technique, r.Dataset, r.Predicted, r.Measured, r.Ratio)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,172 @@
+// Command ricsa-optimize computes a visualization routing table for a
+// network and pipeline described in a JSON spec file, printing the optimal
+// decomposition/mapping and its predicted end-to-end delay — the CM node's
+// core computation, exposed for offline what-if analysis.
+//
+// Usage:
+//
+//	ricsa-optimize -spec deployment.json
+//	ricsa-optimize -example          # print a commented example spec
+//
+// Spec format (all bandwidths bytes/s, delays seconds, sizes bytes):
+//
+//	{
+//	  "nodes": [{"name": "ds", "power": 1.0, "gpu": false, "workers": 1}],
+//	  "links": [{"a": "ds", "b": "client", "bandwidth": 1e7, "delay": 0.01}],
+//	  "pipeline": {
+//	    "sourceBytes": 6.4e7,
+//	    "modules": [{"name": "Extract", "refTime": 8, "outBytes": 1.2e7,
+//	                 "gpu": false, "parallel": true}]
+//	  },
+//	  "source": "ds", "destination": "client"
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ricsa/internal/pipeline"
+)
+
+type specNode struct {
+	Name             string  `json:"name"`
+	Power            float64 `json:"power"`
+	GPU              bool    `json:"gpu"`
+	Workers          int     `json:"workers"`
+	ScatterBW        float64 `json:"scatterBW"`
+	ParallelOverhead float64 `json:"parallelOverhead"`
+}
+
+type specLink struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Bandwidth float64 `json:"bandwidth"`
+	Delay     float64 `json:"delay"`
+}
+
+type specModule struct {
+	Name     string  `json:"name"`
+	RefTime  float64 `json:"refTime"`
+	OutBytes float64 `json:"outBytes"`
+	GPU      bool    `json:"gpu"`
+	Parallel bool    `json:"parallel"`
+}
+
+type spec struct {
+	Nodes    []specNode `json:"nodes"`
+	Links    []specLink `json:"links"`
+	Pipeline struct {
+		SourceBytes float64      `json:"sourceBytes"`
+		Modules     []specModule `json:"modules"`
+	} `json:"pipeline"`
+	Source      string `json:"source"`
+	Destination string `json:"destination"`
+}
+
+const exampleSpec = `{
+  "nodes": [
+    {"name": "ds", "power": 1.0},
+    {"name": "cluster", "power": 1.3, "gpu": true, "workers": 4,
+     "scatterBW": 8e7, "parallelOverhead": 0.8},
+    {"name": "client", "power": 1.0, "gpu": true}
+  ],
+  "links": [
+    {"a": "ds", "b": "cluster", "bandwidth": 1.2e7, "delay": 0.007},
+    {"a": "cluster", "b": "client", "bandwidth": 1.0e7, "delay": 0.003},
+    {"a": "ds", "b": "client", "bandwidth": 2.4e6, "delay": 0.010}
+  ],
+  "pipeline": {
+    "sourceBytes": 6.7e7,
+    "modules": [
+      {"name": "Filter", "refTime": 0.84, "outBytes": 6.7e7, "parallel": true},
+      {"name": "Extract", "refTime": 9.5, "outBytes": 2.1e7, "parallel": true},
+      {"name": "Render", "refTime": 1.1, "outBytes": 1.05e6, "gpu": true},
+      {"name": "Deliver", "refTime": 0.005, "outBytes": 1.05e6}
+    ]
+  },
+  "source": "ds",
+  "destination": "client"
+}`
+
+func main() {
+	specPath := flag.String("spec", "", "path to JSON deployment spec")
+	example := flag.Bool("example", false, "print an example spec and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleSpec)
+		return
+	}
+	var raw []byte
+	var err error
+	if *specPath == "" {
+		log.Fatal("ricsa-optimize: -spec required (or -example)")
+	}
+	raw, err = os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatalf("ricsa-optimize: %v", err)
+	}
+
+	var sp spec
+	if err := json.Unmarshal(raw, &sp); err != nil {
+		log.Fatalf("ricsa-optimize: parsing spec: %v", err)
+	}
+
+	g := pipeline.NewGraph()
+	idx := map[string]int{}
+	for i, n := range sp.Nodes {
+		idx[n.Name] = i
+		power := n.Power
+		if power == 0 {
+			power = 1
+		}
+		g.Nodes = append(g.Nodes, pipeline.Node{
+			Name: n.Name, Power: power, HasGPU: n.GPU, Workers: n.Workers,
+			ScatterBW: n.ScatterBW, ParallelOverhead: n.ParallelOverhead,
+		})
+	}
+	g.Adj = make([][]pipeline.Edge, len(g.Nodes))
+	for _, l := range sp.Links {
+		a, okA := idx[l.A]
+		b, okB := idx[l.B]
+		if !okA || !okB {
+			log.Fatalf("ricsa-optimize: link references unknown node %q or %q", l.A, l.B)
+		}
+		g.AddBiEdge(a, b, l.Bandwidth, l.Delay)
+	}
+
+	p := &pipeline.Pipeline{SourceBytes: sp.Pipeline.SourceBytes}
+	for _, m := range sp.Pipeline.Modules {
+		p.Modules = append(p.Modules, pipeline.Module{
+			Name: m.Name, RefTime: m.RefTime, OutBytes: m.OutBytes,
+			NeedsGPU: m.GPU, Parallelizable: m.Parallel,
+		})
+	}
+
+	src, ok := idx[sp.Source]
+	if !ok {
+		log.Fatalf("ricsa-optimize: unknown source %q", sp.Source)
+	}
+	dst, ok := idx[sp.Destination]
+	if !ok {
+		log.Fatalf("ricsa-optimize: unknown destination %q", sp.Destination)
+	}
+
+	vrt, err := pipeline.Optimize(g, p, src, dst)
+	if err != nil {
+		log.Fatalf("ricsa-optimize: %v", err)
+	}
+	fmt.Println("Visualization routing table:")
+	for _, grp := range vrt.Groups {
+		fmt.Printf("  %-12s %v\n", grp.Node, grp.Modules)
+	}
+	fmt.Printf("Predicted end-to-end delay: %.3f s\n", vrt.Delay)
+
+	if gr, err := pipeline.Greedy(g, p, src, dst); err == nil {
+		fmt.Printf("Greedy heuristic would take:  %.3f s (%.2fx)\n", gr.Delay, gr.Delay/vrt.Delay)
+	}
+}

@@ -1,0 +1,56 @@
+// Command ricsa-server runs a live RICSA deployment on this machine: a
+// steerable hydrodynamics simulation, the visualization modules, and the
+// Ajax web front end. Point any browser at the listen address to watch the
+// computation and steer it (Fig. 6 of the paper, minus the 2008 hardware).
+//
+// Usage:
+//
+//	ricsa-server -addr :8080 -sim sod -var density -method isosurface
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"ricsa/internal/steering"
+	"ricsa/internal/webui"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	sim := flag.String("sim", "sod", "simulator: sod or bowshock")
+	variable := flag.String("var", "density", "monitored variable: density or pressure")
+	method := flag.String("method", "isosurface", "visualization: isosurface or raycast")
+	iso := flag.Float64("iso", 0.5, "isovalue for isosurface extraction")
+	nx := flag.Int("nx", 96, "grid cells in x")
+	ny := flag.Int("ny", 48, "grid cells in y")
+	nz := flag.Int("nz", 48, "grid cells in z")
+	steps := flag.Int("steps", 2, "solver cycles per frame")
+	period := flag.Duration("period", 150*time.Millisecond, "frame period")
+	flag.Parse()
+
+	req := steering.DefaultRequest()
+	req.Simulator = *sim
+	req.Variable = *variable
+	req.Method = *method
+	req.Isovalue = float32(*iso)
+	req.NX, req.NY, req.NZ = *nx, *ny, *nz
+	req.StepsPerFrame = *steps
+
+	src, err := webui.NewLiveSource(req)
+	if err != nil {
+		log.Fatalf("ricsa-server: %v", err)
+	}
+	src.FramePeriod = *period
+	src.Start()
+	defer src.Stop()
+
+	srv := webui.NewServer(src)
+	fmt.Printf("RICSA server: simulating %q, serving http://%s/\n", *sim, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("ricsa-server: %v", err)
+	}
+}

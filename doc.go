@@ -1,0 +1,14 @@
+// Package ricsa reproduces "Computational Monitoring and Steering Using
+// Network-Optimized Visualization and Ajax Web Server" (Zhu, Wu, Rao —
+// IPDPS 2008) as a Go library: a complete remote visualization and
+// computational steering system with a dynamic-programming pipeline
+// optimizer, a Robbins-Monro stabilized transport protocol, a steerable
+// hydrodynamics simulation substrate, software visualization modules, and
+// an Ajax web front end.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured comparison of every figure.
+// The root package only anchors the module's benchmark suite
+// (bench_test.go); the implementation lives under internal/ and the
+// executables under cmd/ and examples/.
+package ricsa

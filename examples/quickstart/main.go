@@ -1,0 +1,76 @@
+// Quickstart: build an emulated three-host network, describe a
+// visualization pipeline, let the optimizer partition and map it, and
+// execute one frame — the minimal end-to-end use of the RICSA library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+	"ricsa/internal/steering"
+)
+
+func main() {
+	// 1. An emulated WAN: data source, a parallel cluster, and the client.
+	net := netsim.New(42)
+	ds := net.AddNode("datasource", 1.0)
+	cluster := net.AddNode("cluster", 1.3)
+	cluster.Workers = 4
+	cluster.HasGPU = true
+	client := net.AddNode("client", 1.0)
+	client.HasGPU = true
+
+	net.Connect(ds, cluster, netsim.LinkConfig{Bandwidth: 12 * netsim.MB, Delay: 7 * time.Millisecond})
+	net.Connect(cluster, client, netsim.LinkConfig{Bandwidth: 10 * netsim.MB, Delay: 3 * time.Millisecond})
+	net.Connect(ds, client, netsim.LinkConfig{Bandwidth: 2 * netsim.MB, Delay: 10 * time.Millisecond})
+
+	// 2. Measure the network (active probing + linear regression -> EPB).
+	d := steering.NewDeployment(net)
+	d.Measure(nil, 1)
+	fmt.Println("Measured effective path bandwidths:")
+	for key, est := range d.Estimates {
+		fmt.Printf("  %-24s %6.1f MB/s (min delay %v)\n", key, est.EPB/netsim.MB, est.MinDelay.Round(time.Millisecond))
+	}
+
+	// 3. A four-module pipeline for a 64 MB dataset.
+	p := &pipeline.Pipeline{
+		Name:        "demo",
+		SourceBytes: 64 * netsim.MB,
+		Modules: []pipeline.Module{
+			{Name: "Filter", RefTime: 0.8, OutBytes: 64 * netsim.MB, Parallelizable: true},
+			{Name: "Extract", RefTime: 9.5, OutBytes: 20 * netsim.MB, Parallelizable: true},
+			{Name: "Render", RefTime: 1.2, OutBytes: 1 * netsim.MB, NeedsGPU: true},
+			{Name: "Deliver", RefTime: 0.005, OutBytes: 1 * netsim.MB},
+		},
+	}
+
+	// 4. Optimize: the CM node's dynamic program (Eqs. 9-10).
+	vrt, err := d.Optimize(p, "datasource", "client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nVisualization routing table:")
+	for _, g := range vrt.Groups {
+		fmt.Printf("  %-12s runs %v\n", g.Node, g.Modules)
+	}
+	fmt.Printf("Predicted end-to-end delay: %.2f s\n", vrt.Delay)
+
+	// 5. Execute the frame on the emulated network.
+	res, err := d.RunFrameSync(p, "datasource", steering.PlacementFromVRT(vrt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Executed frame: %.2f s along %v\n", res.Elapsed.Seconds(), res.Path)
+
+	// 6. Compare with the naive client-server mapping.
+	naive := []string{"datasource", "datasource", "client", "client"}
+	res2, err := d.RunFrameSync(p, "datasource", naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Client-server mapping:  %.2f s (%.2fx slower)\n",
+		res2.Elapsed.Seconds(), res2.Elapsed.Seconds()/res.Elapsed.Seconds())
+}

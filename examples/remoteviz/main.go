@@ -1,0 +1,45 @@
+// Remoteviz reproduces the paper's Fig. 9 experiment interactively: remote
+// visualization of the three archival datasets (Jet, Rage, Visible Woman)
+// over the emulated six-site testbed, comparing the DP-optimized loop
+// against the five manual alternatives.
+//
+// Run with -scale 4 for a quick pass or -scale 1 for the full-size
+// datasets (the defaults match EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ricsa/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "dataset analysis scale divisor")
+	trials := flag.Int("trials", 2, "trials per loop")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.AnalysisScale = *scale
+	opt.Trials = *trials
+
+	fmt.Println("Remote visualization over the six-site testbed (Fig. 9)")
+	fmt.Println("--------------------------------------------------------")
+	res, err := experiments.RunFig9(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Printf("\n%s (%.0f MB) — optimal loop %v, %.2f s\n",
+			r.Dataset, r.SizeMB, r.OptimalPath, r.Optimal)
+		for _, l := range experiments.SortLoopsByDelay(r.Loops) {
+			bar := ""
+			for i := 0; i < int(l.Seconds/r.Optimal*8) && i < 60; i++ {
+				bar += "#"
+			}
+			fmt.Printf("  %-44s %7.2f s %s\n", l.Name, l.Seconds, bar)
+		}
+		fmt.Printf("  speedup of optimal over best PC-PC loop: %.2fx\n", r.SpeedupVsPCPC)
+	}
+}

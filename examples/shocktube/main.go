@@ -1,0 +1,128 @@
+// Shocktube demonstrates the universal steering framework of Section 5.2:
+// a Sod shock-tube simulation instrumented with the six RICSA API calls
+// (Fig. 7) runs as a TCP server; the visualization side connects, receives
+// dataset frames, steers the driver pressure mid-run, and writes before/
+// after isosurface renderings to PNG files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ricsa/internal/simengine"
+	"ricsa/internal/steering"
+)
+
+func main() {
+	frames := flag.Int("frames", 12, "dataset frames to monitor")
+	steerAt := flag.Int("steer-at", 4, "frame index at which to steer the left pressure")
+	outDir := flag.String("out", ".", "directory for rendered PNGs")
+	flag.Parse()
+
+	// --- Simulation side: the Fig. 7 instrumented main loop. ---
+	srv, err := steering.StartupSimulationServer("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	go simulationProgram(srv, *frames)
+
+	// --- Visualization side. ---
+	cli, err := steering.DialSimulation(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 96, 32, 32
+	if err := cli.SendRequest(req); err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < *frames; i++ {
+		field, err := cli.ReceiveData()
+		if err != nil {
+			log.Fatalf("receiving frame %d: %v", i, err)
+		}
+		fmt.Printf("frame %2d: dataset %dx%dx%d (%d KB)\n",
+			i, field.NX, field.NY, field.NZ, field.SizeBytes()/1024)
+
+		if i == *steerAt {
+			img, err := steering.RenderDataset(field, req, 384, 384)
+			if err != nil {
+				log.Fatal(err)
+			}
+			save(img.PNG())(fmt.Sprintf("%s/shocktube_before.png", *outDir))
+
+			p := simengine.DefaultSodParams()
+			p.LeftPressure = 10
+			p.LeftDensity = 2
+			if err := cli.SendParams(p); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("        >> steered: left pressure 1.0 -> 10.0")
+		}
+		if i == *frames-1 {
+			img, err := steering.RenderDataset(field, req, 384, 384)
+			if err != nil {
+				log.Fatal(err)
+			}
+			save(img.PNG())(fmt.Sprintf("%s/shocktube_after.png", *outDir))
+		}
+	}
+	cli.SendStop()
+	fmt.Println("wrote shocktube_before.png and shocktube_after.png")
+}
+
+// simulationProgram is the instrumented solver: compare with the VH1
+// pseudo-code in Fig. 7 of the paper.
+func simulationProgram(srv *steering.SimServer, frames int) {
+	if err := srv.WaitAcceptConnection(); err != nil {
+		log.Fatal(err)
+	}
+	// do ReceiveHandleMessage while message not SimulationReq.
+	var req steering.Request
+	for {
+		m, err := srv.ReceiveHandleMessage(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.Type == steering.MsgSimulationReq {
+			req = m.Request
+			break
+		}
+	}
+	sim := simengine.NewSod(req.NX, req.NY, req.NZ, simengine.DefaultSodParams())
+
+	// Main computational loop: sweeps, push data, poll for steering.
+	for cycle := 0; cycle < frames; cycle++ {
+		for s := 0; s < req.StepsPerFrame; s++ {
+			sim.Step() // sweepx, sweepy, sweepz
+		}
+		if err := srv.PushDataToVizNode(sim.Density()); err != nil {
+			return
+		}
+		if m, _ := srv.ReceiveHandleMessage(false); m != nil {
+			switch m.Type {
+			case steering.MsgNewSimulationParameters:
+				sim.SetParams(m.Params) // RICSA_UpdateSimulationParameters
+			case steering.MsgStopSimulation:
+				return
+			}
+		}
+	}
+}
+
+func save(data []byte, err error) func(path string) {
+	return func(path string) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if werr := os.WriteFile(path, data, 0o644); werr != nil {
+			log.Fatal(werr)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Webdemo launches the full live stack — steerable bow-shock simulation,
+// visualization, and the Ajax web front end — then drives it with an HTTP
+// client exactly as a browser would: long-polling frames, posting a
+// steering command, and confirming the animation responds. Pass -serve to
+// keep the server running for a real browser afterwards.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"ricsa/internal/steering"
+	"ricsa/internal/webui"
+)
+
+func main() {
+	serve := flag.String("serve", "", "after the demo, keep serving at this address (e.g. :8080)")
+	flag.Parse()
+
+	req := steering.DefaultRequest()
+	req.Simulator = "bowshock"
+	req.Variable = "pressure"
+	req.Method = "raycast"
+	req.NX, req.NY, req.NZ = 96, 48, 24
+	req.StepsPerFrame = 2
+
+	src, err := webui.NewLiveSource(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src.FramePeriod = 100 * time.Millisecond
+	src.Width, src.Height = 256, 256
+	src.Start()
+	defer src.Stop()
+
+	ts := httptest.NewServer(webui.NewServer(src).Handler())
+	defer ts.Close()
+	fmt.Println("Ajax front end serving at", ts.URL)
+
+	// Browser behaviour 1: long-poll frames, updating only the image.
+	seq := uint64(0)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/api/frame?since=%d", ts.URL, seq))
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Sscan(resp.Header.Get("X-Frame-Seq"), &seq)
+		fmt.Printf("frame %d: %d bytes of PNG\n", seq, len(body))
+	}
+
+	// Browser behaviour 2: steer the wind asynchronously.
+	payload, _ := json.Marshal(map[string]float64{"wind_velocity": 5})
+	resp, err := http.Post(ts.URL+"/api/steer", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Println("steered: wind velocity 3 -> 5")
+
+	// Browser behaviour 3: the status sidebar.
+	resp, err = http.Get(ts.URL + "/api/status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var status map[string]any
+	json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	fmt.Printf("status: cycle=%v sim_time=%.4v frames=%v\n",
+		status["cycle"], status["sim_time"], status["frame_seq"])
+
+	if *serve != "" {
+		fmt.Printf("serving for real browsers at http://%s/ (Ctrl-C to stop)\n", *serve)
+		log.Fatal(http.ListenAndServe(*serve, webui.NewServer(src).Handler()))
+	}
+}

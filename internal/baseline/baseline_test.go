@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+	"ricsa/internal/steering"
+)
+
+func measuredGraph(t *testing.T) *steering.Deployment {
+	t.Helper()
+	cfg := netsim.DefaultTestbed()
+	cfg.Loss = 0
+	cfg.CrossMean = 0
+	d := steering.NewDeployment(netsim.Testbed(1, cfg))
+	d.Measure([]int{512 << 10, 2 << 20}, 1)
+	return d
+}
+
+func TestApplyScalesCostsAndSizes(t *testing.T) {
+	p := &pipeline.Pipeline{
+		SourceBytes: 100,
+		Modules: []pipeline.Module{
+			{Name: "A", RefTime: 2, OutBytes: 50},
+			{Name: "B", RefTime: 1, OutBytes: 10, NeedsGPU: true},
+		},
+	}
+	c := Config{ComputeOverhead: 2, TransferOverhead: 1.5, PerFrameSetup: 1}
+	q := c.Apply(p)
+	if q.SourceBytes != 150 {
+		t.Fatalf("source bytes %v", q.SourceBytes)
+	}
+	if q.Modules[0].RefTime != 4 || q.Modules[0].OutBytes != 75 {
+		t.Fatalf("module A scaled wrong: %+v", q.Modules[0])
+	}
+	if !q.Modules[1].NeedsGPU {
+		t.Fatal("capability flags must survive scaling")
+	}
+	if p.Modules[0].RefTime != 2 {
+		t.Fatal("Apply mutated the input pipeline")
+	}
+}
+
+func TestParaViewSlowerThanRICSAOnSameMapping(t *testing.T) {
+	d := measuredGraph(t)
+	st := steering.AnalyzeSpec(dataset.RageSpec.Scaled(4), 8)
+	st.RawBytes = dataset.RageSpec.SizeBytes()
+	p := steering.BuildIsoPipeline(st)
+
+	placement := CRSPlacement(netsim.GaTech, netsim.UT, netsim.ORNL)
+	ricsa, err := pipeline.EvaluatePlacement(d.Graph, p, netsim.GaTech, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := DefaultParaView().FrameDelay(d.Graph, p, netsim.GaTech, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv <= ricsa {
+		t.Fatalf("ParaView %v should exceed RICSA %v on the same mapping", pv, ricsa)
+	}
+	// "Comparable performances": within a factor of two.
+	if pv > 2*ricsa {
+		t.Fatalf("ParaView %v implausibly slow vs RICSA %v", pv, ricsa)
+	}
+}
+
+func TestParaViewGapGrowsWithDatasetSize(t *testing.T) {
+	d := measuredGraph(t)
+	placement := CRSPlacement(netsim.GaTech, netsim.UT, netsim.ORNL)
+	gap := func(spec dataset.Spec) float64 {
+		st := steering.AnalyzeSpec(spec.Scaled(8), 4)
+		st.RawBytes = spec.SizeBytes()
+		p := steering.BuildIsoPipeline(st)
+		r, err := pipeline.EvaluatePlacement(d.Graph, p, netsim.GaTech, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, err := DefaultParaView().FrameDelay(d.Graph, p, netsim.GaTech, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pv - r
+	}
+	small := gap(dataset.JetSpec)
+	large := gap(dataset.VisWomanSpec)
+	if large <= small {
+		t.Fatalf("absolute gap should grow with size: small %v, large %v", small, large)
+	}
+	if math.IsNaN(small) || math.IsNaN(large) {
+		t.Fatal("NaN gaps")
+	}
+}

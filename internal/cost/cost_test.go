@@ -1,0 +1,289 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/grid"
+	"ricsa/internal/netsim"
+	"ricsa/internal/viz/marchingcubes"
+	"ricsa/internal/viz/raycast"
+	"ricsa/internal/viz/streamline"
+)
+
+func TestTriangleYieldsStructure(t *testing.T) {
+	y := TriangleYields()
+	empty := marchingcubes.EmptyCase()
+	if y[empty] != 0 {
+		t.Fatalf("empty case yields %v triangles, want 0", y[empty])
+	}
+	nonzero := 0
+	for i, v := range y {
+		if v < 0 || v > 12 {
+			t.Fatalf("case %d yield %v implausible", i, v)
+		}
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != NumCases-1 {
+		t.Fatalf("%d cases yield triangles, want %d", nonzero, NumCases-1)
+	}
+}
+
+func TestSyntheticIsoTimingMonotoneInYield(t *testing.T) {
+	tc := SyntheticIsoTiming(1e-8, 1e-7)
+	y := TriangleYields()
+	for i := 0; i < NumCases; i++ {
+		want := 1e-8 + 1e-7*y[i]
+		if math.Abs(tc[i]-want) > 1e-15 {
+			t.Fatalf("case %d time %v, want %v", i, tc[i], want)
+		}
+	}
+}
+
+func TestEstimateCaseProbsNormalized(t *testing.T) {
+	f := dataset.Generate(dataset.JetSpec.Scaled(16))
+	blocks := grid.Decompose(f, 4)
+	probs := EstimateCaseProbs(f, SampleBlocks(blocks, 3), IsovalueSweep(f, 5))
+	var sum float64
+	for _, p := range probs {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if probs[marchingcubes.EmptyCase()] == 0 {
+		t.Fatal("a sparse dataset must have empty cells")
+	}
+}
+
+func TestIsoModelEquationStructure(t *testing.T) {
+	m := &IsoModel{}
+	m.TCase = SyntheticIsoTiming(1e-8, 2e-8)
+	m.NTri = TriangleYields()
+	// All mass on one case for an analytic check.
+	m.PCase[3] = 1
+	sBlock := 1000
+	wantBlock := float64(sBlock) * m.TCase[3]
+	if math.Abs(m.TBlock(sBlock)-wantBlock) > 1e-12 {
+		t.Fatalf("TBlock = %v, want %v", m.TBlock(sBlock), wantBlock)
+	}
+	if math.Abs(m.TExtraction(7, sBlock)-7*wantBlock) > 1e-12 {
+		t.Fatal("TExtraction must scale linearly in nBlocks (Eq. 4)")
+	}
+	wantTri := 7.0 * float64(sBlock) * m.NTri[3]
+	if math.Abs(m.Triangles(7, sBlock)-wantTri) > 1e-9 {
+		t.Fatalf("Triangles = %v, want %v", m.Triangles(7, sBlock), wantTri)
+	}
+	if m.TRendering(7, sBlock, 1e6) <= 0 {
+		t.Fatal("rendering time must be positive with triangles present")
+	}
+	if m.GeometryBytes(7, sBlock) != 36*wantTri {
+		t.Fatal("geometry bytes must be 36 per triangle")
+	}
+}
+
+func TestIsoPredictionTracksActualTriangles(t *testing.T) {
+	// The Eq. 6 triangle estimate calibrated on the dataset itself should
+	// track the actual extraction triangle count within a modest factor.
+	f := dataset.Generate(dataset.RageSpec.Scaled(16))
+	iso := dataset.DefaultIsovalue(dataset.KindRage)
+	blocks := grid.Decompose(f, 4)
+	active := grid.ActiveBlocks(blocks, iso)
+	if len(active) == 0 {
+		t.Fatal("no active blocks")
+	}
+
+	m := &IsoModel{NTri: TriangleYields()}
+	m.PCase = EstimateCaseProbs(f, active, []float32{iso})
+	pred := m.Triangles(len(active), active[0].Cells())
+	actual := float64(marchingcubes.ExtractBlocks(f, blocks, iso, 4).TriangleCount())
+	if actual == 0 {
+		t.Fatal("no triangles extracted")
+	}
+	ratio := pred / actual
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("triangle prediction off by %.2fx (pred %.0f actual %.0f)", ratio, pred, actual)
+	}
+}
+
+func TestMeasuredIsoTimingPositive(t *testing.T) {
+	tc := MeasureIsoTiming(3)
+	for i, v := range tc {
+		if v <= 0 {
+			t.Fatalf("case %d measured time %v", i, v)
+		}
+	}
+}
+
+func TestRaycastModelEquation(t *testing.T) {
+	m := RaycastModel{TSample: 2e-9}
+	got := m.Time(512*512, 300, 0.5)
+	want := 512 * 512 * 300 * 0.5 * 2e-9
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("raycast time %v, want %v", got, want)
+	}
+	if m.Time(100, 100, -1) != 0 {
+		t.Fatal("negative fraction must clamp to 0")
+	}
+	if m.Time(100, 100, 2) != m.Time(100, 100, 1) {
+		t.Fatal("fraction must clamp to 1")
+	}
+}
+
+func TestNonemptyFraction(t *testing.T) {
+	f := dataset.Generate(dataset.JetSpec.Scaled(16))
+	blocks := grid.Decompose(f, 4)
+	frac := NonemptyFraction(blocks, 0.05)
+	if frac <= 0 || frac > 1 {
+		t.Fatalf("nonempty fraction %v out of range", frac)
+	}
+	if all := NonemptyFraction(blocks, -1); all != 1 {
+		t.Fatalf("threshold below min should give 1, got %v", all)
+	}
+}
+
+func TestMeasureRaycastTimingPredicts(t *testing.T) {
+	f := dataset.Generate(dataset.JetSpec.Scaled(16))
+	m := MeasureRaycastTiming(f, 32, 32)
+	if m.TSample <= 0 {
+		t.Fatal("nonpositive TSample")
+	}
+	// Predict a 64x64 render of the same volume and compare against a
+	// real run; allow a factor-of-three band (timing noise, cache effects).
+	opt := raycast.DefaultOptions()
+	opt.Width, opt.Height = 64, 64
+	opt.Workers = 1
+	n := raycast.SamplesPerRay(f, opt.Step)
+	pred := m.Time(64*64, n, 1)
+	start := time.Now()
+	raycast.Render(f, opt)
+	actual := time.Since(start).Seconds()
+	if pred <= 0 || actual <= 0 {
+		t.Fatal("degenerate timing")
+	}
+	ratio := pred / actual
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Fatalf("raycast prediction off by %.2fx", ratio)
+	}
+}
+
+func TestStreamlineModelEquation(t *testing.T) {
+	m := StreamlineModel{TAdvection: 1e-7}
+	if got := m.Time(100, 256); math.Abs(got-100*256*1e-7) > 1e-12 {
+		t.Fatalf("streamline time %v", got)
+	}
+}
+
+func TestMeasureStreamlineTimingPredicts(t *testing.T) {
+	f := dataset.Generate(dataset.JetSpec.Scaled(16))
+	vf := dataset.VelocityFromScalar(f)
+	seeds := streamline.SeedGrid(vf, 4, 4, 4)
+	m := MeasureStreamlineTiming(vf, seeds, 64)
+	if m.TAdvection <= 0 {
+		t.Fatal("nonpositive TAdvection")
+	}
+	// Predicted budget must bound a real trace's cost from above roughly.
+	opt := streamline.DefaultOptions()
+	opt.Steps = 64
+	opt.Workers = 1
+	start := time.Now()
+	lines := streamline.Trace(vf, seeds, opt)
+	actual := time.Since(start).Seconds()
+	predBudget := m.Time(len(seeds), 64)
+	steps := streamline.TotalAdvections(lines)
+	if steps == 0 {
+		t.Fatal("no advections")
+	}
+	// Budget assumes full steps; actual may stop early, so compare per-step.
+	perStepPred := predBudget / float64(len(seeds)*64)
+	perStepActual := actual / float64(steps)
+	ratio := perStepPred / perStepActual
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Fatalf("per-advection prediction off by %.2fx", ratio)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := linearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("fit = (%v, %v, %v), want (2, 1, 1)", slope, intercept, r2)
+	}
+}
+
+func TestMeasureEPBRecoversChannelParameters(t *testing.T) {
+	n := netsim.New(1)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	bw := 8.0 * netsim.MB
+	delay := 25 * time.Millisecond
+	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: bw, Delay: delay})
+
+	est := MeasureEPB(l.AB, nil, 1)
+	if math.Abs(est.EPB-bw)/bw > 0.05 {
+		t.Fatalf("EPB %.0f, want ~%.0f", est.EPB, bw)
+	}
+	if est.MinDelay < delay/2 || est.MinDelay > 2*delay {
+		t.Fatalf("min delay %v, want ~%v", est.MinDelay, delay)
+	}
+	if est.R2 < 0.99 {
+		t.Fatalf("clean link fit R2 = %v", est.R2)
+	}
+}
+
+func TestMeasureEPBUnderCrossTraffic(t *testing.T) {
+	n := netsim.New(42)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	bw := 10.0 * netsim.MB
+	l := n.Connect(a, b, netsim.LinkConfig{
+		Bandwidth: bw, Delay: 10 * time.Millisecond,
+		Cross: netsim.DefaultCrossTraffic(0.7),
+	})
+	est := MeasureEPB(l.AB, nil, 3)
+	// Effective bandwidth should be near 70% of capacity, definitely below
+	// the raw capacity.
+	if est.EPB >= bw {
+		t.Fatalf("EPB %.0f should sit below raw capacity %.0f", est.EPB, bw)
+	}
+	if est.EPB < 0.4*bw {
+		t.Fatalf("EPB %.0f implausibly low", est.EPB)
+	}
+}
+
+func TestTransferTimePrediction(t *testing.T) {
+	p := PathEstimate{EPB: 1 * netsim.MB, MinDelay: 30 * time.Millisecond}
+	got := p.TransferTime(2 * netsim.MB)
+	want := 2*time.Second + 30*time.Millisecond
+	if got != want {
+		t.Fatalf("transfer time %v, want %v", got, want)
+	}
+	if (PathEstimate{}).TransferTime(100) < time.Hour {
+		t.Fatal("zero-EPB path must predict an effectively infinite delay")
+	}
+}
+
+func TestEPBPredictionMatchesMeasuredTransfer(t *testing.T) {
+	// End-to-end: the regression-based prediction should match an actual
+	// bulk transfer of an unprobed size.
+	n := netsim.New(3)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 6 * netsim.MB, Delay: 15 * time.Millisecond})
+	est := MeasureEPB(l.AB, nil, 1)
+	size := 3 * netsim.MB
+	pred := est.TransferTime(size)
+	actual := netsim.MeasureBulk(l.AB, size)
+	diff := math.Abs(pred.Seconds()-actual.Seconds()) / actual.Seconds()
+	if diff > 0.05 {
+		t.Fatalf("prediction %v vs actual %v (%.1f%% off)", pred, actual, diff*100)
+	}
+}

@@ -1,0 +1,129 @@
+package cost
+
+import (
+	"time"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/viz"
+	"ricsa/internal/viz/marchingcubes"
+)
+
+// CalibrateInSitu estimates the per-case extraction times T_Case(i) the way
+// the paper describes the preprocessing step: run the extraction algorithm
+// over sample blocks at many isovalues, record each block's case histogram
+// and wall time, and solve the resulting linear system
+//
+//	T_block ≈ sum_i h_i(block) * t_i
+//
+// by ridge-regularized least squares (negative solutions are clamped to
+// zero: a case cannot have negative cost). Compared with the synthetic
+// single-cell measurement, this attributes real batch-execution cost —
+// cache behaviour included — to the cases actually present in the data.
+func CalibrateInSitu(f *grid.ScalarField, blocks []grid.Block, isovalues []float32, reps int) [NumCases]float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	var ata [NumCases][NumCases]float64
+	var atb [NumCases]float64
+	var scratch viz.Mesh
+
+	for _, iso := range isovalues {
+		for _, b := range blocks {
+			hist := marchingcubes.CaseHistogram(f, b, iso)
+			// Best-of-reps timing for one block extraction.
+			best := 0.0
+			for r := 0; r < reps; r++ {
+				scratch.Vertices = scratch.Vertices[:0]
+				start := time.Now()
+				marchingcubes.ExtractBlockInto(&scratch, f, b, iso)
+				el := time.Since(start).Seconds()
+				if r == 0 || el < best {
+					best = el
+				}
+			}
+			var h [NumCases]float64
+			for i, n := range hist {
+				h[i] = float64(n)
+			}
+			for i := 0; i < NumCases; i++ {
+				if h[i] == 0 {
+					continue
+				}
+				atb[i] += h[i] * best
+				for j := 0; j < NumCases; j++ {
+					ata[i][j] += h[i] * h[j]
+				}
+			}
+		}
+	}
+
+	// Ridge term keeps unobserved cases solvable (they get ~0).
+	lambda := 1e-6
+	for i := 0; i < NumCases; i++ {
+		ata[i][i] += lambda
+	}
+	t := solveSPD(ata, atb)
+	for i := range t {
+		if t[i] < 0 {
+			t[i] = 0
+		}
+	}
+	return t
+}
+
+// solveSPD solves the (symmetric, ridge-regularized) normal equations by
+// Gaussian elimination with partial pivoting.
+func solveSPD(a [NumCases][NumCases]float64, b [NumCases]float64) [NumCases]float64 {
+	const n = NumCases
+	// Augmented elimination on copies.
+	m := a
+	v := b
+	perm := [n]int{}
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[p][col]) {
+				p = r
+			}
+		}
+		m[col], m[p] = m[p], m[col]
+		v[col], v[p] = v[p], v[col]
+		if m[col][col] == 0 {
+			continue
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	var x [NumCases]float64
+	for i := n - 1; i >= 0; i-- {
+		if m[i][i] == 0 {
+			continue
+		}
+		s := v[i]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/grid"
+	"ricsa/internal/viz/marchingcubes"
+)
+
+func TestSolveSPDExact(t *testing.T) {
+	// Diagonal system with known solution.
+	var a [NumCases][NumCases]float64
+	var b [NumCases]float64
+	for i := 0; i < NumCases; i++ {
+		a[i][i] = float64(i + 1)
+		b[i] = float64((i + 1) * (i + 2))
+	}
+	x := solveSPD(a, b)
+	for i := 0; i < NumCases; i++ {
+		if math.Abs(x[i]-float64(i+2)) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %d", i, x[i], i+2)
+		}
+	}
+}
+
+func TestSolveSPDSingularRowsIgnored(t *testing.T) {
+	var a [NumCases][NumCases]float64
+	var b [NumCases]float64
+	a[0][0] = 2
+	b[0] = 4
+	x := solveSPD(a, b) // all other rows singular
+	if math.Abs(x[0]-2) > 1e-9 {
+		t.Fatalf("x[0] = %v, want 2", x[0])
+	}
+}
+
+func TestCalibrateInSituNonNegative(t *testing.T) {
+	f := dataset.Generate(dataset.RageSpec.Scaled(16))
+	blocks := grid.Decompose(f, 4)
+	isos := IsovalueSweep(f, 3)
+	tc := CalibrateInSitu(f, SampleBlocks(blocks, 2), isos, 2)
+	any := false
+	for i, v := range tc {
+		if v < 0 {
+			t.Fatalf("case %d negative time %v", i, v)
+		}
+		if v > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("calibration produced all-zero times")
+	}
+}
+
+func TestCalibrateInSituPredictsBatchExtraction(t *testing.T) {
+	// Calibrate on one dataset, predict full extraction on it; the in-situ
+	// fit should land close to a direct measurement.
+	f := dataset.Generate(dataset.JetSpec.Scaled(8))
+	iso := dataset.DefaultIsovalue(dataset.KindJet)
+	blocks := grid.Decompose(f, 8)
+	active := grid.ActiveBlocks(blocks, iso)
+	if len(active) < 4 {
+		t.Skip("too few active blocks")
+	}
+	tc := CalibrateInSitu(f, SampleBlocks(active, 2), []float32{iso}, 3)
+
+	m := IsoModel{TCase: tc, NTri: TriangleYields()}
+	m.PCase = EstimateCaseProbs(f, active, []float32{iso})
+	pred := m.TExtraction(len(active), 512)
+
+	best := math.Inf(1)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		marchingcubes.ExtractBlocks(f, blocks, iso, 1)
+		if el := time.Since(start).Seconds(); el < best {
+			best = el
+		}
+	}
+	ratio := pred / best
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("in-situ prediction off by %.2fx (pred %.4fs meas %.4fs)", ratio, pred, best)
+	}
+}

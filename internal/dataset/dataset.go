@@ -1,0 +1,184 @@
+// Package dataset generates the synthetic stand-ins for the paper's three
+// experimental datasets — Jet (16 MB), Rage (64 MB), and Visible Woman
+// (108 MB, pre-downsampled) — plus scaled-down variants for fast tests.
+//
+// The generators are deterministic analytic fields chosen to mimic the
+// isosurface structure of the originals (a turbulent jet plume, a blast
+// wave, and nested anatomical density shells). What the experiments consume
+// from a dataset is its byte size, its block occupancy statistics, and its
+// extracted triangle counts; the analytic fields exercise all three.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"ricsa/internal/grid"
+)
+
+// Spec names a generated dataset.
+type Spec struct {
+	Name       string
+	NX, NY, NZ int
+	Kind       Kind
+}
+
+// Kind selects the generator family.
+type Kind int
+
+// Generator families for the three paper datasets.
+const (
+	KindJet Kind = iota
+	KindRage
+	KindVisWoman
+)
+
+// SizeBytes returns the raw float32 payload size.
+func (s Spec) SizeBytes() int { return 4 * s.NX * s.NY * s.NZ }
+
+// The paper's three datasets with size-exact dimensions:
+// Jet 256x128x128x4B = 16 MiB, Rage 256x256x256x4B = 64 MiB,
+// VisWoman 432x256x256x4B = 108 MiB.
+var (
+	JetSpec      = Spec{Name: "Jet", NX: 256, NY: 128, NZ: 128, Kind: KindJet}
+	RageSpec     = Spec{Name: "Rage", NX: 256, NY: 256, NZ: 256, Kind: KindRage}
+	VisWomanSpec = Spec{Name: "Viswoman", NX: 432, NY: 256, NZ: 256, Kind: KindVisWoman}
+)
+
+// PaperDatasets lists the three Fig. 9 datasets in presentation order.
+func PaperDatasets() []Spec { return []Spec{JetSpec, RageSpec, VisWomanSpec} }
+
+// Scaled returns a smaller dataset with the same generator and aspect
+// ratio, dividing each dimension by div. Useful for fast tests that still
+// exercise realistic field structure.
+func (s Spec) Scaled(div int) Spec {
+	if div < 1 {
+		div = 1
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s/%d", s.Name, div)
+	out.NX = maxInt(8, s.NX/div)
+	out.NY = maxInt(8, s.NY/div)
+	out.NZ = maxInt(8, s.NZ/div)
+	return out
+}
+
+// Generate materializes the scalar field for the spec.
+func Generate(s Spec) *grid.ScalarField {
+	f := grid.NewScalarField(s.NX, s.NY, s.NZ)
+	switch s.Kind {
+	case KindJet:
+		fillJet(f)
+	case KindRage:
+		fillRage(f)
+	case KindVisWoman:
+		fillVisWoman(f)
+	default:
+		panic(fmt.Sprintf("dataset: unknown kind %d", s.Kind))
+	}
+	return f
+}
+
+// DefaultIsovalue returns an isovalue that cuts an interesting surface for
+// the generator family (roughly the paper's "user-selected isovalue").
+func DefaultIsovalue(k Kind) float32 {
+	switch k {
+	case KindJet:
+		return 0.5
+	case KindRage:
+		return 0.5
+	default:
+		return 0.45
+	}
+}
+
+// fillJet models a turbulent jet plume entering along +x: a Gaussian core
+// whose radius grows downstream, perturbed by helical modes.
+func fillJet(f *grid.ScalarField) {
+	cy, cz := float64(f.NY-1)/2, float64(f.NZ-1)/2
+	f.Fill(func(x, y, z int) float32 {
+		t := float64(x) / float64(f.NX-1) // downstream coordinate
+		dy, dz := float64(y)-cy, float64(z)-cz
+		r := math.Hypot(dy, dz)
+		// Plume radius grows downstream; helical wobble displaces the core.
+		wobble := 3.0 * t * math.Sin(6*math.Pi*t)
+		phase := math.Atan2(dz, dy)
+		rEff := r - wobble*math.Cos(phase+4*math.Pi*t)
+		width := 4.0 + 18.0*t
+		core := math.Exp(-rEff * rEff / (2 * width * width))
+		// Downstream decay plus shear-layer ripples.
+		ripple := 0.12 * math.Sin(10*math.Pi*t) * math.Exp(-r/width)
+		return float32((1.2 - 0.5*t) * core * (1 + ripple))
+	})
+}
+
+// fillRage models a Sedov-like blast: concentric density shells around the
+// domain center with a sharp front and rarefied interior, plus angular
+// corrugation of the front.
+func fillRage(f *grid.ScalarField) {
+	cx := float64(f.NX-1) / 2
+	cy := float64(f.NY-1) / 2
+	cz := float64(f.NZ-1) / 2
+	rFront := 0.72 * math.Min(cx, math.Min(cy, cz))
+	f.Fill(func(x, y, z int) float32 {
+		dx, dy, dz := float64(x)-cx, float64(y)-cy, float64(z)-cz
+		r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		theta := math.Atan2(dy, dx)
+		phi := math.Atan2(dz, math.Hypot(dx, dy))
+		front := rFront * (1 + 0.06*math.Sin(5*theta)*math.Cos(4*phi))
+		// Sharp shell at the front, low density inside, ambient outside.
+		d := (r - front) / (0.04 * rFront)
+		shell := math.Exp(-d * d)
+		interior := 0.15 * (1 - math.Tanh(d))
+		return float32(shell + interior*0.5*(r/front))
+	})
+}
+
+// fillVisWoman models nested anatomical density shells (skin, soft tissue,
+// bone) in a body-like ellipsoid along the long axis.
+func fillVisWoman(f *grid.ScalarField) {
+	cx := float64(f.NX-1) / 2
+	cy := float64(f.NY-1) / 2
+	cz := float64(f.NZ-1) / 2
+	f.Fill(func(x, y, z int) float32 {
+		// Normalized ellipsoidal radius: the body tapers toward the ends of
+		// the long (x) axis.
+		tx := (float64(x) - cx) / cx
+		taper := 1 - 0.35*tx*tx
+		dy := (float64(y) - cy) / (cy * taper)
+		dz := (float64(z) - cz) / (cz * 0.8 * taper)
+		r := math.Sqrt(tx*tx*0.25 + dy*dy + dz*dz)
+		// Skin at r~0.8, tissue inside, a bone column near the axis.
+		skin := math.Exp(-((r - 0.8) * (r - 0.8)) / 0.003)
+		tissue := 0.35 * (1 - math.Tanh((r-0.75)/0.05))
+		bone := 0.0
+		rb := math.Hypot(dy, dz+0.25)
+		if rb < 0.18 {
+			bone = 0.9 * (1 + 0.2*math.Sin(14*math.Pi*tx)) * (1 - rb/0.18)
+		}
+		return float32(0.5*skin + tissue + bone)
+	})
+}
+
+// VelocityFromScalar derives a divergence-style vector field from a scalar
+// dataset (its negative gradient), giving the streamline module a flow with
+// matching structure when the paper's techniques are swept over a dataset.
+func VelocityFromScalar(f *grid.ScalarField) *grid.VectorField {
+	vf := grid.NewVectorField(f.NX, f.NY, f.NZ)
+	for z := 0; z < f.NZ; z++ {
+		for y := 0; y < f.NY; y++ {
+			for x := 0; x < f.NX; x++ {
+				gx, gy, gz := f.Gradient(x, y, z)
+				vf.Set(x, y, z, float32(-gx), float32(-gy), float32(-gz))
+			}
+		}
+	}
+	return vf
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"time"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+	"ricsa/internal/steering"
+	"ricsa/internal/transport"
+)
+
+// GainRow is one point of the Robbins-Monro gain-schedule ablation
+// (DESIGN.md: "RM gain schedule (a, alpha in Eq. 1) — ablate fixed vs
+// decaying gain").
+type GainRow struct {
+	Gain        float64
+	DecayExp    float64
+	Converged   bool
+	ConvergeSec float64
+	RMS         float64
+}
+
+// RunGainAblation sweeps Eq. 1 gain schedules on a fixed lossy channel.
+func RunGainAblation(seed int64, targetBps float64, dur time.Duration) []GainRow {
+	type sched struct{ gain, decay float64 }
+	schedules := []sched{
+		{0.05, 0}, {0.2, 0}, {0.35, 0}, {0.8, 0}, {2.0, 0},
+		{1.2, 0.6}, {1.2, 0.8}, {2.5, 0.6},
+	}
+	var out []GainRow
+	for _, sc := range schedules {
+		n := netsim.New(seed)
+		a := n.AddNode("src", 1)
+		b := n.AddNode("dst", 1)
+		l := n.ConnectAsym(a, b,
+			netsim.LinkConfig{Bandwidth: 4 * targetBps, Delay: 20 * time.Millisecond,
+				Loss: 0.03, Jitter: 2 * time.Millisecond, QueueLimit: 256},
+			netsim.LinkConfig{Bandwidth: 4 * targetBps, Delay: 20 * time.Millisecond})
+		cfg := transport.DefaultConfig(targetBps)
+		cfg.Gain = sc.gain
+		cfg.DecayExp = sc.decay
+		tr := transport.RunStabilized(n, l.AB, l.BA, cfg, dur)
+
+		row := GainRow{Gain: sc.gain, DecayExp: sc.decay}
+		if at, ok := transport.ConvergenceTime(tr, targetBps, 0.15, 3*time.Second); ok {
+			row.Converged = true
+			row.ConvergeSec = at.Seconds()
+		}
+		row.RMS = transport.RMSError(tr, targetBps, netsim.Time(dur/2))
+		out = append(out, row)
+	}
+	return out
+}
+
+// PredictionRow compares the optimizer's Eq. 2 prediction against the
+// realized delay on the emulated network — validating that the analytical
+// model the DP optimizes actually tracks execution.
+type PredictionRow struct {
+	Dataset   string
+	Loop      string
+	Predicted float64
+	Realized  float64
+	Ratio     float64 // realized / predicted
+}
+
+// RunPredictionAccuracy executes every Fig. 9 loop and the DP optimum,
+// reporting predicted-vs-realized delay pairs.
+func RunPredictionAccuracy(o Options) ([]PredictionRow, error) {
+	o.fill()
+	var out []PredictionRow
+	for _, spec := range dataset.PaperDatasets() {
+		p := analyze(spec, o)
+		d := newTestbedDeployment(o)
+
+		vrt, err := d.Optimize(p, netsim.GaTech, netsim.ORNL)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := d.RunFrameSync(p, netsim.GaTech, steering.PlacementFromVRT(vrt))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, predRow(spec.Name, "optimal(DP)", vrt.Delay, fr.Elapsed.Seconds()))
+
+		for _, loop := range steering.Fig9Loops() {
+			src := d.Graph.NodeIndex(loop.Source)
+			nodes := make([]int, len(loop.Placement))
+			for k, name := range loop.Placement {
+				nodes[k] = d.Graph.NodeIndex(name)
+			}
+			pred, err := pipeline.Evaluate(d.Graph, p, src, nodes)
+			if err != nil {
+				return nil, err
+			}
+			fr, err := d.RunFrameSync(p, loop.Source, loop.Placement)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, predRow(spec.Name, loop.Name, pred, fr.Elapsed.Seconds()))
+		}
+	}
+	return out, nil
+}
+
+func predRow(ds, loop string, pred, real float64) PredictionRow {
+	r := PredictionRow{Dataset: ds, Loop: loop, Predicted: pred, Realized: real}
+	if pred > 0 {
+		r.Ratio = real / pred
+	}
+	return r
+}

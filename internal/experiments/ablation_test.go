@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGainAblationStructure(t *testing.T) {
+	rows := RunGainAblation(3, 600*1024, 25*time.Second)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	converged := 0
+	for _, r := range rows {
+		if r.Converged {
+			converged++
+			if r.ConvergeSec <= 0 {
+				t.Fatalf("converged with nonpositive time: %+v", r)
+			}
+		}
+	}
+	// Mid-range fixed gains must converge; extreme ones may not — that is
+	// the point of the ablation.
+	if converged < 4 {
+		t.Fatalf("only %d of 8 schedules converged", converged)
+	}
+	// The default schedule (0.35 fixed) must at least be stable (low
+	// steady-state RMS), and the aggressive fixed gains must be visibly
+	// worse — the ablation's point.
+	var rmsDefault, rmsAggressive float64
+	for _, r := range rows {
+		if r.Gain == 0.35 && r.DecayExp == 0 {
+			rmsDefault = r.RMS
+		}
+		if r.Gain == 2.0 && r.DecayExp == 0 {
+			rmsAggressive = r.RMS
+		}
+	}
+	if rmsDefault > 0.2 {
+		t.Fatalf("default gain schedule unstable: RMS %.3f", rmsDefault)
+	}
+	if rmsAggressive < 3*rmsDefault {
+		t.Fatalf("aggressive gain (RMS %.3f) should be far worse than default (RMS %.3f)",
+			rmsAggressive, rmsDefault)
+	}
+}
+
+func TestPredictionAccuracyTracksExecution(t *testing.T) {
+	o := quickOptions()
+	rows, err := RunPredictionAccuracy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*7 { // optimal + six loops per dataset
+		t.Fatalf("%d rows, want 21", len(rows))
+	}
+	for _, r := range rows {
+		if r.Predicted <= 0 || r.Realized <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		// The analytical model must track emulated execution closely; the
+		// gap is cross traffic + loss the model abstracts away.
+		if r.Ratio < 0.8 || r.Ratio > 1.6 {
+			t.Fatalf("%s/%s: realized/predicted = %.2f", r.Dataset, r.Loop, r.Ratio)
+		}
+	}
+}

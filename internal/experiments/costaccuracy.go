@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"time"
+
+	"ricsa/internal/cost"
+	"ricsa/internal/dataset"
+	"ricsa/internal/grid"
+	"ricsa/internal/viz/marchingcubes"
+	"ricsa/internal/viz/raycast"
+	"ricsa/internal/viz/streamline"
+)
+
+// CostAccuracyRow compares a model prediction against a wall-clock
+// measurement (Section 4.4's claim: "our models provide quick and accurate
+// run-time estimates of processing times").
+type CostAccuracyRow struct {
+	Technique string
+	Dataset   string
+	Predicted float64 // seconds
+	Measured  float64 // seconds
+	Ratio     float64 // predicted / measured
+}
+
+// RunCostAccuracy calibrates each technique's model on one dataset/
+// configuration and validates the prediction on another, using wall-clock
+// measurement throughout. scale divides the paper dataset dimensions to
+// keep run times reasonable.
+func RunCostAccuracy(scale int) []CostAccuracyRow {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []CostAccuracyRow
+
+	// Isosurface extraction: calibrate per-case timing on synthetic cells,
+	// case probabilities on the dataset itself, then predict a full
+	// block-level extraction.
+	tCase := cost.MeasureIsoTiming(6)
+	for _, spec := range []dataset.Spec{dataset.JetSpec.Scaled(scale), dataset.RageSpec.Scaled(scale)} {
+		f := dataset.Generate(spec)
+		iso := dataset.DefaultIsovalue(spec.Kind)
+		blocks := grid.Decompose(f, 8)
+		active := grid.ActiveBlocks(blocks, iso)
+		if len(active) == 0 {
+			continue
+		}
+		m := cost.IsoModel{TCase: tCase, NTri: cost.TriangleYields()}
+		m.PCase = cost.EstimateCaseProbs(f, cost.SampleBlocks(active, 4), []float32{iso})
+		pred := m.TExtraction(len(active), 512)
+
+		meas := bestOf(3, func() {
+			marchingcubes.ExtractBlocks(f, blocks, iso, 1)
+		})
+		out = append(out, row("isosurface", spec.Name, pred, meas))
+	}
+
+	// Ray casting: calibrate t_sample on a small viewport, predict a
+	// larger one.
+	{
+		spec := dataset.RageSpec.Scaled(scale * 2)
+		f := dataset.Generate(spec)
+		m := cost.MeasureRaycastTiming(f, 48, 48)
+		opt := raycast.DefaultOptions()
+		opt.Width, opt.Height = 160, 160
+		opt.Workers = 1
+		n := raycast.SamplesPerRay(f, opt.Step)
+		pred := m.Time(160*160, n, 1)
+		meas := bestOf(3, func() { raycast.Render(f, opt) })
+		out = append(out, row("raycast", spec.Name, pred, meas))
+	}
+
+	// Streamline: calibrate T_advection on a coarse seed grid, predict a
+	// denser one.
+	{
+		spec := dataset.JetSpec.Scaled(scale * 2)
+		f := dataset.Generate(spec)
+		vf := dataset.VelocityFromScalar(f)
+		m := cost.MeasureStreamlineTiming(vf, streamline.SeedGrid(vf, 3, 3, 3), 64)
+		seeds := streamline.SeedGrid(vf, 6, 6, 6)
+		opt := streamline.DefaultOptions()
+		opt.Steps = 64
+		opt.Workers = 1
+		var lines []streamline.Line
+		meas := bestOf(3, func() { lines = streamline.Trace(vf, seeds, opt) })
+		// Predict using the steps actually taken (early exits are data
+		// properties, not model failures).
+		pred := m.TAdvection * float64(streamline.TotalAdvections(lines))
+		out = append(out, row("streamline", spec.Name, pred, meas))
+	}
+	return out
+}
+
+// bestOf returns the minimum wall time of n runs of fn, the standard
+// defence against GC pauses and scheduler noise in one-shot measurements.
+func bestOf(n int, fn func()) float64 {
+	best := 0.0
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		el := time.Since(start).Seconds()
+		if i == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+func row(tech, ds string, pred, meas float64) CostAccuracyRow {
+	r := CostAccuracyRow{Technique: tech, Dataset: ds, Predicted: pred, Measured: meas}
+	if meas > 0 {
+		r.Ratio = pred / meas
+	}
+	return r
+}

@@ -1,0 +1,131 @@
+package grid
+
+// Block is one cube of the block decomposition: the cell range
+// [X0,X0+NX) x [Y0,Y0+NY) x [Z0,Z0+NZ) of the parent field, annotated with
+// the min/max sample values over its support (cells reference lattice points
+// up to +1 in each axis). The min/max metadata implements the octree-style
+// culling of Section 4.4.1: a block can contain an isosurface for isovalue v
+// only if Min <= v <= Max.
+type Block struct {
+	X0, Y0, Z0 int
+	NX, NY, NZ int // cell counts per axis
+	Min, Max   float32
+}
+
+// Cells returns the number of cells in the block (the paper's S_block).
+func (b Block) Cells() int { return b.NX * b.NY * b.NZ }
+
+// ContainsIso reports whether the block can intersect the isosurface at v.
+func (b Block) ContainsIso(v float32) bool { return b.Min <= v && v <= b.Max }
+
+// Decompose splits the field into cubic blocks of the given cell edge length
+// (the last block per axis may be smaller) and computes min/max metadata.
+func Decompose(f *ScalarField, edge int) []Block {
+	if edge < 1 {
+		panic("grid: block edge must be >= 1")
+	}
+	cx, cy, cz := f.NX-1, f.NY-1, f.NZ-1
+	var blocks []Block
+	for z0 := 0; z0 < cz; z0 += edge {
+		for y0 := 0; y0 < cy; y0 += edge {
+			for x0 := 0; x0 < cx; x0 += edge {
+				b := Block{
+					X0: x0, Y0: y0, Z0: z0,
+					NX: minInt(edge, cx-x0),
+					NY: minInt(edge, cy-y0),
+					NZ: minInt(edge, cz-z0),
+				}
+				b.Min, b.Max = blockMinMax(f, b)
+				blocks = append(blocks, b)
+			}
+		}
+	}
+	return blocks
+}
+
+func blockMinMax(f *ScalarField, b Block) (float32, float32) {
+	mn := f.At(b.X0, b.Y0, b.Z0)
+	mx := mn
+	for z := b.Z0; z <= b.Z0+b.NZ; z++ {
+		for y := b.Y0; y <= b.Y0+b.NY; y++ {
+			base := (z*f.NY + y) * f.NX
+			for x := b.X0; x <= b.X0+b.NX; x++ {
+				v := f.Data[base+x]
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+		}
+	}
+	return mn, mx
+}
+
+// ActiveBlocks returns the blocks that can contain the isosurface at v
+// (the paper's n_blocks for Eq. 4).
+func ActiveBlocks(blocks []Block, v float32) []Block {
+	var out []Block
+	for _, b := range blocks {
+		if b.ContainsIso(v) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Octants splits the field's cell domain into the eight octree children,
+// which is what the paper's GUI exposes as "one of the eight octree subsets
+// or entire dataset". Octant i has bit 0 = +x half, bit 1 = +y half,
+// bit 2 = +z half.
+func Octants(f *ScalarField) [8]Block {
+	cx, cy, cz := f.NX-1, f.NY-1, f.NZ-1
+	hx, hy, hz := cx/2, cy/2, cz/2
+	var out [8]Block
+	for i := 0; i < 8; i++ {
+		b := Block{}
+		if i&1 != 0 {
+			b.X0, b.NX = hx, cx-hx
+		} else {
+			b.NX = hx
+		}
+		if i&2 != 0 {
+			b.Y0, b.NY = hy, cy-hy
+		} else {
+			b.NY = hy
+		}
+		if i&4 != 0 {
+			b.Z0, b.NZ = hz, cz-hz
+		} else {
+			b.NZ = hz
+		}
+		if b.NX > 0 && b.NY > 0 && b.NZ > 0 {
+			b.Min, b.Max = blockMinMax(f, b)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// SubField copies the lattice points spanned by block b (cells plus the +1
+// boundary layer) into a standalone field, so a block can be shipped to and
+// processed on another node independently.
+func SubField(f *ScalarField, b Block) *ScalarField {
+	out := NewScalarField(b.NX+1, b.NY+1, b.NZ+1)
+	for z := 0; z <= b.NZ; z++ {
+		for y := 0; y <= b.NY; y++ {
+			srcBase := ((b.Z0+z)*f.NY + (b.Y0 + y)) * f.NX
+			dstBase := (z*out.NY + y) * out.NX
+			copy(out.Data[dstBase:dstBase+out.NX], f.Data[srcBase+b.X0:srcBase+b.X0+out.NX])
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

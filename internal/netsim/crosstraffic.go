@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// CrossTraffic models competing wide-area traffic as a bounded, mean-reverting
+// random walk on the fraction of link capacity left for our flows. The factor
+// is piecewise constant over Interval and evolves as an Ornstein-Uhlenbeck
+// style process:
+//
+//	f' = f + Rate*(Mean - f) + Sigma*N(0,1), clamped to [Min, Max].
+//
+// This reproduces the class of disturbance assumed by the Robbins-Monro
+// convergence argument in Section 3 of the paper: random, time-varying, but
+// with a stable long-run mean.
+type CrossTraffic struct {
+	Mean     float64       // long-run mean availability fraction, e.g. 0.7
+	Sigma    float64       // per-step noise, e.g. 0.08
+	Rate     float64       // mean reversion strength in (0,1], e.g. 0.2
+	Min, Max float64       // clamp bounds, e.g. 0.25 and 1.0
+	Interval time.Duration // update period, e.g. 200ms
+
+	cur        float64
+	lastUpdate Time
+	inited     bool
+}
+
+// DefaultCrossTraffic returns a moderately bursty cross-traffic process that
+// leaves mean fraction of the capacity available.
+func DefaultCrossTraffic(mean float64) *CrossTraffic {
+	return &CrossTraffic{
+		Mean:     mean,
+		Sigma:    0.08,
+		Rate:     0.2,
+		Min:      0.2,
+		Max:      1.0,
+		Interval: 200 * time.Millisecond,
+	}
+}
+
+// Factor returns the availability fraction at virtual time t, advancing the
+// internal random walk as needed. Calls must have non-decreasing t within a
+// single channel, which holds because channels serialize packets in FIFO
+// order.
+func (ct *CrossTraffic) Factor(n *Network, t Time) float64 {
+	if ct.Interval <= 0 {
+		ct.Interval = 200 * time.Millisecond
+	}
+	if !ct.inited {
+		ct.cur = ct.Mean
+		ct.lastUpdate = t
+		ct.inited = true
+		return ct.cur
+	}
+	steps := int64(0)
+	if t > ct.lastUpdate {
+		steps = int64((t - ct.lastUpdate) / ct.Interval)
+	}
+	// Cap the number of catch-up steps so long idle periods stay cheap:
+	// beyond ~200 steps the process has fully mixed anyway.
+	if steps > 200 {
+		ct.cur = ct.Mean
+		steps = steps % 200
+	}
+	for i := int64(0); i < steps; i++ {
+		ct.cur += ct.Rate*(ct.Mean-ct.cur) + ct.Sigma*n.rng.NormFloat64()
+		ct.cur = math.Max(ct.Min, math.Min(ct.Max, ct.cur))
+	}
+	if steps > 0 {
+		ct.lastUpdate = ct.lastUpdate + Time(steps)*ct.Interval
+		if ct.lastUpdate > t {
+			ct.lastUpdate = t
+		}
+	}
+	return ct.cur
+}

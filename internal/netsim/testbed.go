@@ -1,0 +1,107 @@
+package netsim
+
+import "time"
+
+// Site names of the paper's six-host Internet deployment (Fig. 8).
+const (
+	ORNL    = "ORNL"    // client + Ajax front end (PC Linux host, has graphics)
+	LSU     = "LSU"     // central management node
+	UT      = "UT"      // computing-service cluster
+	NCState = "NCState" // computing-service cluster
+	OSU     = "OSU"     // data source (PC, no graphics card)
+	GaTech  = "GaTech"  // data source (PC, no graphics card)
+)
+
+// MB is one megabyte in bytes, the unit used for link capacities below.
+const MB = 1 << 20
+
+// TestbedConfig parameterizes the emulated six-site deployment so
+// experiments can scale bandwidths or noise without editing the topology.
+type TestbedConfig struct {
+	// BandwidthScale multiplies every link capacity (1 = defaults).
+	BandwidthScale float64
+	// Loss is the per-packet loss probability applied to every link.
+	Loss float64
+	// CrossMean, when positive, enables cross traffic leaving that mean
+	// fraction of capacity available on the wide-area data links.
+	CrossMean float64
+	// ClusterWorkers is the parallel width of the UT and NCState clusters.
+	ClusterWorkers int
+}
+
+// DefaultTestbed is the configuration used by the Fig. 9 / Fig. 10
+// reproductions: calibrated so that the relative standing of the six
+// visualization loops matches the paper (see EXPERIMENTS.md).
+func DefaultTestbed() TestbedConfig {
+	return TestbedConfig{
+		BandwidthScale: 1,
+		Loss:           0.002,
+		CrossMean:      0.85,
+		ClusterWorkers: 4,
+	}
+}
+
+// Testbed builds the six-site network of Fig. 8. Link capacities model the
+// 2007-era Internet2 paths between the sites: the GaTech–UT and UT–ORNL
+// virtual links are the fast path the paper's optimizer selects; the direct
+// DS→client paths used by the PC-PC loops are markedly slower, and the
+// control links through LSU are thin but adequate for steering messages.
+func Testbed(seed int64, cfg TestbedConfig) *Network {
+	if cfg.BandwidthScale <= 0 {
+		cfg.BandwidthScale = 1
+	}
+	if cfg.ClusterWorkers <= 0 {
+		cfg.ClusterWorkers = 4
+	}
+	n := New(seed)
+
+	ornl := n.AddNode(ORNL, 1.0)
+	ornl.HasGPU = true
+	lsu := n.AddNode(LSU, 1.0)
+	ut := n.AddNode(UT, 1.3)
+	ut.Workers = cfg.ClusterWorkers
+	ut.HasGPU = true
+	ncs := n.AddNode(NCState, 1.1)
+	ncs.Workers = cfg.ClusterWorkers
+	ncs.HasGPU = true
+	osu := n.AddNode(OSU, 0.9)
+	gat := n.AddNode(GaTech, 1.0)
+
+	link := func(a, b *Node, mbps float64, rtt time.Duration, data bool) {
+		lc := LinkConfig{
+			Bandwidth: mbps * MB * cfg.BandwidthScale,
+			Delay:     rtt / 2,
+			Loss:      cfg.Loss,
+			Jitter:    rtt / 20,
+		}
+		if data && cfg.CrossMean > 0 {
+			lc.Cross = DefaultCrossTraffic(cfg.CrossMean)
+			// Each direction needs its own process state.
+			lc2 := lc
+			lc2.Cross = DefaultCrossTraffic(cfg.CrossMean)
+			n.ConnectAsym(a, b, lc, lc2)
+			return
+		}
+		n.Connect(a, b, lc)
+	}
+
+	// Control paths (client -> CM -> data sources): thin links.
+	link(ornl, lsu, 2.0, 22*time.Millisecond, false)
+	link(lsu, gat, 2.0, 18*time.Millisecond, false)
+	link(lsu, osu, 2.0, 26*time.Millisecond, false)
+
+	// Data paths (DS -> CS -> client): the optimizer's search space.
+	link(gat, ut, 12.0, 14*time.Millisecond, true)
+	link(ut, ornl, 10.0, 6*time.Millisecond, true)
+	link(gat, ncs, 7.0, 16*time.Millisecond, true)
+	link(ncs, ornl, 6.0, 10*time.Millisecond, true)
+	link(osu, ncs, 5.0, 18*time.Millisecond, true)
+	link(osu, ut, 5.5, 20*time.Millisecond, true)
+
+	// Direct DS -> client paths used by the conventional PC-PC loops:
+	// commodity Internet paths, markedly thinner than the Internet2 pipes.
+	link(gat, ornl, 2.4, 20*time.Millisecond, true)
+	link(osu, ornl, 2.0, 24*time.Millisecond, true)
+
+	return n
+}

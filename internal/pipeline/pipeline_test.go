@@ -1,0 +1,288 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoNodeSetup: src -- dst with one compute module.
+func twoNodeSetup() (*Graph, *Pipeline) {
+	g := NewGraph(
+		Node{Name: "src", Power: 1},
+		Node{Name: "dst", Power: 2, HasGPU: true},
+	)
+	g.AddBiEdge(0, 1, 10e6, 0.010)
+	p := &Pipeline{
+		Name:        "simple",
+		SourceBytes: 20e6,
+		Modules: []Module{
+			{Name: "Extract", RefTime: 4, OutBytes: 5e6},
+			{Name: "Render", RefTime: 1, OutBytes: 1e6, NeedsGPU: true},
+		},
+	}
+	return g, p
+}
+
+func TestOptimizeTwoNodeClientServer(t *testing.T) {
+	g, p := twoNodeSetup()
+	vrt, err := Optimize(g, p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Render must land on dst (only GPU). Two candidate plans:
+	//  A) Extract at src (4s) + ship 5MB (0.51s) + render at dst (0.5s) = 5.01s
+	//  B) ship 20MB (2.01s) + extract at dst (2s) + render at dst (0.5s) = 4.51s
+	// B wins.
+	want := 20e6/10e6 + 0.010 + 4.0/2 + 1.0/2
+	if math.Abs(vrt.Delay-want) > 1e-9 {
+		t.Fatalf("delay = %v, want %v", vrt.Delay, want)
+	}
+	path := vrt.Path()
+	if len(path) != 2 || path[0] != "src" || path[1] != "dst" {
+		t.Fatalf("path = %v", path)
+	}
+	if len(vrt.Groups[1].Modules) != 2 {
+		t.Fatalf("dst group runs %v, want both modules", vrt.Groups[1].Modules)
+	}
+}
+
+func TestOptimizeUsesIntermediateNodeWhenFaster(t *testing.T) {
+	// A powerful intermediate node on a fast path should attract the
+	// extraction module, exactly the paper's GaTech-UT-ORNL pattern.
+	g := NewGraph(
+		Node{Name: "ds", Power: 0.5},
+		Node{Name: "cluster", Power: 8, HasGPU: true},
+		Node{Name: "client", Power: 1, HasGPU: true},
+	)
+	g.AddBiEdge(0, 1, 12e6, 0.005) // ds -> cluster fast
+	g.AddBiEdge(1, 2, 10e6, 0.005) // cluster -> client fast
+	g.AddBiEdge(0, 2, 3e6, 0.010)  // direct path slow
+	p := &Pipeline{
+		SourceBytes: 64e6,
+		Modules: []Module{
+			{Name: "Extract", RefTime: 8, OutBytes: 12e6},
+			{Name: "Render", RefTime: 2, OutBytes: 1e6, NeedsGPU: true},
+		},
+	}
+	vrt, err := Optimize(g, p, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := vrt.Path()
+	if len(path) != 3 || path[1] != "cluster" {
+		t.Fatalf("expected ds->cluster->client, got %v", path)
+	}
+}
+
+func TestOptimizeRespectsGPUFeasibility(t *testing.T) {
+	g := NewGraph(
+		Node{Name: "ds", Power: 10},    // fast but no GPU
+		Node{Name: "client", Power: 1}, // no GPU either
+	)
+	g.AddBiEdge(0, 1, 10e6, 0.010)
+	p := &Pipeline{
+		SourceBytes: 1e6,
+		Modules:     []Module{{Name: "Render", RefTime: 1, OutBytes: 1e6, NeedsGPU: true}},
+	}
+	if _, err := Optimize(g, p, 0, 1); err != ErrNoFeasibleMapping {
+		t.Fatalf("err = %v, want ErrNoFeasibleMapping", err)
+	}
+}
+
+func TestOptimizeMatchesExhaustiveOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		nNodes := 3 + rng.Intn(4)
+		nMods := 1 + rng.Intn(4)
+		g := RandomGraph(rng, nNodes, 1.0)
+		// Guarantee at least one GPU so gpuFinal instances stay feasible.
+		g.Nodes[nNodes-1].HasGPU = true
+		p := RandomPipeline(rng, nMods, rng.Float64() < 0.5)
+		src, dst := 0, nNodes-1
+
+		dp, errDP := Optimize(g, p, src, dst)
+		ex, errEx := Exhaustive(g, p, src, dst)
+		if (errDP == nil) != (errEx == nil) {
+			t.Fatalf("trial %d: feasibility disagreement dp=%v ex=%v", trial, errDP, errEx)
+		}
+		if errDP != nil {
+			continue
+		}
+		if math.Abs(dp.Delay-ex.Delay) > 1e-9*math.Max(1, ex.Delay) {
+			t.Fatalf("trial %d: DP %.9f != exhaustive %.9f", trial, dp.Delay, ex.Delay)
+		}
+	}
+}
+
+func TestGreedyNeverBeatsDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	worse := 0
+	for trial := 0; trial < 60; trial++ {
+		g := RandomGraph(rng, 4+rng.Intn(5), 1.5)
+		p := RandomPipeline(rng, 2+rng.Intn(4), false)
+		dp, errDP := Optimize(g, p, 0, len(g.Nodes)-1)
+		gr, errGr := Greedy(g, p, 0, len(g.Nodes)-1)
+		if errDP != nil || errGr != nil {
+			continue
+		}
+		if gr.Delay < dp.Delay-1e-9 {
+			t.Fatalf("trial %d: greedy %.6f beat DP %.6f", trial, gr.Delay, dp.Delay)
+		}
+		if gr.Delay > dp.Delay+1e-9 {
+			worse++
+		}
+	}
+	if worse == 0 {
+		t.Fatal("greedy never lost; the ablation is vacuous")
+	}
+}
+
+func TestEvaluateMatchesOptimizeOnItsOwnMapping(t *testing.T) {
+	// Scoring the DP's chosen placement with Evaluate must reproduce the
+	// DP's delay.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		g := RandomGraph(rng, 5, 1.0)
+		p := RandomPipeline(rng, 3, false)
+		vrt, err := Optimize(g, p, 0, 4)
+		if err != nil {
+			continue
+		}
+		// Reconstruct per-module node list from groups.
+		var placement []string
+		for gi, grp := range vrt.Groups {
+			mods := grp.Modules
+			if gi == 0 {
+				mods = mods[1:] // skip the Source pseudo-module
+			}
+			for range mods {
+				placement = append(placement, grp.Node)
+			}
+		}
+		got, err := EvaluatePlacement(g, p, "a", placement)
+		if err != nil {
+			t.Fatalf("trial %d: %v (placement %v)", trial, err, placement)
+		}
+		if math.Abs(got-vrt.Delay) > 1e-9*math.Max(1, vrt.Delay) {
+			t.Fatalf("trial %d: Evaluate %.9f != Optimize %.9f", trial, got, vrt.Delay)
+		}
+	}
+}
+
+func TestEvaluateRejectsNonEdgeHop(t *testing.T) {
+	g := NewGraph(Node{Name: "a", Power: 1}, Node{Name: "b", Power: 1}, Node{Name: "c", Power: 1})
+	g.AddBiEdge(0, 1, 1e6, 0)
+	// no edge a -> c
+	p := &Pipeline{SourceBytes: 1e6, Modules: []Module{{Name: "M", RefTime: 1, OutBytes: 1}}}
+	if _, err := Evaluate(g, p, 0, []int{2}); err == nil {
+		t.Fatal("hop without an edge must fail")
+	}
+}
+
+func TestClusterScatterOverheadEffect(t *testing.T) {
+	// For small data, the cluster's scatter overhead should make a plain PC
+	// competitive; for large data the cluster must win. This is the Fig. 9
+	// observation about MPI modules and small datasets.
+	mk := func(bytes float64) (*Graph, *Pipeline) {
+		g := NewGraph(
+			Node{Name: "ds", Power: 1},
+			Node{Name: "cluster", Power: 1, Workers: 8, ScatterBW: 50e6, ParallelOverhead: 0.3, HasGPU: true},
+			Node{Name: "client", Power: 1, HasGPU: true},
+		)
+		g.AddBiEdge(0, 1, 50e6, 0.001)
+		g.AddBiEdge(1, 2, 50e6, 0.001)
+		g.AddBiEdge(0, 2, 50e6, 0.001)
+		p := &Pipeline{
+			SourceBytes: bytes,
+			Modules: []Module{
+				{Name: "Extract", RefTime: bytes / 10e6, OutBytes: bytes / 5, Parallelizable: true},
+				{Name: "Render", RefTime: 0.1, OutBytes: 1e6, NeedsGPU: true},
+			},
+		}
+		return g, p
+	}
+
+	gSmall, pSmall := mk(1e6)
+	small, err := Optimize(gSmall, pSmall, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBig, pBig := mk(500e6)
+	big, err := Optimize(gBig, pBig, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallUsesCluster := contains(small.Path(), "cluster")
+	bigUsesCluster := contains(big.Path(), "cluster")
+	if smallUsesCluster {
+		t.Fatalf("small dataset should avoid the cluster: %v", small.Path())
+	}
+	if !bigUsesCluster {
+		t.Fatalf("large dataset should use the cluster: %v", big.Path())
+	}
+}
+
+func TestOptimizeSingleModulePipeline(t *testing.T) {
+	g, _ := twoNodeSetup()
+	p := &Pipeline{SourceBytes: 5e6, Modules: []Module{{Name: "Only", RefTime: 1, OutBytes: 1e5}}}
+	vrt, err := Optimize(g, p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vrt.Delay <= 0 {
+		t.Fatal("nonpositive delay")
+	}
+}
+
+func TestOptimizeEmptyPipelineFails(t *testing.T) {
+	g, _ := twoNodeSetup()
+	if _, err := Optimize(g, &Pipeline{SourceBytes: 1}, 0, 1); err == nil {
+		t.Fatal("empty pipeline must fail")
+	}
+}
+
+func TestOptimizeBadEndpoints(t *testing.T) {
+	g, p := twoNodeSetup()
+	if _, err := Optimize(g, p, -1, 1); err != ErrBadEndpoints {
+		t.Fatal("negative source must fail")
+	}
+	if _, err := Optimize(g, p, 0, 9); err != ErrBadEndpoints {
+		t.Fatal("out-of-range destination must fail")
+	}
+}
+
+func TestVRTStringIncludesPathAndDelay(t *testing.T) {
+	g, p := twoNodeSetup()
+	vrt, err := Optimize(g, p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := vrt.String()
+	if s == "" || vrt.Path()[0] != "src" {
+		t.Fatalf("String/Path malformed: %q %v", s, vrt.Path())
+	}
+}
+
+func TestGraphHelpers(t *testing.T) {
+	g := NewGraph(Node{Name: "x"}, Node{Name: "y"})
+	g.AddBiEdge(0, 1, 1e6, 0.001)
+	if g.NodeIndex("y") != 1 || g.NodeIndex("zz") != -1 {
+		t.Fatal("NodeIndex")
+	}
+	if g.EdgeCount() != 2 {
+		t.Fatalf("EdgeCount = %d, want 2", g.EdgeCount())
+	}
+	if g.FindEdge(0, 1) == nil || g.FindEdge(1, 0) == nil {
+		t.Fatal("FindEdge")
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyDPNeverWorseThanRandomPlacement: the DP's delay must lower-
+// bound every feasible placement it could have chosen. Random placements
+// are generated as walks that stay or move along edges.
+func TestPropertyDPNeverWorseThanRandomPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		g := RandomGraph(rng, 4+rng.Intn(5), 1.5)
+		p := RandomPipeline(rng, 2+rng.Intn(4), false)
+		dst := len(g.Nodes) - 1
+		vrt, err := Optimize(g, p, 0, dst)
+		if err != nil {
+			continue
+		}
+		// Sample random feasible placements ending at dst.
+		for attempt := 0; attempt < 30; attempt++ {
+			nodes := make([]int, len(p.Modules))
+			at := 0
+			ok := true
+			for k := range nodes {
+				if k == len(nodes)-1 {
+					// Force ending at dst when reachable in one hop.
+					if at == dst || g.FindEdge(at, dst) != nil {
+						nodes[k] = dst
+						at = dst
+						continue
+					}
+					ok = false
+					break
+				}
+				if rng.Float64() < 0.5 {
+					nodes[k] = at
+					continue
+				}
+				adj := g.Adj[at]
+				if len(adj) == 0 {
+					nodes[k] = at
+					continue
+				}
+				at = adj[rng.Intn(len(adj))].To
+				nodes[k] = at
+			}
+			if !ok || at != dst {
+				continue
+			}
+			delay, err := Evaluate(g, p, 0, nodes)
+			if err != nil {
+				continue
+			}
+			if delay < vrt.Delay-1e-9 {
+				t.Fatalf("trial %d: random placement %v (%.9f) beat DP (%.9f)",
+					trial, nodes, delay, vrt.Delay)
+			}
+		}
+	}
+}
+
+// TestPropertyDelayScalesWithBandwidth: scaling every link's bandwidth up
+// can only reduce (or preserve) the optimal delay.
+func TestPropertyDelayScalesWithBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	prop := func(scaleByte uint8) bool {
+		scale := 1 + float64(scaleByte)/32 // [1, ~9)
+		g := RandomGraph(rng, 6, 1.5)
+		p := RandomPipeline(rng, 3, false)
+		base, err := Optimize(g, p, 0, 5)
+		if err != nil {
+			return true
+		}
+		g2 := NewGraph(g.Nodes...)
+		g2.Adj = make([][]Edge, len(g.Nodes))
+		for from, edges := range g.Adj {
+			for _, e := range edges {
+				g2.AddEdge(from, e.To, e.Bandwidth*scale, e.Delay)
+			}
+		}
+		faster, err := Optimize(g2, p, 0, 5)
+		if err != nil {
+			return false
+		}
+		return faster.Delay <= base.Delay+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDelayMonotoneInPower: uniformly faster nodes can only help.
+func TestPropertyDelayMonotoneInPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		g := RandomGraph(rng, 6, 1.5)
+		p := RandomPipeline(rng, 3, false)
+		base, err := Optimize(g, p, 0, 5)
+		if err != nil {
+			continue
+		}
+		g2 := NewGraph()
+		for _, nd := range g.Nodes {
+			nd.Power *= 2
+			g2.Nodes = append(g2.Nodes, nd)
+		}
+		g2.Adj = g.Adj
+		faster, err := Optimize(g2, p, 0, 5)
+		if err != nil {
+			t.Fatalf("trial %d: doubling power broke feasibility: %v", trial, err)
+		}
+		if faster.Delay > base.Delay+1e-9 {
+			t.Fatalf("trial %d: doubling power slowed delay %.9f -> %.9f",
+				trial, base.Delay, faster.Delay)
+		}
+	}
+}
+
+// TestPropertyVRTDelayFiniteAndPositive guards against NaN/Inf leaking out
+// of the recursion for arbitrary well-formed instances.
+func TestPropertyVRTDelayFiniteAndPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		g := RandomGraph(rng, 3+rng.Intn(8), 2)
+		p := RandomPipeline(rng, 1+rng.Intn(6), false)
+		vrt, err := Optimize(g, p, 0, len(g.Nodes)-1)
+		if err != nil {
+			continue
+		}
+		if math.IsNaN(vrt.Delay) || math.IsInf(vrt.Delay, 0) || vrt.Delay <= 0 {
+			t.Fatalf("trial %d: degenerate delay %v", trial, vrt.Delay)
+		}
+		if len(vrt.Groups) < 1 || vrt.Groups[0].Modules[0] != "Source" {
+			t.Fatalf("trial %d: malformed VRT %v", trial, vrt.Groups)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package pipeline
+
+import "math"
+
+// Exhaustive searches every feasible assignment of modules to nodes (each
+// module stays on the previous module's node or crosses one edge) and
+// returns the global optimum. Exponential — use only to validate the DP on
+// small instances.
+func Exhaustive(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
+	n := len(p.Modules)
+	if src < 0 || src >= len(g.Nodes) || dst < 0 || dst >= len(g.Nodes) {
+		return nil, ErrBadEndpoints
+	}
+	if n == 0 {
+		return nil, ErrNoFeasibleMapping
+	}
+	best := math.Inf(1)
+	var bestNodes []int
+	cur := make([]int, n)
+
+	var rec func(k, at int, acc float64)
+	rec = func(k, at int, acc float64) {
+		if acc >= best {
+			return // prune: costs only grow
+		}
+		if k == n {
+			if at == dst && acc < best {
+				best = acc
+				bestNodes = append(bestNodes[:0], cur...)
+			}
+			return
+		}
+		// Stay at the current node.
+		if ct := computeTime(g, p, k, at); !math.IsInf(ct, 1) {
+			cur[k] = at
+			rec(k+1, at, acc+ct)
+		}
+		// Or move across one edge.
+		for _, e := range g.Adj[at] {
+			ct := computeTime(g, p, k, e.To)
+			if math.IsInf(ct, 1) {
+				continue
+			}
+			cur[k] = e.To
+			rec(k+1, e.To, acc+ct+transferTime(p, k, e))
+		}
+	}
+	rec(0, src, 0)
+
+	if math.IsInf(best, 1) {
+		return nil, ErrNoFeasibleMapping
+	}
+	return buildVRT(g, p, src, bestNodes, best), nil
+}
+
+// Greedy assigns each module to the locally cheapest node (stay, or one
+// hop), then forces a final hop to the destination if needed. It is the
+// ablation baseline showing why global optimization matters.
+func Greedy(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
+	n := len(p.Modules)
+	if n == 0 {
+		return nil, ErrNoFeasibleMapping
+	}
+	nodes := make([]int, n)
+	total := 0.0
+	at := src
+	for k := 0; k < n; k++ {
+		bestCost := math.Inf(1)
+		bestNode := -1
+		if ct := computeTime(g, p, k, at); ct < bestCost {
+			bestCost, bestNode = ct, at
+		}
+		for _, e := range g.Adj[at] {
+			ct := computeTime(g, p, k, e.To)
+			if math.IsInf(ct, 1) {
+				continue
+			}
+			if c := ct + transferTime(p, k, e); c < bestCost {
+				bestCost, bestNode = c, e.To
+			}
+		}
+		if bestNode < 0 {
+			return nil, ErrNoFeasibleMapping
+		}
+		// The final module must be reachable to dst; if we are at the last
+		// module, force placement on dst when feasible.
+		if k == n-1 && bestNode != dst {
+			ct := computeTime(g, p, k, dst)
+			if math.IsInf(ct, 1) {
+				return nil, ErrNoFeasibleMapping
+			}
+			if at == dst {
+				bestNode, bestCost = dst, ct
+			} else if e := g.FindEdge(at, dst); e != nil {
+				bestNode, bestCost = dst, ct+transferTime(p, k, *e)
+			} else {
+				return nil, ErrNoFeasibleMapping
+			}
+		}
+		nodes[k] = bestNode
+		total += bestCost
+		at = bestNode
+	}
+	if at != dst {
+		return nil, ErrNoFeasibleMapping
+	}
+	return buildVRT(g, p, src, nodes, total), nil
+}

@@ -1,0 +1,81 @@
+package pipeline
+
+import "math/rand"
+
+// RandomGraph builds a connected random graph of nNodes nodes with roughly
+// extraDegree additional random bi-edges per node beyond a Hamiltonian
+// backbone. Used by the DP-vs-exhaustive validation and the O(n x |E|)
+// scaling benchmarks.
+func RandomGraph(rng *rand.Rand, nNodes int, extraDegree float64) *Graph {
+	nodes := make([]Node, nNodes)
+	for i := range nodes {
+		nodes[i] = Node{
+			Name:   nodeName(i),
+			Power:  0.5 + 2*rng.Float64(),
+			HasGPU: rng.Float64() < 0.5,
+		}
+		if rng.Float64() < 0.25 {
+			nodes[i].Workers = 2 + rng.Intn(7)
+			nodes[i].ScatterBW = (20 + 60*rng.Float64()) * 1e6
+		} else {
+			nodes[i].Workers = 1
+		}
+	}
+	g := NewGraph(nodes...)
+	// Backbone keeps the graph connected.
+	perm := rng.Perm(nNodes)
+	for i := 0; i+1 < nNodes; i++ {
+		g.AddBiEdge(perm[i], perm[i+1], (1+19*rng.Float64())*1e6, 0.002+0.04*rng.Float64())
+	}
+	extra := int(extraDegree * float64(nNodes))
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(nNodes), rng.Intn(nNodes)
+		if a == b || g.FindEdge(a, b) != nil {
+			continue
+		}
+		g.AddBiEdge(a, b, (1+19*rng.Float64())*1e6, 0.002+0.04*rng.Float64())
+	}
+	return g
+}
+
+// RandomPipeline builds an nModules pipeline with geometrically shrinking
+// message sizes (raw data -> geometry -> image), mimicking Fig. 3. The last
+// module optionally needs a GPU.
+func RandomPipeline(rng *rand.Rand, nModules int, gpuFinal bool) *Pipeline {
+	p := &Pipeline{Name: "random", SourceBytes: (4 + 60*rng.Float64()) * 1e6}
+	size := p.SourceBytes
+	for k := 0; k < nModules; k++ {
+		shrink := 0.2 + 0.7*rng.Float64()
+		out := size * shrink
+		m := Module{
+			Name:           moduleName(k),
+			RefTime:        size / (40e6) * (0.5 + rng.Float64()), // ~25 MB/s reference
+			OutBytes:       out,
+			Parallelizable: rng.Float64() < 0.5,
+		}
+		if gpuFinal && k == nModules-1 {
+			m.NeedsGPU = true
+			m.OutBytes = 1e6 // framebuffer
+		}
+		p.Modules = append(p.Modules, m)
+		size = m.OutBytes
+	}
+	return p
+}
+
+func nodeName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if i < len(letters) {
+		return string(letters[i])
+	}
+	return string(letters[i%len(letters)]) + nodeName(i/len(letters)-1)
+}
+
+func moduleName(k int) string {
+	names := []string{"Filter", "Transform", "Extract", "Simplify", "Shade", "Render",
+		"Composite", "Encode"}
+	if k < len(names) {
+		return names[k]
+	}
+	return names[k%len(names)] + nodeName(k/len(names))
+}

@@ -1,0 +1,122 @@
+package simengine
+
+import "math"
+
+// SodExact evaluates the exact solution of the Riemann problem posed by the
+// Sod initial conditions at similarity coordinate xi = (x - x0) / t,
+// returning density, velocity, and pressure. It follows the classical
+// two-rarefaction/shock iteration (Toro's exact solver) and is used to
+// verify the finite-volume solver.
+func SodExact(xi float64, par Params) (rho, u, p float64) {
+	g := par.Gamma
+	rL, pL := par.LeftDensity, par.LeftPressure
+	rR, pR := par.RightDensity, par.RightPressure
+	uL, uR := 0.0, 0.0
+	cL := math.Sqrt(g * pL / rL)
+	cR := math.Sqrt(g * pR / rR)
+
+	pStar, uStar := starRegion(g, rL, uL, pL, cL, rR, uR, pR, cR)
+
+	if xi < uStar {
+		// Left of the contact.
+		if pStar > pL {
+			// Left shock.
+			sL := uL - cL*math.Sqrt((g+1)/(2*g)*pStar/pL+(g-1)/(2*g))
+			if xi < sL {
+				return rL, uL, pL
+			}
+			rStar := rL * (pStar/pL + (g-1)/(g+1)) / ((g-1)/(g+1)*pStar/pL + 1)
+			return rStar, uStar, pStar
+		}
+		// Left rarefaction.
+		head := uL - cL
+		cStar := cL * math.Pow(pStar/pL, (g-1)/(2*g))
+		tail := uStar - cStar
+		switch {
+		case xi < head:
+			return rL, uL, pL
+		case xi > tail:
+			rStar := rL * math.Pow(pStar/pL, 1/g)
+			return rStar, uStar, pStar
+		default:
+			u = 2 / (g + 1) * (cL + (g-1)/2*uL + xi)
+			c := 2 / (g + 1) * (cL + (g-1)/2*(uL-xi))
+			rho = rL * math.Pow(c/cL, 2/(g-1))
+			p = pL * math.Pow(c/cL, 2*g/(g-1))
+			return rho, u, p
+		}
+	}
+	// Right of the contact.
+	if pStar > pR {
+		// Right shock.
+		sR := uR + cR*math.Sqrt((g+1)/(2*g)*pStar/pR+(g-1)/(2*g))
+		if xi > sR {
+			return rR, uR, pR
+		}
+		rStar := rR * (pStar/pR + (g-1)/(g+1)) / ((g-1)/(g+1)*pStar/pR + 1)
+		return rStar, uStar, pStar
+	}
+	// Right rarefaction.
+	head := uR + cR
+	cStar := cR * math.Pow(pStar/pR, (g-1)/(2*g))
+	tail := uStar + cStar
+	switch {
+	case xi > head:
+		return rR, uR, pR
+	case xi < tail:
+		rStar := rR * math.Pow(pStar/pR, 1/g)
+		return rStar, uStar, pStar
+	default:
+		u = 2 / (g + 1) * (-cR + (g-1)/2*uR + xi)
+		c := 2 / (g + 1) * (cR - (g-1)/2*(uR-xi))
+		rho = rR * math.Pow(c/cR, 2/(g-1))
+		p = pR * math.Pow(c/cR, 2*g/(g-1))
+		return rho, u, p
+	}
+}
+
+// starRegion iterates Newton's method for the star-region pressure and
+// velocity between the two nonlinear waves.
+func starRegion(g, rL, uL, pL, cL, rR, uR, pR, cR float64) (pStar, uStar float64) {
+	fK := func(p, rK, pK, cK float64) (f, df float64) {
+		if p > pK {
+			// Shock branch.
+			aK := 2 / ((g + 1) * rK)
+			bK := (g - 1) / (g + 1) * pK
+			q := math.Sqrt(aK / (p + bK))
+			f = (p - pK) * q
+			df = q * (1 - (p-pK)/(2*(p+bK)))
+			return f, df
+		}
+		// Rarefaction branch.
+		f = 2 * cK / (g - 1) * (math.Pow(p/pK, (g-1)/(2*g)) - 1)
+		df = 1 / (rK * cK) * math.Pow(p/pK, -(g+1)/(2*g))
+		return f, df
+	}
+
+	// Initial guess: two-rarefaction approximation.
+	p := math.Pow((cL+cR-0.5*(g-1)*(uR-uL))/(cL/math.Pow(pL, (g-1)/(2*g))+cR/math.Pow(pR, (g-1)/(2*g))), 2*g/(g-1))
+	if p < 1e-10 {
+		p = 1e-10
+	}
+	for it := 0; it < 50; it++ {
+		fL, dfL := fK(p, rL, pL, cL)
+		fR, dfR := fK(p, rR, pR, cR)
+		f := fL + fR + (uR - uL)
+		df := dfL + dfR
+		step := f / df
+		pNew := p - step
+		if pNew < 1e-10 {
+			pNew = p / 2
+		}
+		if math.Abs(pNew-p)/p < 1e-12 {
+			p = pNew
+			break
+		}
+		p = pNew
+	}
+	fL, _ := fK(p, rL, pL, cL)
+	fR, _ := fK(p, rR, pR, cR)
+	uStar = 0.5*(uL+uR) + 0.5*(fR-fL)
+	return p, uStar
+}

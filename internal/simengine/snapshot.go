@@ -1,0 +1,73 @@
+package simengine
+
+import "ricsa/internal/grid"
+
+// Density snapshots the density field as a ScalarField for the
+// visualization pipeline (the dataset "periodically cached" by the data
+// source node in Section 2).
+func (s *Sim) Density() *grid.ScalarField {
+	f := grid.NewScalarField(s.NX, s.NY, s.NZ)
+	for i, v := range s.rho {
+		f.Data[i] = float32(v)
+	}
+	return f
+}
+
+// Pressure snapshots the pressure field (the paper's Fig. 6 shows "the
+// pressure animation of stellar wind bowshock").
+func (s *Sim) Pressure() *grid.ScalarField {
+	f := grid.NewScalarField(s.NX, s.NY, s.NZ)
+	g1 := s.Params().Gamma - 1
+	for i := range s.rho {
+		r := s.rho[i]
+		if r < 1e-12 {
+			r = 1e-12
+		}
+		u, v, w := s.mx[i]/r, s.my[i]/r, s.mz[i]/r
+		kin := 0.5 * r * (u*u + v*v + w*w)
+		p := g1 * (s.en[i] - kin)
+		if p < 0 {
+			p = 0
+		}
+		f.Data[i] = float32(p)
+	}
+	return f
+}
+
+// Velocity snapshots the velocity field for streamline visualization.
+func (s *Sim) Velocity() *grid.VectorField {
+	vf := grid.NewVectorField(s.NX, s.NY, s.NZ)
+	for i := range s.rho {
+		r := s.rho[i]
+		if r < 1e-12 {
+			r = 1e-12
+		}
+		vf.U[i] = float32(s.mx[i] / r)
+		vf.V[i] = float32(s.my[i] / r)
+		vf.W[i] = float32(s.mz[i] / r)
+	}
+	return vf
+}
+
+// TotalMass integrates density over the domain (cell volume dx^3), a
+// conservation diagnostic for tests.
+func (s *Sim) TotalMass() float64 {
+	var sum float64
+	for i, v := range s.rho {
+		if !s.solid[i] {
+			sum += v
+		}
+	}
+	return sum * s.dx * s.dx * s.dx
+}
+
+// DensityProfile returns the density along the x axis at the pencil
+// (y, z) — the 1-D curve the Sod verification compares against the exact
+// Riemann solution.
+func (s *Sim) DensityProfile(y, z int) []float64 {
+	out := make([]float64, s.NX)
+	for x := 0; x < s.NX; x++ {
+		out[x] = s.rho[s.idx(x, y, z)]
+	}
+	return out
+}

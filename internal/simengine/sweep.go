@@ -1,0 +1,289 @@
+package simengine
+
+import (
+	"math"
+	"sync"
+)
+
+// sweep applies the 1-D update along the given axis (0=x, 1=y, 2=z) to
+// every pencil, in parallel across worker goroutines. This is VH1's
+// sweepx/sweepy/sweepz with the role of "normal velocity" rotated per axis.
+func (s *Sim) sweep(axis int, dt float64, par Params) {
+	var nPencil, pLen int
+	switch axis {
+	case 0:
+		nPencil, pLen = s.NY*s.NZ, s.NX
+	case 1:
+		nPencil, pLen = s.NX*s.NZ, s.NY
+	default:
+		nPencil, pLen = s.NX*s.NY, s.NZ
+	}
+	if pLen < 3 {
+		return
+	}
+
+	workers := s.nWork
+	if workers > nPencil {
+		workers = nPencil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (nPencil + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > nPencil {
+			hi = nPencil
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ws := newSweepScratch(pLen)
+			for p := lo; p < hi; p++ {
+				s.sweepPencil(axis, p, dt, par, ws)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sweepScratch holds per-worker pencil buffers (2 ghost cells per side).
+type sweepScratch struct {
+	rho, un, ut1, ut2, pr   []float64 // primitives with ghosts
+	fR, fMn, fMt1, fMt2, fE []float64 // interface fluxes
+	solid                   []bool
+}
+
+const ghosts = 2
+
+func newSweepScratch(n int) *sweepScratch {
+	g := n + 2*ghosts
+	return &sweepScratch{
+		rho: make([]float64, g), un: make([]float64, g),
+		ut1: make([]float64, g), ut2: make([]float64, g), pr: make([]float64, g),
+		fR: make([]float64, n+1), fMn: make([]float64, n+1),
+		fMt1: make([]float64, n+1), fMt2: make([]float64, n+1), fE: make([]float64, n+1),
+		solid: make([]bool, g),
+	}
+}
+
+// pencilIndex returns the flat cell index of position k along pencil p for
+// the given axis.
+func (s *Sim) pencilIndex(axis, p, k int) int {
+	switch axis {
+	case 0:
+		y := p % s.NY
+		z := p / s.NY
+		return s.idx(k, y, z)
+	case 1:
+		x := p % s.NX
+		z := p / s.NX
+		return s.idx(x, k, z)
+	default:
+		x := p % s.NX
+		y := p / s.NX
+		return s.idx(x, y, k)
+	}
+}
+
+// sweepPencil updates one pencil with MUSCL-HLL.
+func (s *Sim) sweepPencil(axis, p int, dt float64, par Params, ws *sweepScratch) {
+	var n int
+	switch axis {
+	case 0:
+		n = s.NX
+	case 1:
+		n = s.NY
+	default:
+		n = s.NZ
+	}
+	g := par.Gamma
+	g1 := g - 1
+
+	// Gather primitives with the axis-appropriate velocity rotation.
+	for k := 0; k < n; k++ {
+		i := s.pencilIndex(axis, p, k)
+		j := k + ghosts
+		r := s.rho[i]
+		if r < 1e-12 {
+			r = 1e-12
+		}
+		var un, ut1, ut2 float64
+		switch axis {
+		case 0:
+			un, ut1, ut2 = s.mx[i]/r, s.my[i]/r, s.mz[i]/r
+		case 1:
+			un, ut1, ut2 = s.my[i]/r, s.mx[i]/r, s.mz[i]/r
+		default:
+			un, ut1, ut2 = s.mz[i]/r, s.mx[i]/r, s.my[i]/r
+		}
+		kin := 0.5 * r * (un*un + ut1*ut1 + ut2*ut2)
+		pr := g1 * (s.en[i] - kin)
+		if pr < 1e-12 {
+			pr = 1e-12
+		}
+		ws.rho[j], ws.un[j], ws.ut1[j], ws.ut2[j], ws.pr[j] = r, un, ut1, ut2, pr
+		ws.solid[j] = s.solid[i]
+	}
+
+	s.fillGhosts(axis, n, par, ws)
+
+	// Rigid cells reflect: treat a solid neighbor as a mirror with negated
+	// normal velocity so fluxes vanish at the wall.
+	for j := ghosts; j < n+ghosts; j++ {
+		if !ws.solid[j] {
+			continue
+		}
+		// Copy the nearest fluid state mirrored.
+		if j > 0 && !ws.solid[j-1] {
+			ws.rho[j], ws.pr[j] = ws.rho[j-1], ws.pr[j-1]
+			ws.un[j] = -ws.un[j-1]
+			ws.ut1[j], ws.ut2[j] = 0, 0
+		} else if j+1 < len(ws.solid) && !ws.solid[j+1] {
+			ws.rho[j], ws.pr[j] = ws.rho[j+1], ws.pr[j+1]
+			ws.un[j] = -ws.un[j+1]
+			ws.ut1[j], ws.ut2[j] = 0, 0
+		} else {
+			ws.un[j], ws.ut1[j], ws.ut2[j] = 0, 0, 0
+		}
+	}
+
+	// Interface fluxes with minmod-limited reconstruction.
+	for f := 0; f <= n; f++ {
+		jL := f + ghosts - 1
+		jR := f + ghosts
+		// Limited slopes.
+		recon := func(arr []float64, j int) (left, right float64) {
+			sl := minmod(arr[j]-arr[j-1], arr[j+1]-arr[j])
+			sr := minmod(arr[j+1]-arr[j], arr[j+2]-arr[j+1])
+			return arr[j] + 0.5*sl, arr[j+1] - 0.5*sr
+		}
+		rL, rR := recon(ws.rho, jL)
+		uL, uR := recon(ws.un, jL)
+		t1L, t1R := recon(ws.ut1, jL)
+		t2L, t2R := recon(ws.ut2, jL)
+		pL, pR := recon(ws.pr, jL)
+		if rL < 1e-12 {
+			rL = 1e-12
+		}
+		if rR < 1e-12 {
+			rR = 1e-12
+		}
+		if pL < 1e-12 {
+			pL = 1e-12
+		}
+		if pR < 1e-12 {
+			pR = 1e-12
+		}
+		_ = jR
+		hll(g, rL, uL, t1L, t2L, pL, rR, uR, t1R, t2R, pR,
+			&ws.fR[f], &ws.fMn[f], &ws.fMt1[f], &ws.fMt2[f], &ws.fE[f])
+	}
+
+	// Conservative update, skipping solid cells.
+	lam := dt / s.dx
+	for k := 0; k < n; k++ {
+		i := s.pencilIndex(axis, p, k)
+		if s.solid[i] {
+			continue
+		}
+		dR := -lam * (ws.fR[k+1] - ws.fR[k])
+		dMn := -lam * (ws.fMn[k+1] - ws.fMn[k])
+		dMt1 := -lam * (ws.fMt1[k+1] - ws.fMt1[k])
+		dMt2 := -lam * (ws.fMt2[k+1] - ws.fMt2[k])
+		dE := -lam * (ws.fE[k+1] - ws.fE[k])
+		s.rho[i] += dR
+		if s.rho[i] < 1e-12 {
+			s.rho[i] = 1e-12
+		}
+		switch axis {
+		case 0:
+			s.mx[i] += dMn
+			s.my[i] += dMt1
+			s.mz[i] += dMt2
+		case 1:
+			s.my[i] += dMn
+			s.mx[i] += dMt1
+			s.mz[i] += dMt2
+		default:
+			s.mz[i] += dMn
+			s.mx[i] += dMt1
+			s.my[i] += dMt2
+		}
+		s.en[i] += dE
+	}
+}
+
+// fillGhosts sets boundary ghost cells: outflow (zero gradient) everywhere,
+// except the bow shock's -x inflow which is pinned to the wind state.
+func (s *Sim) fillGhosts(axis, n int, par Params, ws *sweepScratch) {
+	for gi := 0; gi < ghosts; gi++ {
+		// Low side.
+		ws.rho[gi], ws.un[gi] = ws.rho[ghosts], ws.un[ghosts]
+		ws.ut1[gi], ws.ut2[gi], ws.pr[gi] = ws.ut1[ghosts], ws.ut2[ghosts], ws.pr[ghosts]
+		ws.solid[gi] = false
+		// High side.
+		hi := n + ghosts + gi
+		ws.rho[hi], ws.un[hi] = ws.rho[n+ghosts-1], ws.un[n+ghosts-1]
+		ws.ut1[hi], ws.ut2[hi], ws.pr[hi] = ws.ut1[n+ghosts-1], ws.ut2[n+ghosts-1], ws.pr[n+ghosts-1]
+		ws.solid[hi] = false
+	}
+	if s.Problem == ProblemBowShock && axis == 0 {
+		for gi := 0; gi < ghosts; gi++ {
+			ws.rho[gi] = par.WindDensity
+			ws.un[gi] = par.WindVelocity
+			ws.ut1[gi], ws.ut2[gi] = 0, 0
+			ws.pr[gi] = par.WindPressure
+		}
+	}
+}
+
+// hll computes the HLL flux for 1-D Euler with two passive transverse
+// momentum components.
+func hll(g, rL, uL, t1L, t2L, pL, rR, uR, t1R, t2R, pR float64,
+	fR, fMn, fMt1, fMt2, fE *float64) {
+	cL := math.Sqrt(g * pL / rL)
+	cR := math.Sqrt(g * pR / rR)
+	sL := math.Min(uL-cL, uR-cR)
+	sR := math.Max(uL+cL, uR+cR)
+
+	eL := pL/(g-1) + 0.5*rL*(uL*uL+t1L*t1L+t2L*t2L)
+	eR := pR/(g-1) + 0.5*rR*(uR*uR+t1R*t1R+t2R*t2R)
+
+	// Physical fluxes.
+	fRL, fMnL := rL*uL, rL*uL*uL+pL
+	fMt1L, fMt2L := rL*uL*t1L, rL*uL*t2L
+	fEL := (eL + pL) * uL
+	fRR, fMnR := rR*uR, rR*uR*uR+pR
+	fMt1R, fMt2R := rR*uR*t1R, rR*uR*t2R
+	fER := (eR + pR) * uR
+
+	switch {
+	case sL >= 0:
+		*fR, *fMn, *fMt1, *fMt2, *fE = fRL, fMnL, fMt1L, fMt2L, fEL
+	case sR <= 0:
+		*fR, *fMn, *fMt1, *fMt2, *fE = fRR, fMnR, fMt1R, fMt2R, fER
+	default:
+		inv := 1 / (sR - sL)
+		*fR = (sR*fRL - sL*fRR + sL*sR*(rR-rL)) * inv
+		*fMn = (sR*fMnL - sL*fMnR + sL*sR*(rR*uR-rL*uL)) * inv
+		*fMt1 = (sR*fMt1L - sL*fMt1R + sL*sR*(rR*t1R-rL*t1L)) * inv
+		*fMt2 = (sR*fMt2L - sL*fMt2R + sL*sR*(rR*t2R-rL*t2L)) * inv
+		*fE = (sR*fEL - sL*fER + sL*sR*(eR-eL)) * inv
+	}
+}
+
+func minmod(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	if math.Abs(a) < math.Abs(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package steering
+
+import (
+	"testing"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/netsim"
+)
+
+func datasetRage() dataset.Spec { return dataset.RageSpec.Scaled(8) }
+
+// TestAdaptiveReconfigurationOnLinkDegradation reproduces the runtime
+// behaviour of Section 5.3.2: when a link on the chosen loop collapses, the
+// CM re-measures, recomputes the VRT, and subsequent frames recover.
+func TestAdaptiveReconfigurationOnLinkDegradation(t *testing.T) {
+	d := measuredTestbed(t, 21)
+	req := DefaultRequest()
+	req.NX, req.NY, req.NZ = 64, 32, 32 // large enough that paths matter
+	req.StepsPerFrame = 1
+	s, err := NewSession(d, netsim.ORNL, netsim.ORNL, netsim.LSU, netsim.GaTech, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AdaptTolerance = 0.5
+
+	// The toy simulation's dataset is small enough to ship straight to the
+	// client; substitute the 64 MB archival pipeline so the mapping
+	// actually exercises the fast GaTech->UT->ORNL path.
+	st := AnalyzeSpec(datasetRage(), 4)
+	st.RawBytes = 64 << 20
+	s.Pipe = BuildIsoPipeline(st)
+	vrt, err := d.Optimize(s.Pipe, s.DS, s.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.VRT = vrt
+	s.Placement = PlacementFromVRT(vrt)
+
+	usesUT := func(placement []string) bool {
+		for _, n := range placement {
+			if n == netsim.UT {
+				return true
+			}
+		}
+		return false
+	}
+	if !usesUT(s.Placement) {
+		t.Fatalf("heavy pipeline should route via UT, got %v", s.Placement)
+	}
+
+	if err := s.RunFrames(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reconfigs != 0 {
+		t.Fatalf("reconfigured on a healthy network (%d times)", s.Reconfigs)
+	}
+	healthy := s.Frames[len(s.Frames)-1].Elapsed
+
+	// Collapse the GaTech->UT data path to 2% of its capacity.
+	l := d.Net.FindLink(netsim.GaTech, netsim.UT)
+	l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+	l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
+
+	if err := s.RunFrames(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reconfigs == 0 {
+		t.Fatal("link collapse never triggered reconfiguration")
+	}
+	if usesUT(s.Placement) {
+		t.Fatalf("new mapping still routes through the dead link: %v", s.Placement)
+	}
+	recovered := s.Frames[len(s.Frames)-1].Elapsed
+	degraded := s.Frames[2].Elapsed // first frame after the collapse
+	if recovered >= degraded {
+		t.Fatalf("no recovery: degraded frame %v, post-reconfig frame %v", degraded, recovered)
+	}
+	_ = healthy
+}
+
+// TestAdaptiveDisabledByDefault guards the zero-value behaviour.
+func TestAdaptiveDisabledByDefault(t *testing.T) {
+	d := measuredTestbed(t, 22)
+	req := DefaultRequest()
+	req.NX, req.NY, req.NZ = 32, 16, 16
+	req.StepsPerFrame = 1
+	s, err := NewSession(d, netsim.ORNL, netsim.ORNL, netsim.LSU, netsim.GaTech, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Net.FindLink(netsim.GaTech, netsim.UT)
+	l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+	if err := s.RunFrames(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reconfigs != 0 {
+		t.Fatal("reconfiguration ran despite AdaptTolerance == 0")
+	}
+}

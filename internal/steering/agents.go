@@ -1,0 +1,287 @@
+package steering
+
+import (
+	"fmt"
+
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+)
+
+// This file implements the paper's message-driven programming model
+// (Section 5.3.2: "RICSA is implemented using a message-driven programming
+// model and a state machine-based methodology that enable self-adaptive
+// pipeline configurations on intermediate nodes"). Every node hosts an
+// Agent; the CM's visualization routing table is delivered sequentially
+// over the loop (Section 2), each agent recording its module assignment and
+// next hop; datasets then flow hop by hop with each agent executing its
+// modules and forwarding — no central orchestrator touches the data path.
+
+// ctrlKind enumerates inter-agent control messages.
+type ctrlKind int
+
+const (
+	msgVRTSetup ctrlKind = iota + 1
+	msgVRTReady
+)
+
+// hopAssign is one row of the wire-format VRT: a node and the indices of
+// the pipeline modules it executes.
+type hopAssign struct {
+	Node    string
+	Modules []int
+}
+
+// ctrlMsg is the payload of agent control packets.
+type ctrlMsg struct {
+	Session int
+	Kind    ctrlKind
+	Hop     int
+	Table   []hopAssign
+}
+
+// agentSession is an agent's per-session state machine: which modules it
+// runs, where output goes, and the frame callback at the loop's end.
+type agentSession struct {
+	modules  []int
+	next     string
+	last     bool
+	pipe     *pipeline.Pipeline
+	started  map[int]netsim.Time // frame id -> start time at the source
+	complete func(frame int, r FrameResult)
+}
+
+// Agent is the per-node message handler.
+type Agent struct {
+	an       *AgentNet
+	name     string
+	sessions map[int]*agentSession
+}
+
+// AgentNet installs an agent on every node of a measured deployment and
+// owns the control-packet dispatch.
+type AgentNet struct {
+	d      *Deployment
+	agents map[string]*Agent
+	ready  map[int]func() // session id -> VRT-established callback
+}
+
+// InstallAgents attaches an agent to every node and claims every channel's
+// permanent handler for control dispatch. Bulk data transfers temporarily
+// borrow channels, as elsewhere.
+func InstallAgents(d *Deployment) *AgentNet {
+	an := &AgentNet{
+		d:      d,
+		agents: make(map[string]*Agent),
+		ready:  make(map[int]func()),
+	}
+	for _, nd := range d.Net.Nodes() {
+		an.agents[nd.Name] = &Agent{an: an, name: nd.Name, sessions: make(map[int]*agentSession)}
+	}
+	for _, l := range d.Net.Links() {
+		for _, ch := range []*netsim.Channel{l.AB, l.BA} {
+			to := ch.To.Name
+			ch.SetHandler(func(p netsim.Packet) {
+				if m, ok := p.Payload.(*ctrlMsg); ok {
+					an.agents[to].handle(m)
+				}
+			})
+		}
+	}
+	return an
+}
+
+// Agent returns the named node's agent.
+func (an *AgentNet) Agent(name string) *Agent { return an.agents[name] }
+
+// send transmits a control message over the direct channel between nodes
+// (size ~ a few hundred bytes: the VRT rows).
+func (an *AgentNet) send(from, to string, m *ctrlMsg) error {
+	if from == to {
+		an.agents[to].handle(m)
+		return nil
+	}
+	ch := an.d.Net.Channel(from, to)
+	if ch == nil {
+		return fmt.Errorf("steering: no channel %s -> %s for control message", from, to)
+	}
+	ch.Send(netsim.Packet{From: from, To: to, Size: 64 + 32*len(m.Table), Payload: m})
+	return nil
+}
+
+// EstablishVRT delivers the routing table sequentially over the loop: the
+// CM forwards it along the control route to the data source, then each data
+// -path agent records its assignment and passes the table to its successor;
+// the last hop reports readiness through onReady.
+//
+// The pipeline is shared by reference with every agent (its cost model
+// parameters are what they execute against).
+func (an *AgentNet) EstablishVRT(session int, controlRoute []string, vrt *pipeline.VRT,
+	p *pipeline.Pipeline, onComplete func(frame int, r FrameResult), onReady func()) error {
+
+	table, err := wireVRT(vrt, p)
+	if err != nil {
+		return err
+	}
+	an.ready[session] = onReady
+
+	// Pre-register the frame-completion callback and pipeline at the final
+	// agent when the table lands there (carried in the setup message, so
+	// store them on the AgentNet keyed by session).
+	an.agents[table[0].Node].pending(session, p, onComplete)
+
+	// Control route: client -> CM -> ... -> data source. Forward hop by hop,
+	// then the source starts the data-path setup pass.
+	route := controlRoute
+	var forward func(i int)
+	forward = func(i int) {
+		if i+1 >= len(route) {
+			// Arrived at the data source: begin the loop setup pass.
+			an.agents[route[len(route)-1]].handle(&ctrlMsg{Session: session, Kind: msgVRTSetup, Hop: 0, Table: table})
+			return
+		}
+		if route[i] == route[i+1] {
+			forward(i + 1)
+			return
+		}
+		ch := an.d.Net.Channel(route[i], route[i+1])
+		if ch == nil {
+			return
+		}
+		netsim.BulkTransfer(ch, 2<<10, func(netsim.Time) { forward(i + 1) })
+	}
+	forward(0)
+	return nil
+}
+
+// pending stashes the session pipeline/callback on the source agent; the
+// setup pass copies them to every hop.
+func (a *Agent) pending(session int, p *pipeline.Pipeline, complete func(int, FrameResult)) {
+	a.sessions[session] = &agentSession{
+		pipe:     p,
+		complete: complete,
+		started:  make(map[int]netsim.Time),
+	}
+}
+
+// wireVRT flattens a VRT into hop assignments with module indices.
+func wireVRT(vrt *pipeline.VRT, p *pipeline.Pipeline) ([]hopAssign, error) {
+	placement := PlacementFromVRT(vrt)
+	if len(placement) != len(p.Modules) {
+		return nil, fmt.Errorf("steering: VRT covers %d modules, pipeline has %d",
+			len(placement), len(p.Modules))
+	}
+	var table []hopAssign
+	for k, node := range placement {
+		if len(table) == 0 || table[len(table)-1].Node != node {
+			table = append(table, hopAssign{Node: node})
+		}
+		last := &table[len(table)-1]
+		last.Modules = append(last.Modules, k)
+	}
+	return table, nil
+}
+
+// handle is the agent's state machine input.
+func (a *Agent) handle(m *ctrlMsg) {
+	switch m.Kind {
+	case msgVRTSetup:
+		a.onSetup(m)
+	case msgVRTReady:
+		if cb := a.an.ready[m.Session]; cb != nil {
+			delete(a.an.ready, m.Session)
+			cb()
+		}
+	}
+}
+
+// onSetup records this hop's assignment and forwards the table.
+func (a *Agent) onSetup(m *ctrlMsg) {
+	hop := m.Hop
+	if hop >= len(m.Table) || m.Table[hop].Node != a.name {
+		return // misrouted table; drop
+	}
+	src := a.an.agents[m.Table[0].Node]
+	base := src.sessions[m.Session]
+	if base == nil {
+		return
+	}
+	sess := a.sessions[m.Session]
+	if sess == nil {
+		sess = &agentSession{started: make(map[int]netsim.Time)}
+		a.sessions[m.Session] = sess
+	}
+	sess.pipe = base.pipe
+	sess.complete = base.complete
+	sess.modules = m.Table[hop].Modules
+	if hop+1 < len(m.Table) {
+		sess.next = m.Table[hop+1].Node
+		a.an.send(a.name, sess.next, &ctrlMsg{Session: m.Session, Kind: msgVRTSetup, Hop: hop + 1, Table: m.Table})
+	} else {
+		sess.last = true
+		// Loop established: notify the CM's caller directly (the paper
+		// returns readiness over the loop; the virtual instant is the same).
+		a.handleReady(m.Session)
+	}
+}
+
+func (a *Agent) handleReady(session int) {
+	if cb := a.an.ready[session]; cb != nil {
+		delete(a.an.ready, session)
+		cb()
+	}
+}
+
+// StartFrame injects a dataset at the source agent; it flows along the
+// established loop, each agent executing its modules and forwarding.
+func (an *AgentNet) StartFrame(session, frame int, source string) error {
+	src := an.agents[source]
+	sess := src.sessions[session]
+	if sess == nil || sess.pipe == nil {
+		return fmt.Errorf("steering: session %d not established at %s", session, source)
+	}
+	sess.started[frame] = an.d.Net.Now()
+	src.execute(session, frame, []string{source})
+	return nil
+}
+
+// execute runs this agent's assigned modules (charging modelled compute
+// time on the virtual clock), then forwards the output downstream.
+func (a *Agent) execute(session, frame int, path []string) {
+	sess := a.sessions[session]
+	if sess == nil {
+		return
+	}
+	v := a.an.d.Graph.NodeIndex(a.name)
+	total := 0.0
+	for _, k := range sess.modules {
+		total += pipeline.ExecTime(a.an.d.Graph, sess.pipe, k, v)
+	}
+	a.an.d.Net.Schedule(secondsToDuration(total), func() {
+		a.forward(session, frame, path)
+	})
+}
+
+func (a *Agent) forward(session, frame int, path []string) {
+	sess := a.sessions[session]
+	if sess.last || sess.next == "" {
+		// Loop end: report the frame.
+		srcSess := a.an.agents[path[0]].sessions[session]
+		start := srcSess.started[frame]
+		delete(srcSess.started, frame)
+		if sess.complete != nil {
+			sess.complete(frame, FrameResult{Elapsed: a.an.d.Net.Now() - start, Path: path})
+		}
+		return
+	}
+	// Ship the last assigned module's output to the next hop.
+	lastModule := sess.modules[len(sess.modules)-1]
+	size := int(sess.pipe.Modules[lastModule].OutBytes)
+	ch := a.an.d.Net.Channel(a.name, sess.next)
+	if ch == nil {
+		return
+	}
+	next := a.an.agents[sess.next]
+	netsim.BulkTransfer(ch, size, func(netsim.Time) {
+		next.execute(session, frame, append(path, sess.next))
+	})
+}

@@ -1,0 +1,146 @@
+package steering
+
+import (
+	"math"
+	"testing"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+)
+
+// agentFixture builds a measured testbed with agents installed and a
+// costed 64 MB pipeline optimized GaTech -> ORNL.
+func agentFixture(t *testing.T, seed int64) (*Deployment, *AgentNet, *sessionSetup) {
+	t.Helper()
+	d := measuredTestbed(t, seed)
+	an := InstallAgents(d)
+	st := AnalyzeSpec(dataset.RageSpec.Scaled(8), 4)
+	st.RawBytes = dataset.RageSpec.SizeBytes()
+	p := BuildIsoPipeline(st)
+	vrt, err := d.Optimize(p, netsim.GaTech, netsim.ORNL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, an, &sessionSetup{pipe: p, vrt: vrt}
+}
+
+type sessionSetup struct {
+	pipe *pipeline.Pipeline
+	vrt  *pipeline.VRT
+}
+
+func TestAgentsEstablishAndRunFrame(t *testing.T) {
+	d, an, s := agentFixture(t, 31)
+
+	readyAt := netsim.Time(-1)
+	var frames []FrameResult
+	err := an.EstablishVRT(1, []string{netsim.ORNL, netsim.LSU, netsim.GaTech}, s.vrt, s.pipe,
+		func(frame int, r FrameResult) { frames = append(frames, r) },
+		func() { readyAt = d.Net.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Run()
+	if readyAt < 0 {
+		t.Fatal("VRT never established")
+	}
+
+	if err := an.StartFrame(1, 0, netsim.GaTech); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Run()
+	if len(frames) != 1 {
+		t.Fatalf("%d frames completed, want 1", len(frames))
+	}
+	if frames[0].Elapsed <= 0 {
+		t.Fatal("nonpositive frame delay")
+	}
+	// The data path must follow the VRT's node sequence.
+	want := s.vrt.Path()
+	if len(frames[0].Path) != len(want) {
+		t.Fatalf("path %v, VRT %v", frames[0].Path, want)
+	}
+	for i := range want {
+		if frames[0].Path[i] != want[i] {
+			t.Fatalf("path %v, VRT %v", frames[0].Path, want)
+		}
+	}
+}
+
+func TestAgentFrameDelayMatchesCentralExecutor(t *testing.T) {
+	// The distributed (agent) execution must agree with the centrally
+	// orchestrated executor on a clean network.
+	d, an, s := agentFixture(t, 32)
+	var agentDelay float64
+	err := an.EstablishVRT(2, []string{netsim.ORNL, netsim.LSU, netsim.GaTech}, s.vrt, s.pipe,
+		func(frame int, r FrameResult) { agentDelay = r.Elapsed.Seconds() }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Run()
+	if err := an.StartFrame(2, 0, netsim.GaTech); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Run()
+
+	d2 := measuredTestbed(t, 32)
+	central, err := d2.RunFrameSync(s.pipe, netsim.GaTech, PlacementFromVRT(s.vrt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agentDelay <= 0 {
+		t.Fatal("agent frame never completed")
+	}
+	diff := math.Abs(agentDelay-central.Elapsed.Seconds()) / central.Elapsed.Seconds()
+	if diff > 0.02 {
+		t.Fatalf("agent delay %.3fs vs central %.3fs (%.1f%% apart)",
+			agentDelay, central.Elapsed.Seconds(), diff*100)
+	}
+}
+
+func TestAgentsSupportConcurrentSessions(t *testing.T) {
+	d, an, s := agentFixture(t, 33)
+	// Second session from the OSU data copy via NCState.
+	st := AnalyzeSpec(dataset.JetSpec.Scaled(8), 4)
+	st.RawBytes = dataset.JetSpec.SizeBytes()
+	p2 := BuildIsoPipeline(st)
+	vrt2, err := d.Optimize(p2, netsim.OSU, netsim.ORNL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[int]int{}
+	setup := func(id int, route []string, vrt *pipeline.VRT, p *pipeline.Pipeline) {
+		err := an.EstablishVRT(id, route, vrt, p,
+			func(frame int, r FrameResult) { got[id]++ }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	setup(10, []string{netsim.ORNL, netsim.LSU, netsim.GaTech}, s.vrt, s.pipe)
+	setup(11, []string{netsim.ORNL, netsim.LSU, netsim.OSU}, vrt2, p2)
+	d.Net.Run()
+
+	for f := 0; f < 2; f++ {
+		if err := an.StartFrame(10, f, netsim.GaTech); err != nil {
+			t.Fatal(err)
+		}
+		d.Net.Run()
+		if err := an.StartFrame(11, f, netsim.OSU); err != nil {
+			t.Fatal(err)
+		}
+		d.Net.Run()
+	}
+	if got[10] != 2 || got[11] != 2 {
+		t.Fatalf("frames per session = %v, want 2 each", got)
+	}
+}
+
+func TestStartFrameWithoutVRTFails(t *testing.T) {
+	d, an, _ := agentFixture(t, 34)
+	if err := an.StartFrame(99, 0, netsim.GaTech); err == nil {
+		t.Fatal("frame on unestablished session accepted")
+	}
+	_ = d
+}

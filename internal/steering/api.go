@@ -1,0 +1,213 @@
+package steering
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/simengine"
+)
+
+// This file implements the paper's universal steering framework (Section
+// 5.2, Fig. 7): a small set of API calls a simulation program inserts into
+// its main loop to join RICSA. The wire protocol runs over real TCP with
+// gob encoding, so an instrumented solver and the visualization node can be
+// separate processes.
+//
+// The Fig. 7 call sequence maps to:
+//
+//	RICSA_StartupSimulationServer  -> StartupSimulationServer
+//	RICSA_WaitAcceptConnection     -> (*SimServer).WaitAcceptConnection
+//	RICSA_ReceiveHandleMessage     -> (*SimServer).ReceiveHandleMessage
+//	RICSA_PushDataToVizNode        -> (*SimServer).PushDataToVizNode
+//	RICSA_UpdateSimulationParameters happens inside ReceiveHandleMessage's
+//	                                  returned message
+//	(connection teardown)          -> (*SimServer).Close
+
+// SimMsgType enumerates control-channel messages.
+type SimMsgType int
+
+// Message kinds on the simulation control connection.
+const (
+	MsgSimulationReq SimMsgType = iota + 1
+	MsgNewSimulationParameters
+	MsgStopSimulation
+)
+
+// SimMessage is a control message from the visualization side to the
+// simulation server.
+type SimMessage struct {
+	Type    SimMsgType
+	Request Request
+	Params  simengine.Params
+}
+
+// SimServer is the simulation-side endpoint: the instrumented solver owns
+// one and calls its methods from the computational loop.
+type SimServer struct {
+	ln   net.Listener
+	conn net.Conn
+	enc  *gob.Encoder
+
+	inbox chan SimMessage
+	done  chan struct{}
+
+	mu     sync.Mutex
+	rdErr  error
+	closed bool
+}
+
+// StartupSimulationServer begins listening for the visualization front end.
+// Use addr "127.0.0.1:0" to pick a free port; Addr reports the choice.
+func StartupSimulationServer(addr string) (*SimServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("steering: startup: %w", err)
+	}
+	return &SimServer{
+		ln:    ln,
+		inbox: make(chan SimMessage, 64),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the listening address.
+func (s *SimServer) Addr() string { return s.ln.Addr().String() }
+
+// WaitAcceptConnection blocks until the front end connects, then starts the
+// control-message reader.
+func (s *SimServer) WaitAcceptConnection() error {
+	conn, err := s.ln.Accept()
+	if err != nil {
+		return fmt.Errorf("steering: accept: %w", err)
+	}
+	s.conn = conn
+	s.enc = gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	go func() {
+		for {
+			var m SimMessage
+			if err := dec.Decode(&m); err != nil {
+				s.mu.Lock()
+				s.rdErr = err
+				s.mu.Unlock()
+				close(s.done)
+				return
+			}
+			select {
+			case s.inbox <- m:
+			case <-s.done:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// ReceiveHandleMessage polls for a pending control message; it returns nil
+// when none is waiting, so a solver can call it once per cycle without
+// blocking (the Fig. 7 loop structure). Set wait to block until a message
+// arrives or the connection fails.
+func (s *SimServer) ReceiveHandleMessage(wait bool) (*SimMessage, error) {
+	if wait {
+		select {
+		case m := <-s.inbox:
+			return &m, nil
+		case <-s.done:
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return nil, s.rdErr
+		}
+	}
+	select {
+	case m := <-s.inbox:
+		return &m, nil
+	default:
+	}
+	select {
+	case <-s.done:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return nil, s.rdErr
+	default:
+		return nil, nil
+	}
+}
+
+// PushDataToVizNode ships the current dataset snapshot to the connected
+// visualization node.
+func (s *SimServer) PushDataToVizNode(f *grid.ScalarField) error {
+	if s.enc == nil {
+		return fmt.Errorf("steering: no connection")
+	}
+	return s.enc.Encode(dataFrame{NX: f.NX, NY: f.NY, NZ: f.NZ, Data: f.Data})
+}
+
+// Close tears down the connection and listener.
+func (s *SimServer) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.ln.Close()
+}
+
+// dataFrame is the wire form of a dataset snapshot.
+type dataFrame struct {
+	NX, NY, NZ int
+	Data       []float32
+}
+
+// SimClient is the visualization-node side of the control connection.
+type SimClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialSimulation connects to an instrumented simulation server.
+func DialSimulation(addr string) (*SimClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("steering: dial: %w", err)
+	}
+	return &SimClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// SendRequest submits the initial simulation request.
+func (c *SimClient) SendRequest(req Request) error {
+	return c.enc.Encode(SimMessage{Type: MsgSimulationReq, Request: req})
+}
+
+// SendParams steers the running simulation.
+func (c *SimClient) SendParams(p simengine.Params) error {
+	return c.enc.Encode(SimMessage{Type: MsgNewSimulationParameters, Params: p})
+}
+
+// SendStop asks the simulation to finish.
+func (c *SimClient) SendStop() error {
+	return c.enc.Encode(SimMessage{Type: MsgStopSimulation})
+}
+
+// ReceiveData blocks for the next dataset snapshot.
+func (c *SimClient) ReceiveData() (*grid.ScalarField, error) {
+	var df dataFrame
+	if err := c.dec.Decode(&df); err != nil {
+		return nil, err
+	}
+	if df.NX < 1 || df.NY < 1 || df.NZ < 1 || len(df.Data) != df.NX*df.NY*df.NZ {
+		return nil, fmt.Errorf("steering: malformed data frame %dx%dx%d/%d",
+			df.NX, df.NY, df.NZ, len(df.Data))
+	}
+	return &grid.ScalarField{NX: df.NX, NY: df.NY, NZ: df.NZ, Data: df.Data}, nil
+}
+
+// Close closes the connection.
+func (c *SimClient) Close() { c.conn.Close() }

@@ -1,0 +1,95 @@
+// Package steering assembles the RICSA system of Section 2 on top of the
+// emulated WAN: the central management (CM) node that measures the network
+// and computes the visualization routing table, the data source (DS) node
+// that runs or serves a simulation, computing service (CS) nodes that
+// execute visualization modules, and the front-end/client side that
+// receives images and issues steering commands.
+//
+// Control messages travel hop by hop over the emulated control links, and
+// dataset/geometry payloads move as bulk flows over the data links, so an
+// end-to-end frame delay measured here includes every term of the paper's
+// Eq. 2 plus the real transport-level effects (cross traffic, loss) the
+// analytical model abstracts away.
+package steering
+
+import (
+	"fmt"
+
+	"ricsa/internal/cost"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+)
+
+// Deployment binds an emulated network to a measured pipeline graph.
+type Deployment struct {
+	Net *netsim.Network
+	// Graph is the pipeline optimizer's view of the network, populated by
+	// Measure: effective bandwidths from active probing (Section 4.3) and
+	// node capabilities from the host inventory.
+	Graph *pipeline.Graph
+	// Estimates holds the raw per-channel measurement results keyed by
+	// "from->to".
+	Estimates map[string]cost.PathEstimate
+}
+
+// NewDeployment wraps a network. Call Measure before optimizing.
+func NewDeployment(net *netsim.Network) *Deployment {
+	return &Deployment{Net: net, Estimates: make(map[string]cost.PathEstimate)}
+}
+
+// Measure actively probes every directed channel with test messages and
+// builds the pipeline graph from the resulting EPB estimates and the node
+// inventory. probeSizes may be nil for the default sweep; repeats averages
+// multiple probes per size to smooth cross traffic.
+func (d *Deployment) Measure(probeSizes []int, repeats int) {
+	nodes := d.Net.Nodes()
+	// Deterministic ordering: netsim.Nodes is map-ordered, so sort by name.
+	sortNodesByName(nodes)
+
+	g := pipeline.NewGraph()
+	idx := make(map[string]int, len(nodes))
+	for i, nd := range nodes {
+		idx[nd.Name] = i
+		g.Nodes = append(g.Nodes, pipeline.Node{
+			Name:             nd.Name,
+			Power:            nd.Power,
+			HasGPU:           nd.HasGPU,
+			Workers:          nd.Workers,
+			ScatterBW:        80 * netsim.MB,
+			ParallelOverhead: 0.8,
+		})
+	}
+	g.Adj = make([][]pipeline.Edge, len(g.Nodes))
+
+	for _, l := range d.Net.Links() {
+		for _, ch := range []*netsim.Channel{l.AB, l.BA} {
+			est := cost.MeasureEPB(ch, probeSizes, repeats)
+			key := ch.From.Name + "->" + ch.To.Name
+			d.Estimates[key] = est
+			g.AddEdge(idx[ch.From.Name], idx[ch.To.Name], est.EPB, est.MinDelay.Seconds())
+		}
+	}
+	d.Graph = g
+}
+
+// Optimize runs the CM node's dynamic program for the given pipeline from
+// the named data source to the named client.
+func (d *Deployment) Optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error) {
+	if d.Graph == nil {
+		return nil, fmt.Errorf("steering: Measure must run before Optimize")
+	}
+	src := d.Graph.NodeIndex(srcName)
+	dst := d.Graph.NodeIndex(dstName)
+	if src < 0 || dst < 0 {
+		return nil, fmt.Errorf("steering: unknown node %q or %q", srcName, dstName)
+	}
+	return pipeline.Optimize(d.Graph, p, src, dst)
+}
+
+func sortNodesByName(nodes []*netsim.Node) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Name < nodes[j-1].Name; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}

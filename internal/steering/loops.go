@@ -1,0 +1,60 @@
+package steering
+
+import "ricsa/internal/netsim"
+
+// Loop is one of the paper's Fig. 9 visualization loops: a control route
+// from the client to the data source and a fixed placement of the
+// four-module isosurface pipeline (Filter, IsosurfaceExtract, Render,
+// Deliver).
+type Loop struct {
+	Name      string
+	Source    string   // data source node
+	Control   []string // control route client -> ... -> source
+	Placement []string // node per module
+}
+
+// Fig9Loops enumerates the six comparison loops of Fig. 9 on the six-site
+// testbed. In loops 1-4 the cluster runs filtering happens at the data
+// source, extraction and rendering on the cluster, and the framebuffer is
+// delivered to the client; in the PC-PC loops the data source extracts and
+// the client renders (the DS hosts have no graphics cards).
+func Fig9Loops() []Loop {
+	return []Loop{
+		{
+			Name:      "Loop1 ORNL-LSU-GaTech-UT-ORNL",
+			Source:    netsim.GaTech,
+			Control:   []string{netsim.ORNL, netsim.LSU, netsim.GaTech},
+			Placement: []string{netsim.GaTech, netsim.UT, netsim.UT, netsim.ORNL},
+		},
+		{
+			Name:      "Loop2 ORNL-LSU-GaTech-NCState-ORNL",
+			Source:    netsim.GaTech,
+			Control:   []string{netsim.ORNL, netsim.LSU, netsim.GaTech},
+			Placement: []string{netsim.GaTech, netsim.NCState, netsim.NCState, netsim.ORNL},
+		},
+		{
+			Name:      "Loop3 ORNL-LSU-OSU-NCState-ORNL",
+			Source:    netsim.OSU,
+			Control:   []string{netsim.ORNL, netsim.LSU, netsim.OSU},
+			Placement: []string{netsim.OSU, netsim.NCState, netsim.NCState, netsim.ORNL},
+		},
+		{
+			Name:      "Loop4 ORNL-LSU-OSU-UT-ORNL",
+			Source:    netsim.OSU,
+			Control:   []string{netsim.ORNL, netsim.LSU, netsim.OSU},
+			Placement: []string{netsim.OSU, netsim.UT, netsim.UT, netsim.ORNL},
+		},
+		{
+			Name:      "Loop5 ORNL-GaTech-ORNL (PC-PC)",
+			Source:    netsim.GaTech,
+			Control:   []string{netsim.ORNL, netsim.GaTech},
+			Placement: []string{netsim.GaTech, netsim.GaTech, netsim.ORNL, netsim.ORNL},
+		},
+		{
+			Name:      "Loop6 ORNL-OSU-ORNL (PC-PC)",
+			Source:    netsim.OSU,
+			Control:   []string{netsim.ORNL, netsim.OSU},
+			Placement: []string{netsim.OSU, netsim.OSU, netsim.ORNL, netsim.ORNL},
+		},
+	}
+}

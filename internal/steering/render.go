@@ -1,0 +1,69 @@
+package steering
+
+import (
+	"fmt"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/grid"
+	"ricsa/internal/viz"
+	"ricsa/internal/viz/marchingcubes"
+	"ricsa/internal/viz/raycast"
+	"ricsa/internal/viz/render"
+	"ricsa/internal/viz/streamline"
+)
+
+// RenderDataset produces the actual image for a dataset under a request's
+// visualization method and view parameters — the concrete work the
+// pipeline's Extract/Render modules perform. A non-negative Octant
+// restricts processing to one octree subset of the dataset.
+func RenderDataset(f *grid.ScalarField, req Request, width, height int) (*viz.Image, error) {
+	if req.Octant >= 0 && req.Octant < 8 {
+		oct := grid.Octants(f)[req.Octant]
+		if oct.Cells() == 0 {
+			return nil, fmt.Errorf("steering: octant %d is empty for %dx%dx%d",
+				req.Octant, f.NX, f.NY, f.NZ)
+		}
+		f = grid.SubField(f, oct)
+	}
+	switch req.Method {
+	case "isosurface", "":
+		mesh := marchingcubes.Extract(f, req.Isovalue)
+		opt := render.DefaultOptions()
+		opt.Width, opt.Height = width, height
+		opt.Camera = req.Camera
+		// Frame the dataset domain, not the surface, so monitored motion
+		// stays visible frame to frame.
+		opt.FixedBounds = &[2]viz.Vec3{
+			{0, 0, 0},
+			{float32(f.NX - 1), float32(f.NY - 1), float32(f.NZ - 1)},
+		}
+		return render.Render(mesh, opt), nil
+	case "raycast":
+		opt := raycast.DefaultOptions()
+		opt.Width, opt.Height = width, height
+		opt.Camera = req.Camera
+		mn, mx := f.MinMax()
+		opt.Transfer = raycast.HotIron(float64(mn), float64(mx), 0.15)
+		return raycast.Render(f, opt), nil
+	case "streamline":
+		vf := dataset.VelocityFromScalar(f)
+		seeds := streamline.SeedGrid(vf, 6, 6, 6)
+		sopt := streamline.DefaultOptions()
+		sopt.Steps = 200
+		lines := streamline.Trace(vf, seeds, sopt)
+		pts := make([][]viz.Vec3, len(lines))
+		for i, l := range lines {
+			pts[i] = l.Points
+		}
+		ropt := render.DefaultOptions()
+		ropt.Width, ropt.Height = width, height
+		ropt.Camera = req.Camera
+		ropt.FixedBounds = &[2]viz.Vec3{
+			{0, 0, 0},
+			{float32(f.NX - 1), float32(f.NY - 1), float32(f.NZ - 1)},
+		}
+		return render.RenderLines(pts, ropt), nil
+	default:
+		return nil, fmt.Errorf("steering: unknown method %q", req.Method)
+	}
+}

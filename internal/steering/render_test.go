@@ -1,0 +1,58 @@
+package steering
+
+import (
+	"testing"
+
+	"ricsa/internal/dataset"
+)
+
+func TestRenderDatasetAllMethods(t *testing.T) {
+	f := dataset.Generate(dataset.JetSpec.Scaled(8))
+	req := DefaultRequest()
+	req.Isovalue = dataset.DefaultIsovalue(dataset.KindJet)
+	for _, method := range []string{"isosurface", "raycast", "streamline"} {
+		req.Method = method
+		img, err := RenderDataset(f, req, 64, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if img.NonBlackPixels() == 0 {
+			t.Fatalf("%s rendered nothing", method)
+		}
+	}
+	req.Method = "hologram"
+	if _, err := RenderDataset(f, req, 32, 32); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRenderDatasetOctantSubset(t *testing.T) {
+	f := dataset.Generate(dataset.RageSpec.Scaled(16))
+	req := DefaultRequest()
+	req.Method = "isosurface"
+	req.Isovalue = dataset.DefaultIsovalue(dataset.KindRage)
+
+	req.Octant = -1
+	full, err := RenderDataset(f, req, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := false
+	for oct := 0; oct < 8; oct++ {
+		req.Octant = oct
+		img, err := RenderDataset(f, req, 64, 64)
+		if err != nil {
+			t.Fatalf("octant %d: %v", oct, err)
+		}
+		// The blast shell intersects every octant of the Rage analogue.
+		if img.NonBlackPixels() == 0 {
+			t.Fatalf("octant %d rendered nothing", oct)
+		}
+		if img.NonBlackPixels() != full.NonBlackPixels() {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("octant subsets indistinguishable from the full dataset")
+	}
+}

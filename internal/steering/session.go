@@ -1,0 +1,235 @@
+package steering
+
+import (
+	"fmt"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+	"ricsa/internal/simengine"
+	"ricsa/internal/viz"
+)
+
+// Request is what an Ajax client submits to start a steering session
+// (Section 2: "a request specifying the simulator type, variable names,
+// visualization method, and viewing parameters").
+type Request struct {
+	Simulator string // "sod" or "bowshock"
+	Variable  string // "density" or "pressure"
+	Method    string // "isosurface", "raycast", or "streamline"
+	Isovalue  float32
+	Camera    viz.Camera
+	BlockEdge int
+	// Octant selects one of the eight octree subsets of the dataset
+	// (0-7), or the entire dataset when negative — the paper's GUI exposes
+	// exactly this choice (Section 5.1).
+	Octant int
+	// Sim grid dimensions at the data source.
+	NX, NY, NZ int
+	// StepsPerFrame is how many solver cycles produce one monitored frame.
+	StepsPerFrame int
+}
+
+// DefaultRequest returns a Sod shock tube monitoring request.
+func DefaultRequest() Request {
+	return Request{
+		Simulator: "sod",
+		Variable:  "density",
+		Method:    "isosurface",
+		Isovalue:  0.5,
+		// Oblique view so the tube's planar waves are visible rather than
+		// edge-on.
+		Camera:    viz.Camera{Yaw: 0.9, Pitch: 0.35, Zoom: 1},
+		Octant:    -1,
+		BlockEdge: 8,
+		NX:        64, NY: 32, NZ: 32,
+		StepsPerFrame: 4,
+	}
+}
+
+// Session is a live monitoring/steering loop: the simulation at the DS
+// node produces a dataset per frame, the dataset traverses the optimized
+// pipeline to the client, and steering commands travel back over the
+// control route. All activity runs on the deployment's virtual clock; the
+// paper's semantics that "the simulation does not proceed until the image
+// from the last time step is delivered" is preserved by sequencing.
+type Session struct {
+	D   *Deployment
+	Req Request
+
+	Client, FrontEnd, CM, DS string
+
+	Sim       *simengine.Sim
+	Pipe      *pipeline.Pipeline
+	VRT       *pipeline.VRT
+	Placement []string
+
+	// SimSecondsPerStep charges the DS node for solver compute per cycle.
+	SimSecondsPerStep float64
+
+	// AdaptTolerance, when positive, enables runtime reconfiguration: if a
+	// frame's realized delay exceeds the VRT's prediction by more than this
+	// fraction, the CM re-measures the network and recomputes the mapping
+	// ("the mapping scheme is adaptively re-configured during runtime in
+	// response to drastic network or host condition changes", Sec. 5.3.2).
+	AdaptTolerance float64
+	// Reconfigs counts runtime re-optimizations performed.
+	Reconfigs int
+
+	Frames      []FrameResult
+	ControlLats []netsim.Time
+	SetupLat    netsim.Time
+}
+
+// NewSession wires a session: the request travels client -> front end ->
+// CM -> DS over control links, the DS instantiates the simulator and emits
+// the first dataset, the CM analyzes it and computes the VRT.
+func NewSession(d *Deployment, client, frontEnd, cm, ds string, req Request) (*Session, error) {
+	if d.Graph == nil {
+		return nil, fmt.Errorf("steering: Measure must run before NewSession")
+	}
+	s := &Session{
+		D: d, Req: req,
+		Client: client, FrontEnd: frontEnd, CM: cm, DS: ds,
+	}
+
+	// Control setup: request to CM, forwarded to DS (a few KB of params).
+	setupDone := false
+	err := d.ControlSend([]string{client, frontEnd, cm, ds}, 4<<10, func(lat netsim.Time) {
+		s.SetupLat = lat
+		setupDone = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Net.Run()
+	if !setupDone {
+		return nil, fmt.Errorf("steering: session setup never completed")
+	}
+
+	// DS instantiates the simulator.
+	switch req.Simulator {
+	case "sod":
+		s.Sim = simengine.NewSod(req.NX, req.NY, req.NZ, simengine.DefaultSodParams())
+	case "bowshock":
+		s.Sim = simengine.NewBowShock(req.NX, req.NY, req.NZ, simengine.DefaultBowShockParams())
+	default:
+		return nil, fmt.Errorf("steering: unknown simulator %q", req.Simulator)
+	}
+	// Charge ~80 ns per cell per cycle on the DS host for the solver.
+	s.SimSecondsPerStep = 80e-9 * float64(req.NX*req.NY*req.NZ)
+
+	// First dataset -> CM analysis -> VRT.
+	field := s.snapshot()
+	st := AnalyzeDataset(field, req.Simulator, req.BlockEdge, req.Isovalue)
+	s.Pipe = BuildIsoPipeline(st)
+	vrt, err := d.Optimize(s.Pipe, ds, client)
+	if err != nil {
+		return nil, fmt.Errorf("steering: CM optimization failed: %w", err)
+	}
+	s.VRT = vrt
+	s.Placement = PlacementFromVRT(vrt)
+	return s, nil
+}
+
+func (s *Session) snapshot() *grid.ScalarField {
+	switch s.Req.Variable {
+	case "pressure":
+		return s.Sim.Pressure()
+	default:
+		return s.Sim.Density()
+	}
+}
+
+// RunFrames advances n monitored frames sequentially on the virtual clock.
+// Before each frame the solver runs StepsPerFrame cycles (charged as DS
+// compute time); after each frame's image lands at the client, steer may
+// return new parameters, which travel back over the control route and are
+// applied at the simulator's next step boundary.
+func (s *Session) RunFrames(n int, steer func(frame int) *simengine.Params) error {
+	for i := 0; i < n; i++ {
+		// Solver cycles, charged on the virtual clock.
+		for k := 0; k < s.Req.StepsPerFrame; k++ {
+			s.Sim.Step()
+		}
+		s.D.Net.RunFor(secondsToDuration(s.SimSecondsPerStep * float64(s.Req.StepsPerFrame)))
+
+		frameDone := false
+		err := s.D.RunFrame(s.Pipe, s.DS, s.Placement, func(r FrameResult) {
+			s.Frames = append(s.Frames, r)
+			frameDone = true
+		})
+		if err != nil {
+			return err
+		}
+		s.D.Net.Run()
+		if !frameDone {
+			return fmt.Errorf("steering: frame %d stalled", i)
+		}
+
+		if s.AdaptTolerance > 0 {
+			if err := s.maybeReconfigure(); err != nil {
+				return err
+			}
+		}
+
+		if steer != nil {
+			if p := steer(i); p != nil {
+				ctrlDone := false
+				route := []string{s.Client, s.FrontEnd, s.CM, s.DS}
+				err := s.D.ControlSend(route, 2<<10, func(lat netsim.Time) {
+					s.ControlLats = append(s.ControlLats, lat)
+					s.Sim.SetParams(*p)
+					ctrlDone = true
+				})
+				if err != nil {
+					return err
+				}
+				s.D.Net.Run()
+				if !ctrlDone {
+					return fmt.Errorf("steering: control message %d stalled", i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// maybeReconfigure compares the last frame's realized delay against the
+// VRT's prediction; on a drastic deviation the CM re-probes every link and
+// recomputes the mapping.
+func (s *Session) maybeReconfigure() error {
+	last := s.Frames[len(s.Frames)-1].Elapsed.Seconds()
+	pred := s.VRT.Delay
+	if pred <= 0 || last <= pred*(1+s.AdaptTolerance) {
+		return nil
+	}
+	s.D.Measure(nil, 1)
+	vrt, err := s.D.Optimize(s.Pipe, s.DS, s.Client)
+	if err != nil {
+		return fmt.Errorf("steering: reconfiguration failed: %w", err)
+	}
+	s.VRT = vrt
+	s.Placement = PlacementFromVRT(vrt)
+	s.Reconfigs++
+	return nil
+}
+
+// RenderFrame produces an actual image of the current simulation state via
+// the requested method — the pixels a browser client would receive. It runs
+// outside the virtual clock (wall time is not charged).
+func (s *Session) RenderFrame(width, height int) (*viz.Image, error) {
+	return RenderDataset(s.snapshot(), s.Req, width, height)
+}
+
+// MeanFrameDelay averages the end-to-end delays of completed frames.
+func (s *Session) MeanFrameDelay() netsim.Time {
+	if len(s.Frames) == 0 {
+		return 0
+	}
+	var sum netsim.Time
+	for _, f := range s.Frames {
+		sum += f.Elapsed
+	}
+	return sum / netsim.Time(len(s.Frames))
+}

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"time"
+
+	"ricsa/internal/netsim"
+)
+
+// AIMDSender is the TCP-like contrast baseline: additive increase of the
+// congestion window per loss-free round trip, multiplicative decrease on
+// loss. It tracks available bandwidth but oscillates — the high-jitter
+// behaviour the paper's control channels cannot tolerate.
+type AIMDSender struct {
+	net  *netsim.Network
+	data *netsim.Channel
+	cfg  Config
+
+	running bool
+	window  float64
+	rtt     time.Duration
+	nextSeq uint64
+
+	retransmit []uint64
+	inRetrans  map[uint64]bool
+	cumAck     uint64
+	lastAck    uint64
+	sawLoss    bool
+
+	trace    []Sample
+	lastStep netsim.Time
+}
+
+// NewAIMDSender creates an AIMD sender with the given round-trip estimate
+// (its pacing clock) and config for packet size.
+func NewAIMDSender(n *netsim.Network, data *netsim.Channel, cfg Config, rtt time.Duration) *AIMDSender {
+	cfg.fillDefaults()
+	if rtt <= 0 {
+		rtt = 40 * time.Millisecond
+	}
+	return &AIMDSender{
+		net:       n,
+		data:      data,
+		cfg:       cfg,
+		window:    2,
+		rtt:       rtt,
+		inRetrans: make(map[uint64]bool),
+	}
+}
+
+// Bind installs the ACK handler on the reverse channel.
+func (s *AIMDSender) Bind(rev *netsim.Channel) {
+	rev.SetHandler(func(p netsim.Packet) {
+		ack, ok := p.Payload.(ackMsg)
+		if !ok {
+			return
+		}
+		if ack.CumAck > s.cumAck {
+			s.cumAck = ack.CumAck
+		}
+		if len(ack.Nacks) > 0 {
+			s.sawLoss = true
+		}
+		for _, seq := range ack.Nacks {
+			if seq >= s.cumAck && !s.inRetrans[seq] {
+				s.inRetrans[seq] = true
+				s.retransmit = append(s.retransmit, seq)
+			}
+		}
+	})
+}
+
+// Start begins one-window-per-RTT transmission.
+func (s *AIMDSender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.lastStep = s.net.Now()
+	s.round()
+}
+
+// Stop halts transmission.
+func (s *AIMDSender) Stop() { s.running = false }
+
+// Trace returns per-round goodput samples.
+func (s *AIMDSender) Trace() []Sample { return s.trace }
+
+func (s *AIMDSender) round() {
+	if !s.running {
+		return
+	}
+	// AIMD step using feedback from the previous round.
+	if s.sawLoss {
+		s.window = s.window / 2
+		if s.window < 1 {
+			s.window = 1
+		}
+		s.sawLoss = false
+	} else {
+		s.window++
+	}
+
+	w := int(s.window)
+	for i := 0; i < w; i++ {
+		seq := s.pickSeq()
+		s.data.Send(netsim.Packet{
+			From:    s.data.From.Name,
+			To:      s.data.To.Name,
+			Size:    s.cfg.PacketSize,
+			Payload: dataMsg{Seq: seq},
+		})
+	}
+
+	now := s.net.Now()
+	if dt := now - s.lastStep; dt > 0 {
+		g := float64(s.cumAck-s.lastAck) * float64(s.cfg.PacketSize) / dt.Seconds()
+		s.trace = append(s.trace, Sample{At: now, Goodput: g, Window: w})
+	}
+	s.lastAck = s.cumAck
+	s.lastStep = now
+
+	s.net.Schedule(s.rtt, s.round)
+}
+
+func (s *AIMDSender) pickSeq() uint64 {
+	for len(s.retransmit) > 0 {
+		seq := s.retransmit[0]
+		s.retransmit = s.retransmit[1:]
+		delete(s.inRetrans, seq)
+		if seq >= s.cumAck {
+			return seq
+		}
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	return seq
+}

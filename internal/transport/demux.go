@@ -1,0 +1,30 @@
+package transport
+
+import "ricsa/internal/netsim"
+
+// Demux fans one channel's packets out to several flow handlers, letting
+// multiple stabilized connections (e.g. the control channels of several
+// concurrent steering sessions) share a physical link.
+type Demux struct {
+	handlers []func(netsim.Packet)
+}
+
+// NewDemux claims the channel's handler.
+func NewDemux(ch *netsim.Channel) *Demux {
+	d := &Demux{}
+	ch.SetHandler(d.dispatch)
+	return d
+}
+
+// Register adds a flow handler (e.g. Receiver.HandlePacket or
+// Sender.HandlePacket). Handlers filter by flow ID themselves, so every
+// handler sees every packet.
+func (d *Demux) Register(fn func(netsim.Packet)) {
+	d.handlers = append(d.handlers, fn)
+}
+
+func (d *Demux) dispatch(p netsim.Packet) {
+	for _, fn := range d.handlers {
+		fn(p)
+	}
+}

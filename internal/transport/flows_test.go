@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ricsa/internal/netsim"
+)
+
+// sharedPair wires two stabilized flows over one bottleneck link.
+func sharedPair(t *testing.T, seed int64, capacity float64, targets [2]float64, dur time.Duration) [2][]Sample {
+	t.Helper()
+	n := netsim.New(seed)
+	a := n.AddNode("src", 1)
+	b := n.AddNode("dst", 1)
+	l := n.ConnectAsym(a, b,
+		netsim.LinkConfig{Bandwidth: capacity, Delay: 15 * time.Millisecond, QueueLimit: 512},
+		netsim.LinkConfig{Bandwidth: capacity, Delay: 15 * time.Millisecond})
+
+	fwd := NewDemux(l.AB)
+	rev := NewDemux(l.BA)
+
+	var traces [2][]Sample
+	var senders [2]*Sender
+	for i := 0; i < 2; i++ {
+		cfg := DefaultConfig(targets[i])
+		cfg.FlowID = i + 1
+		snd := NewSender(n, l.AB, cfg)
+		rcv := NewReceiver(n, l.BA, cfg)
+		fwd.Register(rcv.HandlePacket)
+		rev.Register(snd.HandlePacket)
+		rcv.Start()
+		snd.Start()
+		senders[i] = snd
+	}
+	n.RunFor(dur)
+	for i := 0; i < 2; i++ {
+		traces[i] = senders[i].Trace()
+	}
+	return traces
+}
+
+func TestTwoFlowsConvergeToIndependentTargets(t *testing.T) {
+	// Combined targets well under capacity: both flows must hit their own
+	// g* — the multi-session scenario of the paper's front end.
+	capacity := 4.0 * netsim.MB
+	targets := [2]float64{400 * 1024, 900 * 1024}
+	traces := sharedPair(t, 5, capacity, targets, 40*time.Second)
+	for i, tr := range traces {
+		mean := MeanGoodput(tr, 20*time.Second)
+		if math.Abs(mean-targets[i])/targets[i] > 0.12 {
+			t.Fatalf("flow %d: steady goodput %.0f, want ~%.0f", i, mean, targets[i])
+		}
+	}
+}
+
+func TestTwoFlowsShareSaturatedLink(t *testing.T) {
+	// Combined targets exceed capacity: neither can hit g*, but both must
+	// retain a substantial share and together approach capacity.
+	capacity := 1.0 * netsim.MB
+	targets := [2]float64{800 * 1024, 800 * 1024}
+	traces := sharedPair(t, 9, capacity, targets, 40*time.Second)
+	var total float64
+	for i, tr := range traces {
+		mean := MeanGoodput(tr, 20*time.Second)
+		if mean < 0.15*capacity {
+			t.Fatalf("flow %d starved: %.0f B/s", i, mean)
+		}
+		total += mean
+	}
+	if total < 0.6*capacity || total > 1.1*capacity {
+		t.Fatalf("combined goodput %.0f, want near capacity %.0f", total, capacity)
+	}
+}
+
+func TestFlowIsolationNoCrossTalk(t *testing.T) {
+	// A second flow's packets must not corrupt the first flow's sequence
+	// space: each receiver sees only its own flow's data as unique.
+	n := netsim.New(1)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e9})
+	demux := NewDemux(l.AB)
+
+	cfg1 := DefaultConfig(1e6)
+	cfg1.FlowID = 1
+	cfg2 := DefaultConfig(1e6)
+	cfg2.FlowID = 2
+	r1 := NewReceiver(n, l.BA, cfg1)
+	r2 := NewReceiver(n, l.BA, cfg2)
+	demux.Register(r1.HandlePacket)
+	demux.Register(r2.HandlePacket)
+
+	send := func(flow int, seq uint64) {
+		l.AB.Send(netsim.Packet{Size: 1000, Payload: dataMsg{Flow: flow, Seq: seq}})
+	}
+	for s := uint64(0); s < 5; s++ {
+		send(1, s)
+	}
+	for s := uint64(0); s < 3; s++ {
+		send(2, s)
+	}
+	n.Run()
+	if r1.Delivered() != 5 {
+		t.Fatalf("flow 1 delivered %d, want 5", r1.Delivered())
+	}
+	if r2.Delivered() != 3 {
+		t.Fatalf("flow 2 delivered %d, want 3", r2.Delivered())
+	}
+	if r1.Duplicates() != 0 || r2.Duplicates() != 0 {
+		t.Fatal("cross-flow packets counted as duplicates")
+	}
+}

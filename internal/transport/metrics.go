@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"math"
+	"time"
+
+	"ricsa/internal/netsim"
+)
+
+// RunStabilized wires a stabilized sender/receiver pair across the directed
+// channels fwd (data) and rev (feedback), runs the network for dur of
+// virtual time, and returns the sender-side goodput trace. It is the
+// harness used by the Section 3 stabilization experiments.
+func RunStabilized(n *netsim.Network, fwd, rev *netsim.Channel, cfg Config, dur time.Duration) []Sample {
+	snd := NewSender(n, fwd, cfg)
+	rcv := NewReceiver(n, rev, cfg)
+	rcv.Bind(fwd)
+	snd.Bind(rev)
+	rcv.Start()
+	snd.Start()
+	n.RunFor(dur)
+	snd.Stop()
+	rcv.Stop()
+	return snd.Trace()
+}
+
+// RunAIMD runs the AIMD baseline over the same channel pair and returns its
+// goodput trace.
+func RunAIMD(n *netsim.Network, fwd, rev *netsim.Channel, cfg Config, rtt, dur time.Duration) []Sample {
+	snd := NewAIMDSender(n, fwd, cfg, rtt)
+	rcv := NewReceiver(n, rev, cfg)
+	rcv.Bind(fwd)
+	snd.Bind(rev)
+	rcv.Start()
+	snd.Start()
+	n.RunFor(dur)
+	snd.Stop()
+	rcv.Stop()
+	return snd.Trace()
+}
+
+// ConvergenceTime returns the first instant after which the goodput stays
+// within tol (fractional) of target for at least hold, and whether such an
+// instant exists in the trace.
+func ConvergenceTime(tr []Sample, target, tol float64, hold time.Duration) (netsim.Time, bool) {
+	if len(tr) == 0 {
+		return 0, false
+	}
+	lo, hi := target*(1-tol), target*(1+tol)
+	start := netsim.Time(-1)
+	for _, s := range tr {
+		if s.Goodput >= lo && s.Goodput <= hi {
+			if start < 0 {
+				start = s.At
+			}
+			if s.At-start >= hold {
+				return start, true
+			}
+		} else {
+			start = -1
+		}
+	}
+	// Converged if the tail stayed in band until the trace ended.
+	if start >= 0 && tr[len(tr)-1].At-start >= hold/2 {
+		return start, true
+	}
+	return 0, false
+}
+
+// RMSError returns the root-mean-square goodput deviation from target over
+// samples at or after the given time, as a fraction of target.
+func RMSError(tr []Sample, target float64, after netsim.Time) float64 {
+	var sum float64
+	var n int
+	for _, s := range tr {
+		if s.At < after {
+			continue
+		}
+		d := (s.Goodput - target) / target
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// MeanGoodput averages goodput over samples at or after the given time.
+func MeanGoodput(tr []Sample, after netsim.Time) float64 {
+	var sum float64
+	var n int
+	for _, s := range tr {
+		if s.At < after {
+			continue
+		}
+		sum += s.Goodput
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CoefficientOfVariation returns stddev/mean of goodput over samples at or
+// after the given time — the jitter measure used to contrast stabilized
+// transport with AIMD.
+func CoefficientOfVariation(tr []Sample, after netsim.Time) float64 {
+	mean := MeanGoodput(tr, after)
+	if mean == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	var n int
+	for _, s := range tr {
+		if s.At < after {
+			continue
+		}
+		d := s.Goodput - mean
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sum/float64(n)) / mean
+}

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ricsa/internal/netsim"
+)
+
+// TestPropertyReceiverInOrderInvariant: for any arrival permutation with
+// duplicates, the receiver's cumulative ACK equals the smallest missing
+// sequence number and unique count matches the distinct values delivered.
+func TestPropertyReceiverInOrderInvariant(t *testing.T) {
+	prop := func(seqsRaw []uint8) bool {
+		n := netsim.New(1)
+		a := n.AddNode("a", 1)
+		b := n.AddNode("b", 1)
+		l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e12})
+		cfg := DefaultConfig(1e6)
+		r := NewReceiver(n, l.BA, cfg)
+		r.Bind(l.AB)
+
+		distinct := map[uint64]bool{}
+		for _, s := range seqsRaw {
+			seq := uint64(s % 32)
+			distinct[seq] = true
+			l.AB.Send(netsim.Packet{Size: cfg.PacketSize, Payload: dataMsg{Seq: seq}})
+		}
+		n.Run()
+
+		if r.Delivered() != uint64(len(distinct)) {
+			return false
+		}
+		// cumAck = first missing value.
+		want := uint64(0)
+		for distinct[want] {
+			want++
+		}
+		return r.cumAck == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStabilizationAcrossSeeds: the stabilizer must converge for
+// any random seed on a moderately lossy channel — the "robust over a
+// variety of connections" claim exercised as a property.
+func TestPropertyStabilizationAcrossSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		seed := rng.Int63()
+		loss := rng.Float64() * 0.06
+		target := (300 + 700*rng.Float64()) * 1024
+		n := netsim.New(seed)
+		a := n.AddNode("s", 1)
+		b := n.AddNode("d", 1)
+		l := n.ConnectAsym(a, b,
+			netsim.LinkConfig{Bandwidth: 4 * target, Delay: 15 * time.Millisecond,
+				Loss: loss, QueueLimit: 256},
+			netsim.LinkConfig{Bandwidth: 4 * target, Delay: 15 * time.Millisecond})
+		tr := RunStabilized(n, l.AB, l.BA, DefaultConfig(target), 30*time.Second)
+		mean := MeanGoodput(tr, 15*time.Second)
+		if mean < 0.85*target || mean > 1.15*target {
+			t.Fatalf("seed %d loss %.3f target %.0f: steady goodput %.0f",
+				seed, loss, target, mean)
+		}
+	}
+}

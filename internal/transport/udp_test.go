@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Real-socket tests run on loopback with short wall-clock budgets; the
+// tolerances are generous because CI schedulers jitter timers.
+
+func TestUDPStabilizedConvergesOnLoopback(t *testing.T) {
+	target := 2.0 * 1024 * 1024 // 2 MB/s, far below loopback capacity
+	cfg := DefaultConfig(target)
+	tr, err := RunStabilizedUDP(cfg, 3*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := MeanGoodput(tr, tr[len(tr)-1].At/2)
+	if math.Abs(mean-target)/target > 0.25 {
+		t.Fatalf("steady goodput %.0f, want within 25%% of %.0f", mean, target)
+	}
+}
+
+func TestUDPStabilizedConvergesUnderInjectedLoss(t *testing.T) {
+	target := 1.5 * 1024 * 1024
+	cfg := DefaultConfig(target)
+	tr, err := RunStabilizedUDP(cfg, 3*time.Second, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := MeanGoodput(tr, tr[len(tr)-1].At/2)
+	if math.Abs(mean-target)/target > 0.3 {
+		t.Fatalf("steady goodput %.0f under 5%% loss, want ~%.0f", mean, target)
+	}
+}
+
+func TestUDPReceiverDeduplicates(t *testing.T) {
+	cfg := DefaultConfig(1e6)
+	rcv, err := ListenUDP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Stop()
+	rcv.Start()
+
+	snd, err := DialUDP(rcv.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Stop()
+	snd.Start()
+	time.Sleep(time.Second)
+	snd.Stop()
+
+	if rcv.Delivered() == 0 {
+		t.Fatal("nothing delivered over loopback")
+	}
+	// Clean loopback: duplicates only from spurious retransmissions; they
+	// must be a small fraction of the unique count.
+	if d, u := rcv.Duplicates(), rcv.Delivered(); d > u/5 {
+		t.Fatalf("%d duplicates vs %d unique", d, u)
+	}
+}
+
+func TestUDPSleepStaysWithinBounds(t *testing.T) {
+	cfg := DefaultConfig(512 * 1024)
+	rcv, err := ListenUDP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Stop()
+	rcv.Start()
+	snd, err := DialUDP(rcv.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Start()
+	time.Sleep(600 * time.Millisecond)
+	sl := snd.Sleep()
+	snd.Stop()
+	if sl < cfg.MinSleep || sl > cfg.MaxSleep {
+		t.Fatalf("sleep %v outside [%v, %v]", sl, cfg.MinSleep, cfg.MaxSleep)
+	}
+}
+
+func TestUDPBadAddressErrors(t *testing.T) {
+	if _, err := ListenUDP("256.0.0.1:bad", DefaultConfig(1e6)); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	if _, err := DialUDP("256.0.0.1:bad", DefaultConfig(1e6)); err == nil {
+		t.Fatal("bad dial address accepted")
+	}
+}
+
+func TestUDPStopIsIdempotent(t *testing.T) {
+	cfg := DefaultConfig(1e6)
+	rcv, err := ListenUDP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv.Start()
+	rcv.Stop()
+	rcv.Stop() // must not panic or deadlock
+	snd, err := DialUDP("127.0.0.1:9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Start()
+	snd.Stop()
+	snd.Stop()
+}

@@ -1,0 +1,69 @@
+package viz
+
+import "testing"
+
+func quad() *Mesh {
+	// Two triangles sharing an edge: 6 soup vertices, 4 unique.
+	return &Mesh{Vertices: []Vec3{
+		{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+		{1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+	}}
+}
+
+func TestCompactDeduplicates(t *testing.T) {
+	im := quad().Compact()
+	if len(im.Vertices) != 4 {
+		t.Fatalf("%d unique vertices, want 4", len(im.Vertices))
+	}
+	if im.TriangleCount() != 2 {
+		t.Fatalf("%d triangles, want 2", im.TriangleCount())
+	}
+	// A single shared edge exactly breaks even on size; larger surfaces win
+	// (see TestCompressionRatioAboveOneForSharedSurfaces).
+	if im.SizeBytes() > quad().SizeBytes() {
+		t.Fatalf("indexed (%dB) should not exceed soup (%dB)", im.SizeBytes(), quad().SizeBytes())
+	}
+}
+
+func TestExpandRoundTripsGeometry(t *testing.T) {
+	m := quad()
+	back := m.Compact().Expand()
+	if back.TriangleCount() != m.TriangleCount() {
+		t.Fatal("triangle count changed")
+	}
+	for i := range m.Vertices {
+		if m.Vertices[i] != back.Vertices[i] {
+			t.Fatalf("vertex %d changed: %v vs %v", i, m.Vertices[i], back.Vertices[i])
+		}
+	}
+}
+
+func TestCompactEmptyMesh(t *testing.T) {
+	im := (&Mesh{}).Compact()
+	if len(im.Vertices) != 0 || len(im.Indices) != 0 {
+		t.Fatal("empty mesh should compact to empty")
+	}
+	if (&Mesh{}).CompressionRatio() != 1 {
+		t.Fatal("empty mesh compression ratio should be 1")
+	}
+}
+
+func TestCompressionRatioAboveOneForSharedSurfaces(t *testing.T) {
+	// A long triangle strip: interior vertices are shared by many
+	// triangles, so indexing must pay off (a single quad breaks even).
+	strip := &Mesh{}
+	for i := 0; i < 10; i++ {
+		x := float32(i)
+		strip.Vertices = append(strip.Vertices,
+			Vec3{x, 0, 0}, Vec3{x + 1, 0, 0}, Vec3{x, 1, 0},
+			Vec3{x + 1, 0, 0}, Vec3{x + 1, 1, 0}, Vec3{x, 1, 0},
+		)
+	}
+	if r := strip.CompressionRatio(); r <= 1.2 {
+		t.Fatalf("compression ratio %v, want > 1.2", r)
+	}
+	im := strip.Compact()
+	if len(im.Vertices) != 22 {
+		t.Fatalf("%d unique vertices, want 22", len(im.Vertices))
+	}
+}

@@ -1,0 +1,309 @@
+// Package marchingcubes extracts isosurfaces from regular scalar fields.
+//
+// Extraction walks every cell, classifies its eight corners against the
+// isovalue, and triangulates the crossing via a Kuhn decomposition of the
+// cell into six tetrahedra sharing the main diagonal. The decomposition is
+// translation-consistent (shared faces of adjacent cells are split along
+// matching diagonals), so the extracted surface is watertight across cell
+// boundaries.
+//
+// For the paper's cost model (Eq. 5), each cell configuration is also
+// classified into the 15 canonical marching-cubes cases — the equivalence
+// classes of the 256 corner sign patterns under cube rotations and
+// above/below complementation. The class tables are derived at package
+// initialization from the cube's rotation group rather than transcribed,
+// and a test asserts there are exactly 15 classes.
+package marchingcubes
+
+import (
+	"runtime"
+	"sync"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/viz"
+)
+
+// NumCases is the number of canonical marching-cubes cases, including the
+// empty one — the paper's "15 cases including the one with no isosurface".
+const NumCases = 15
+
+// caseOf maps each of the 256 corner configurations to its canonical case
+// index in [0, NumCases).
+var caseOf [256]int
+
+// Corner numbering: corner i has lattice offset (i&1, (i>>1)&1, (i>>2)&1).
+// rotations holds the 24 orientation-preserving symmetries of the cube as
+// corner permutations; built in init from the three axis quarter-turns.
+var rotations [][8]int
+
+func init() {
+	buildRotations()
+	buildCases()
+}
+
+// buildRotations generates the cube rotation group from quarter-turns about
+// x, y, and z, acting on corner coordinates.
+func buildRotations() {
+	applyAxis := func(perm [8]int, axis int) [8]int {
+		// Map each corner offset through a 90-degree rotation. For axis x:
+		// (x,y,z) -> (x, z, 1-y); y: (x,y,z) -> (1-z, y, x);
+		// z: (x,y,z) -> (y, 1-x, z).
+		var out [8]int
+		for c := 0; c < 8; c++ {
+			x, y, z := c&1, (c>>1)&1, (c>>2)&1
+			var nx, ny, nz int
+			switch axis {
+			case 0:
+				nx, ny, nz = x, z, 1-y
+			case 1:
+				nx, ny, nz = 1-z, y, x
+			default:
+				nx, ny, nz = y, 1-x, z
+			}
+			out[nx|ny<<1|nz<<2] = perm[c]
+		}
+		return out
+	}
+
+	identity := [8]int{0, 1, 2, 3, 4, 5, 6, 7}
+	seen := map[[8]int]bool{identity: true}
+	queue := [][8]int{identity}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for axis := 0; axis < 3; axis++ {
+			q := applyAxis(p, axis)
+			if !seen[q] {
+				seen[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	rotations = make([][8]int, 0, len(seen))
+	for p := range seen {
+		rotations = append(rotations, p)
+	}
+}
+
+// buildCases assigns a canonical case index to every configuration: the
+// orbit representative is the minimum configuration value reachable by any
+// rotation of the pattern or its complement; representatives are then
+// numbered by increasing value.
+func buildCases() {
+	permute := func(cfg int, p [8]int) int {
+		out := 0
+		for c := 0; c < 8; c++ {
+			if cfg&(1<<c) != 0 {
+				out |= 1 << p[c]
+			}
+		}
+		return out
+	}
+	rep := make([]int, 256)
+	for cfg := 0; cfg < 256; cfg++ {
+		best := 255
+		for _, p := range rotations {
+			a := permute(cfg, p)
+			b := a ^ 0xff // complement: swap inside/outside
+			if a < best {
+				best = a
+			}
+			if b < best {
+				best = b
+			}
+		}
+		rep[cfg] = best
+	}
+	index := map[int]int{}
+	for cfg := 0; cfg < 256; cfg++ {
+		r := rep[cfg]
+		if _, ok := index[r]; !ok {
+			index[r] = len(index)
+		}
+		caseOf[cfg] = index[r]
+	}
+}
+
+// NumClasses reports the number of distinct canonical classes discovered
+// (must equal NumCases; exposed for the verification test).
+func NumClasses() int {
+	seen := map[int]bool{}
+	for _, c := range caseOf {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// CellConfig returns the 8-bit corner configuration of the cell with origin
+// (x, y, z): bit i is set when corner i's sample exceeds the isovalue.
+func CellConfig(f *grid.ScalarField, x, y, z int, iso float32) uint8 {
+	var cfg uint8
+	for c := 0; c < 8; c++ {
+		cx, cy, cz := x+(c&1), y+((c>>1)&1), z+((c>>2)&1)
+		if f.At(cx, cy, cz) > iso {
+			cfg |= 1 << c
+		}
+	}
+	return cfg
+}
+
+// CanonicalCase maps a configuration to its canonical case in [0, NumCases).
+// Case of config 0 (and 255) is the empty case.
+func CanonicalCase(cfg uint8) int { return caseOf[cfg] }
+
+// EmptyCase is the canonical index of the no-isosurface configuration.
+func EmptyCase() int { return caseOf[0] }
+
+// kuhnTets is the six-tetrahedron decomposition of a cell, all sharing the
+// main diagonal corner 0 -> corner 7. Faces between adjacent cells are cut
+// along matching diagonals, keeping the global surface watertight.
+var kuhnTets = [6][4]int{
+	{0, 1, 3, 7},
+	{0, 3, 2, 7},
+	{0, 2, 6, 7},
+	{0, 6, 4, 7},
+	{0, 4, 5, 7},
+	{0, 5, 1, 7},
+}
+
+// Extract returns the isosurface of the whole field at the isovalue.
+func Extract(f *grid.ScalarField, iso float32) *viz.Mesh {
+	b := grid.Block{NX: f.NX - 1, NY: f.NY - 1, NZ: f.NZ - 1}
+	return ExtractBlock(f, b, iso)
+}
+
+// ExtractBlock extracts the isosurface restricted to the cells of block b.
+func ExtractBlock(f *grid.ScalarField, b grid.Block, iso float32) *viz.Mesh {
+	m := &viz.Mesh{}
+	ExtractBlockInto(m, f, b, iso)
+	return m
+}
+
+// ExtractBlockInto appends block b's isosurface triangles to an existing
+// mesh, letting callers amortize allocations across many blocks (the cost
+// calibrator depends on this matching the batch extraction path).
+func ExtractBlockInto(m *viz.Mesh, f *grid.ScalarField, b grid.Block, iso float32) {
+	var corners [8]viz.Vec3
+	var values [8]float32
+	for z := b.Z0; z < b.Z0+b.NZ; z++ {
+		for y := b.Y0; y < b.Y0+b.NY; y++ {
+			for x := b.X0; x < b.X0+b.NX; x++ {
+				for c := 0; c < 8; c++ {
+					cx, cy, cz := x+(c&1), y+((c>>1)&1), z+((c>>2)&1)
+					corners[c] = viz.Vec3{float32(cx), float32(cy), float32(cz)}
+					values[c] = f.At(cx, cy, cz)
+				}
+				marchCell(m, &corners, &values, iso)
+			}
+		}
+	}
+}
+
+// ExtractBlocks extracts active blocks in parallel with the given worker
+// count and concatenates the per-block meshes deterministically. This is
+// the in-process analogue of the paper's MPI-based cluster modules.
+func ExtractBlocks(f *grid.ScalarField, blocks []grid.Block, iso float32, workers int) *viz.Mesh {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	active := grid.ActiveBlocks(blocks, iso)
+	parts := make([]*viz.Mesh, len(active))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, b := range active {
+		wg.Add(1)
+		go func(i int, b grid.Block) {
+			defer wg.Done()
+			sem <- struct{}{}
+			parts[i] = ExtractBlock(f, b, iso)
+			<-sem
+		}(i, b)
+	}
+	wg.Wait()
+	out := &viz.Mesh{}
+	for _, p := range parts {
+		out.Append(p)
+	}
+	return out
+}
+
+// marchCell triangulates one cell via the six-tetrahedron decomposition.
+func marchCell(m *viz.Mesh, corners *[8]viz.Vec3, values *[8]float32, iso float32) {
+	for _, tet := range kuhnTets {
+		marchTet(m,
+			corners[tet[0]], corners[tet[1]], corners[tet[2]], corners[tet[3]],
+			values[tet[0]], values[tet[1]], values[tet[2]], values[tet[3]], iso)
+	}
+}
+
+// marchTet emits 0, 1, or 2 triangles for one tetrahedron.
+func marchTet(m *viz.Mesh, p0, p1, p2, p3 viz.Vec3, v0, v1, v2, v3, iso float32) {
+	var above [4]bool
+	n := 0
+	vals := [4]float32{v0, v1, v2, v3}
+	pts := [4]viz.Vec3{p0, p1, p2, p3}
+	for i, v := range vals {
+		if v > iso {
+			above[i] = true
+			n++
+		}
+	}
+	edge := func(i, j int) viz.Vec3 {
+		vi, vj := vals[i], vals[j]
+		t := float32(0.5)
+		if vi != vj {
+			t = (iso - vi) / (vj - vi)
+		}
+		return pts[i].Add(pts[j].Sub(pts[i]).Scale(t))
+	}
+	switch n {
+	case 0, 4:
+		return
+	case 1, 3:
+		// Single corner isolated: one triangle.
+		iso1 := -1
+		for i := 0; i < 4; i++ {
+			if above[i] == (n == 1) {
+				iso1 = i
+				break
+			}
+		}
+		others := make([]int, 0, 3)
+		for i := 0; i < 4; i++ {
+			if i != iso1 {
+				others = append(others, i)
+			}
+		}
+		m.Vertices = append(m.Vertices,
+			edge(iso1, others[0]), edge(iso1, others[1]), edge(iso1, others[2]))
+	case 2:
+		// Two above / two below: quad split into two triangles.
+		var hi, lo []int
+		for i := 0; i < 4; i++ {
+			if above[i] {
+				hi = append(hi, i)
+			} else {
+				lo = append(lo, i)
+			}
+		}
+		a := edge(hi[0], lo[0])
+		b := edge(hi[0], lo[1])
+		c := edge(hi[1], lo[1])
+		d := edge(hi[1], lo[0])
+		m.Vertices = append(m.Vertices, a, b, c, a, c, d)
+	}
+}
+
+// CaseHistogram counts cells of block b by canonical case at the isovalue —
+// the frequency data the cost model calibrates PCase(i) from.
+func CaseHistogram(f *grid.ScalarField, b grid.Block, iso float32) [NumCases]int {
+	var h [NumCases]int
+	for z := b.Z0; z < b.Z0+b.NZ; z++ {
+		for y := b.Y0; y < b.Y0+b.NY; y++ {
+			for x := b.X0; x < b.X0+b.NX; x++ {
+				h[CanonicalCase(CellConfig(f, x, y, z, iso))]++
+			}
+		}
+	}
+	return h
+}

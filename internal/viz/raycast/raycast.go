@@ -1,0 +1,212 @@
+// Package raycast implements direct volume rendering by orthographic ray
+// casting with front-to-back alpha compositing, the second visualization
+// technique modelled by the paper's cost analysis (Eq. 7):
+//
+//	t_raycasting = n_blocks x n_rays x n_samples x t_sample
+//
+// Rays are cast per pixel through the volume's bounding box; samples are
+// trilinearly interpolated and mapped through a transfer function. Early ray
+// termination is optional and off by default, matching the simplification
+// the paper adopts so the model stays view-independent.
+package raycast
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/viz"
+)
+
+// TransferFunc maps a scalar sample to premultiplied-alpha-free RGBA in
+// [0,1]. Alpha is per unit step (opacity density).
+type TransferFunc func(v float64) (r, g, b, a float64)
+
+// GrayRamp returns a transfer function that maps [lo, hi] to a gray ramp
+// with the given maximum opacity.
+func GrayRamp(lo, hi, maxAlpha float64) TransferFunc {
+	return func(v float64) (float64, float64, float64, float64) {
+		t := (v - lo) / (hi - lo)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return t, t, t, maxAlpha * t
+	}
+}
+
+// HotIron returns a black-red-yellow-white transfer function over [lo, hi],
+// a classic palette for shock and combustion visualization.
+func HotIron(lo, hi, maxAlpha float64) TransferFunc {
+	return func(v float64) (float64, float64, float64, float64) {
+		t := (v - lo) / (hi - lo)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		r := math.Min(1, 3*t)
+		g := math.Min(1, math.Max(0, 3*t-1))
+		b := math.Min(1, math.Max(0, 3*t-2))
+		return r, g, b, maxAlpha * t
+	}
+}
+
+// Options configures a ray casting pass.
+type Options struct {
+	Camera viz.Camera
+	Width  int
+	Height int
+	// Step is the sampling interval along each ray in voxel units.
+	Step float64
+	// Transfer maps samples to color and opacity.
+	Transfer TransferFunc
+	// EarlyTermination stops rays whose accumulated opacity exceeds 0.98.
+	// The paper's cost model assumes it is disabled.
+	EarlyTermination bool
+	// Workers is the parallel width; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions renders 512x512 with unit step and a gray ramp over [0,1].
+func DefaultOptions() Options {
+	return Options{
+		Camera: viz.Camera{Zoom: 1},
+		Width:  512, Height: 512,
+		Step:     1.0,
+		Transfer: GrayRamp(0, 1, 0.08),
+	}
+}
+
+// SamplesPerRay returns the number of samples n_samples a ray takes through
+// the field's bounding sphere at the configured step — the quantity Eq. 7
+// multiplies by. It is view-independent under orthographic projection, as
+// the paper notes.
+func SamplesPerRay(f *grid.ScalarField, step float64) int {
+	if step <= 0 {
+		step = 1
+	}
+	diag := math.Sqrt(float64(f.NX*f.NX + f.NY*f.NY + f.NZ*f.NZ))
+	return int(diag/step) + 1
+}
+
+// Render casts one ray per pixel through the volume.
+func Render(f *grid.ScalarField, opt Options) *viz.Image {
+	if opt.Width <= 0 {
+		opt.Width = 512
+	}
+	if opt.Height <= 0 {
+		opt.Height = 512
+	}
+	if opt.Step <= 0 {
+		opt.Step = 1
+	}
+	if opt.Transfer == nil {
+		opt.Transfer = GrayRamp(0, 1, 0.08)
+	}
+	if opt.Camera.Zoom <= 0 {
+		opt.Camera.Zoom = 1
+	}
+	img := viz.NewImage(opt.Width, opt.Height)
+
+	// View basis: rays travel along dir; right/up span the image plane.
+	// Rotate the canonical basis by the inverse camera rotation.
+	dir := opt.Camera.ViewDir().Normalize()
+	up := viz.Vec3{0, 1, 0}
+	if math.Abs(float64(dir.Dot(up))) > 0.99 {
+		up = viz.Vec3{1, 0, 0}
+	}
+	right := dir.Cross(up).Normalize()
+	upv := right.Cross(dir).Normalize()
+
+	cx, cy, cz := float64(f.NX-1)/2, float64(f.NY-1)/2, float64(f.NZ-1)/2
+	center := viz.Vec3{float32(cx), float32(cy), float32(cz)}
+	extent := math.Sqrt(cx*cx+cy*cy+cz*cz) * 2
+	if extent == 0 {
+		extent = 1
+	}
+	pixScale := extent / (opt.Camera.Zoom * float64(minInt(opt.Width, opt.Height)))
+	nSamples := SamplesPerRay(f, opt.Step)
+	halfSpan := float64(nSamples) * opt.Step / 2
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int, opt.Height)
+	for y := 0; y < opt.Height; y++ {
+		rows <- y
+	}
+	close(rows)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for y := range rows {
+				castRow(f, img, y, center, dir, right, upv, pixScale, halfSpan, nSamples, opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return img
+}
+
+func castRow(f *grid.ScalarField, img *viz.Image, y int, center, dir, right, upv viz.Vec3,
+	pixScale, halfSpan float64, nSamples int, opt Options) {
+	halfW, halfH := float64(opt.Width)/2, float64(opt.Height)/2
+	for x := 0; x < opt.Width; x++ {
+		u := (float64(x) + 0.5 - halfW) * pixScale
+		v := (halfH - float64(y) - 0.5) * pixScale
+		origin := center.
+			Add(right.Scale(float32(u))).
+			Add(upv.Scale(float32(v))).
+			Sub(dir.Scale(float32(halfSpan)))
+
+		var cr, cg, cb, ca float64
+		for s := 0; s < nSamples; s++ {
+			t := float64(s) * opt.Step
+			px := float64(origin[0]) + float64(dir[0])*t
+			py := float64(origin[1]) + float64(dir[1])*t
+			pz := float64(origin[2]) + float64(dir[2])*t
+			if px < 0 || py < 0 || pz < 0 ||
+				px > float64(f.NX-1) || py > float64(f.NY-1) || pz > float64(f.NZ-1) {
+				continue
+			}
+			val := f.Sample(px, py, pz)
+			r, g, b, a := opt.Transfer(val)
+			a = math.Min(1, a*opt.Step)
+			w := (1 - ca) * a
+			cr += w * r
+			cg += w * g
+			cb += w * b
+			ca += w
+			if opt.EarlyTermination && ca > 0.98 {
+				break
+			}
+		}
+		img.Set(x, y, clamp8(cr), clamp8(cg), clamp8(cb), 0xff)
+	}
+}
+
+func clamp8(v float64) uint8 {
+	v *= 255
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

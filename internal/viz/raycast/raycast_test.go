@@ -1,0 +1,116 @@
+package raycast
+
+import (
+	"math"
+	"testing"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/viz"
+)
+
+func ballField(n int) *grid.ScalarField {
+	f := grid.NewScalarField(n, n, n)
+	c := float64(n-1) / 2
+	f.Fill(func(x, y, z int) float32 {
+		dx, dy, dz := float64(x)-c, float64(y)-c, float64(z)-c
+		d := math.Sqrt(dx*dx+dy*dy+dz*dz) / c
+		if d > 1 {
+			return 0
+		}
+		return float32(1 - d)
+	})
+	return f
+}
+
+func TestRenderProducesCenterBrightness(t *testing.T) {
+	f := ballField(33)
+	opt := DefaultOptions()
+	opt.Width, opt.Height = 64, 64
+	opt.Transfer = GrayRamp(0, 1, 0.3)
+	img := Render(f, opt)
+	cr, _, _, _ := img.At(32, 32)
+	er, _, _, _ := img.At(2, 2)
+	if cr == 0 {
+		t.Fatal("center ray accumulated nothing")
+	}
+	if er >= cr {
+		t.Fatalf("edge brightness %d >= center %d", er, cr)
+	}
+}
+
+func TestRenderViewIndependentForSphericalField(t *testing.T) {
+	f := ballField(25)
+	opt := DefaultOptions()
+	opt.Width, opt.Height = 48, 48
+	opt.Transfer = GrayRamp(0, 1, 0.2)
+	base := Render(f, opt).Gray()
+	for _, yaw := range []float64{0.8, 2.1} {
+		opt.Camera.Yaw = yaw
+		g := Render(f, opt).Gray()
+		if math.Abs(g-base)/math.Max(base, 1e-9) > 0.08 {
+			t.Fatalf("gray at yaw %.1f = %.4f, base %.4f", yaw, g, base)
+		}
+	}
+}
+
+func TestSamplesPerRayScalesWithStep(t *testing.T) {
+	f := ballField(33)
+	n1 := SamplesPerRay(f, 1.0)
+	n2 := SamplesPerRay(f, 0.5)
+	if n2 < 2*n1-2 || n2 > 2*n1+2 {
+		t.Fatalf("halving step: %d -> %d samples, want ~2x", n1, n2)
+	}
+}
+
+func TestEarlyTerminationDarkensNothingOpaque(t *testing.T) {
+	// With a fully opaque transfer function, early termination must not
+	// change the image materially but must not brighten it.
+	f := ballField(25)
+	opt := DefaultOptions()
+	opt.Width, opt.Height = 32, 32
+	opt.Transfer = GrayRamp(0, 1, 5.0)
+	plain := Render(f, opt)
+	opt.EarlyTermination = true
+	early := Render(f, opt)
+	if early.Gray() > plain.Gray()+0.02 {
+		t.Fatalf("early termination brightened image: %.4f vs %.4f", early.Gray(), plain.Gray())
+	}
+}
+
+func TestTransferFunctionsClamped(t *testing.T) {
+	for _, tf := range []TransferFunc{GrayRamp(0, 1, 0.5), HotIron(0, 1, 0.5)} {
+		for _, v := range []float64{-10, -0.1, 0, 0.3, 0.99, 1, 7} {
+			r, g, b, a := tf(v)
+			for _, c := range []float64{r, g, b, a} {
+				if c < 0 || c > 1 {
+					t.Fatalf("transfer output %v out of [0,1] for v=%v", c, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkerCountDoesNotChangeImage(t *testing.T) {
+	f := ballField(25)
+	opt := DefaultOptions()
+	opt.Width, opt.Height = 40, 40
+	opt.Workers = 1
+	a := Render(f, opt)
+	opt.Workers = 8
+	b := Render(f, opt)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pixel byte %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestEmptyFieldRendersBlack(t *testing.T) {
+	f := grid.NewScalarField(9, 9, 9)
+	img := Render(f, DefaultOptions())
+	if img.NonBlackPixels() != 0 {
+		t.Fatal("zero field should render black")
+	}
+}
+
+var _ = viz.Vec3{} // package used in camera types

@@ -1,0 +1,153 @@
+package streamline
+
+import (
+	"math"
+	"testing"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/viz"
+)
+
+// uniformField flows everywhere in +x at unit speed.
+func uniformField(n int) *grid.VectorField {
+	f := grid.NewVectorField(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Set(x, y, z, 1, 0, 0)
+			}
+		}
+	}
+	return f
+}
+
+// vortexField rotates around the z axis through the domain center.
+func vortexField(n int) *grid.VectorField {
+	f := grid.NewVectorField(n, n, n)
+	c := float64(n-1) / 2
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dx, dy := float64(x)-c, float64(y)-c
+				f.Set(x, y, z, float32(-dy), float32(dx), 0)
+			}
+		}
+	}
+	return f
+}
+
+func TestUniformFlowIsStraight(t *testing.T) {
+	f := uniformField(16)
+	opt := DefaultOptions()
+	opt.Steps = 10
+	opt.H = 1.0
+	lines := Trace(f, []viz.Vec3{{2, 8, 8}}, opt)
+	if len(lines) != 1 {
+		t.Fatal("one seed, one line")
+	}
+	pts := lines[0].Points
+	if len(pts) != 11 {
+		t.Fatalf("line has %d points, want 11", len(pts))
+	}
+	for i, p := range pts {
+		wantX := 2 + float32(i)
+		if math.Abs(float64(p[0]-wantX)) > 1e-4 || p[1] != 8 || p[2] != 8 {
+			t.Fatalf("point %d = %v, want (%v, 8, 8)", i, p, wantX)
+		}
+	}
+}
+
+func TestTraceStopsAtBoundary(t *testing.T) {
+	f := uniformField(8)
+	opt := DefaultOptions()
+	opt.Steps = 100
+	opt.H = 1.0
+	lines := Trace(f, []viz.Vec3{{5, 4, 4}}, opt)
+	last := lines[0].Points[len(lines[0].Points)-1]
+	if float64(last[0]) > 8.01 {
+		t.Fatalf("line escaped domain: %v", last)
+	}
+	if len(lines[0].Points) > 10 {
+		t.Fatalf("line should stop near the boundary, got %d points", len(lines[0].Points))
+	}
+}
+
+func TestVortexConservesRadius(t *testing.T) {
+	// RK4 on a circular field should keep points near constant radius.
+	f := vortexField(33)
+	c := 16.0
+	opt := DefaultOptions()
+	opt.Steps = 200
+	opt.H = 0.02 // small time step; field magnitude grows with radius
+	lines := Trace(f, []viz.Vec3{{22, 16, 16}}, opt)
+	r0 := 6.0
+	for _, p := range lines[0].Points {
+		r := math.Hypot(float64(p[0])-c, float64(p[1])-c)
+		if math.Abs(r-r0) > 0.05 {
+			t.Fatalf("radius drifted to %.3f from %.3f", r, r0)
+		}
+	}
+	if len(lines[0].Points) != 201 {
+		t.Fatalf("vortex line has %d points, want 201", len(lines[0].Points))
+	}
+}
+
+func TestStagnantFlowStops(t *testing.T) {
+	f := grid.NewVectorField(8, 8, 8) // all zeros
+	opt := DefaultOptions()
+	opt.Steps = 50
+	lines := Trace(f, []viz.Vec3{{4, 4, 4}}, opt)
+	if len(lines[0].Points) != 1 {
+		t.Fatalf("stagnant seed advected %d points", len(lines[0].Points))
+	}
+}
+
+func TestSeedGridCountsAndBounds(t *testing.T) {
+	f := uniformField(16)
+	seeds := SeedGrid(f, 3, 4, 5)
+	if len(seeds) != 60 {
+		t.Fatalf("%d seeds, want 60", len(seeds))
+	}
+	for _, s := range seeds {
+		if s[0] < 0 || s[0] > 15 || s[1] < 0 || s[1] > 15 || s[2] < 0 || s[2] > 15 {
+			t.Fatalf("seed %v outside domain", s)
+		}
+	}
+}
+
+func TestWorkerCountDeterminism(t *testing.T) {
+	f := vortexField(17)
+	seeds := SeedGrid(f, 4, 4, 2)
+	opt := DefaultOptions()
+	opt.Steps = 64
+	opt.Workers = 1
+	a := Trace(f, seeds, opt)
+	opt.Workers = 8
+	b := Trace(f, seeds, opt)
+	if len(a) != len(b) {
+		t.Fatal("line counts differ")
+	}
+	for i := range a {
+		if len(a[i].Points) != len(b[i].Points) {
+			t.Fatalf("line %d lengths differ", i)
+		}
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				t.Fatalf("line %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTotalAdvectionsBudget(t *testing.T) {
+	f := vortexField(17)
+	seeds := SeedGrid(f, 3, 3, 1)
+	opt := DefaultOptions()
+	opt.Steps = 40
+	opt.H = 0.02
+	lines := Trace(f, seeds, opt)
+	total := TotalAdvections(lines)
+	if total <= 0 || total > len(seeds)*opt.Steps {
+		t.Fatalf("total advections %d outside (0, %d]", total, len(seeds)*opt.Steps)
+	}
+}

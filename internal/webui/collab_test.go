@@ -1,0 +1,167 @@
+package webui
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ricsa/internal/steering"
+)
+
+func newCollab(t *testing.T) *CollabSource {
+	t.Helper()
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 32, 12, 12
+	req.StepsPerFrame = 1
+	src, err := NewCollabSource(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.FramePeriod = 5 * time.Millisecond
+	src.Width, src.Height = 64, 64
+	src.Start()
+	t.Cleanup(src.Stop)
+	return src
+}
+
+func TestCollabIndependentViews(t *testing.T) {
+	src := newCollab(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Two clients, one rotates her camera far away from the default.
+	if err := src.SteerFor("bob", map[string]float64{"yaw": 2.5, "zoom": 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	seqA, pngA, err := src.WaitFrameFor(ctx, "alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, pngB, err := src.WaitFrameFor(ctx, "bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqA == 0 || seqB == 0 {
+		t.Fatal("no frames")
+	}
+	if bytes.Equal(pngA, pngB) {
+		t.Fatal("clients with different views received identical frames")
+	}
+}
+
+func TestCollabSharedPhysicsSteering(t *testing.T) {
+	src := newCollab(t)
+	if err := src.SteerFor("alice", map[string]float64{"left_pressure": 7}); err != nil {
+		t.Fatal(err)
+	}
+	// The steering lands at the next step boundary; wait one frame.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seq, _, err := src.WaitFrameFor(ctx, "bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.WaitFrameFor(ctx, "bob", seq); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Sim().Params().LeftPressure; got != 7 {
+		t.Fatalf("physics steering by one client must be shared; left pressure %v", got)
+	}
+}
+
+func TestCollabFrameCachePerClient(t *testing.T) {
+	src := newCollab(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seq1, png1, err := src.WaitFrameFor(ctx, "alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same dataset sequence requested again: the cached render returns.
+	seq2, png2, err := src.WaitFrameFor(ctx, "alice", seq1-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 != seq2 || !bytes.Equal(png1, png2) {
+		t.Fatal("cache miss for an unchanged dataset and view")
+	}
+}
+
+func TestCollabViewerCountInStatus(t *testing.T) {
+	src := newCollab(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, c := range []string{"a", "b", "c"} {
+		if _, _, err := src.WaitFrameFor(ctx, c, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := src.Status()
+	if st["viewers"].(int) < 3 {
+		t.Fatalf("viewers %v, want >= 3", st["viewers"])
+	}
+}
+
+func TestCollabOverHTTPWithClientParam(t *testing.T) {
+	src := newCollab(t)
+	srv := httptest.NewServer(NewServer(src).Handler())
+	defer srv.Close()
+
+	// Steer carol's view, then fetch frames for carol and dave in parallel.
+	body, _ := json.Marshal(map[string]float64{"yaw": 2.8, "zoom": 0.3})
+	resp, err := http.Post(srv.URL+"/api/steer?client=carol", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("steer status %d", resp.StatusCode)
+	}
+
+	fetch := func(client string) []byte {
+		r, err := http.Get(fmt.Sprintf("%s/api/frame?client=%s&since=0", srv.URL, client))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return b
+	}
+	var carol, dave []byte
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); carol = fetch("carol") }()
+	go func() { defer wg.Done(); dave = fetch("dave") }()
+	wg.Wait()
+	if len(carol) == 0 || len(dave) == 0 {
+		t.Fatal("missing frames")
+	}
+	if bytes.Equal(carol, dave) {
+		t.Fatal("per-client views not honored over HTTP")
+	}
+}
+
+func TestCollabAnonymousClientsShareDefaultView(t *testing.T) {
+	src := newCollab(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seq, png1, err := src.WaitFrame(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, png2, err := src.WaitFrame(ctx, seq-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(png1, png2) {
+		t.Fatal("anonymous clients should share the default view")
+	}
+}

@@ -1,0 +1,194 @@
+package webui
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ricsa/internal/simengine"
+	"ricsa/internal/steering"
+)
+
+// LiveSource runs a simulation and renders its frames in real time (wall
+// clock), publishing them to any number of waiting web clients. It is the
+// FrameSource behind cmd/ricsa-server and the webdemo example.
+type LiveSource struct {
+	mu     sync.Mutex
+	sim    *simengine.Sim
+	req    steering.Request
+	seq    uint64
+	png    []byte
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+
+	// FramePeriod paces frame production; StepsPerFrame solver cycles run
+	// per frame.
+	FramePeriod time.Duration
+	Width       int
+	Height      int
+}
+
+// NewLiveSource builds a live source for the request. Call Start to begin.
+func NewLiveSource(req steering.Request) (*LiveSource, error) {
+	var sim *simengine.Sim
+	switch req.Simulator {
+	case "sod":
+		sim = simengine.NewSod(req.NX, req.NY, req.NZ, simengine.DefaultSodParams())
+	case "bowshock":
+		sim = simengine.NewBowShock(req.NX, req.NY, req.NZ, simengine.DefaultBowShockParams())
+	default:
+		return nil, fmt.Errorf("webui: unknown simulator %q", req.Simulator)
+	}
+	return &LiveSource{
+		sim:         sim,
+		req:         req,
+		notify:      make(chan struct{}),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		FramePeriod: 200 * time.Millisecond,
+		Width:       512,
+		Height:      512,
+	}, nil
+}
+
+// Sim exposes the underlying simulation (for tests and status).
+func (l *LiveSource) Sim() *simengine.Sim { return l.sim }
+
+// Start launches the simulate-render-publish loop.
+func (l *LiveSource) Start() {
+	go func() {
+		defer close(l.done)
+		ticker := time.NewTicker(l.FramePeriod)
+		defer ticker.Stop()
+		l.produce() // first frame immediately
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-ticker.C:
+				l.produce()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit.
+func (l *LiveSource) Stop() {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	<-l.done
+}
+
+func (l *LiveSource) produce() {
+	l.mu.Lock()
+	req := l.req
+	l.mu.Unlock()
+
+	for i := 0; i < req.StepsPerFrame; i++ {
+		l.sim.Step()
+	}
+	var field = l.sim.Density()
+	if req.Variable == "pressure" {
+		field = l.sim.Pressure()
+	}
+	img, err := steering.RenderDataset(field, req, l.Width, l.Height)
+	if err != nil {
+		return
+	}
+	png, err := img.PNG()
+	if err != nil {
+		return
+	}
+
+	l.mu.Lock()
+	l.seq++
+	l.png = png
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// WaitFrame implements FrameSource.
+func (l *LiveSource) WaitFrame(ctx context.Context, since uint64) (uint64, []byte, error) {
+	for {
+		l.mu.Lock()
+		if l.seq > since && l.png != nil {
+			seq, png := l.seq, l.png
+			l.mu.Unlock()
+			return seq, png, nil
+		}
+		ch := l.notify
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Steer implements FrameSource: physics keys steer the simulation (applied
+// at the next step boundary); view keys adjust the visualization request.
+func (l *LiveSource) Steer(params map[string]float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.sim.Params()
+	steerSim := false
+	for k, v := range params {
+		switch k {
+		case "left_pressure":
+			p.LeftPressure, steerSim = v, true
+		case "left_density":
+			p.LeftDensity, steerSim = v, true
+		case "right_pressure":
+			p.RightPressure, steerSim = v, true
+		case "right_density":
+			p.RightDensity, steerSim = v, true
+		case "gamma":
+			p.Gamma, steerSim = v, true
+		case "cfl":
+			p.CFL, steerSim = v, true
+		case "wind_velocity":
+			p.WindVelocity, steerSim = v, true
+		case "wind_density":
+			p.WindDensity, steerSim = v, true
+		case "isovalue":
+			l.req.Isovalue = float32(v)
+		case "yaw":
+			l.req.Camera.Yaw = v
+		case "pitch":
+			l.req.Camera.Pitch = v
+		case "zoom":
+			l.req.Camera.Zoom = v
+		default:
+			return fmt.Errorf("webui: unknown steering parameter %q", k)
+		}
+	}
+	if steerSim {
+		l.sim.SetParams(p)
+	}
+	return nil
+}
+
+// Status implements FrameSource.
+func (l *LiveSource) Status() map[string]any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.sim.Params()
+	return map[string]any{
+		"simulator":     l.req.Simulator,
+		"variable":      l.req.Variable,
+		"method":        l.req.Method,
+		"cycle":         l.sim.Cycle(),
+		"sim_time":      l.sim.Time(),
+		"frame_seq":     l.seq,
+		"isovalue":      l.req.Isovalue,
+		"left_pressure": p.LeftPressure,
+		"left_density":  p.LeftDensity,
+	}
+}

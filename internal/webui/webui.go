@@ -1,0 +1,215 @@
+// Package webui is the RICSA Ajax front end: an HTTP server that delivers
+// incremental image updates to browser clients and accepts steering
+// commands, replacing the "click, wait, and refresh" page model with the
+// data-driven partial-update model of Section 1.
+//
+// The 2008 paper used GWT and XMLHttpRequest object exchange; here the
+// embedded client page uses raw XHR long-polling against /api/frame, which
+// preserves the mechanics that matter — only the image element updates when
+// a new frame arrives, and steering posts happen asynchronously while the
+// animation continues. Any number of browsers can watch one computation.
+package webui
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// FrameSource is what the front end serves: a sequence of PNG frames plus
+// steering and status operations. steering.Session-backed and live
+// simulation-backed implementations are provided; tests may use fakes.
+type FrameSource interface {
+	// WaitFrame blocks until a frame with sequence > since exists (or ctx
+	// ends), returning its sequence number and PNG bytes.
+	WaitFrame(ctx context.Context, since uint64) (uint64, []byte, error)
+	// Steer applies named steering parameters.
+	Steer(params map[string]float64) error
+	// Status reports session state for the GUI sidebar.
+	Status() map[string]any
+}
+
+// ClientFrameSource is the collaborative extension: sources that maintain
+// per-client views. When the underlying source implements it, requests
+// carrying a ?client=ID query are routed to the client-specific methods.
+type ClientFrameSource interface {
+	FrameSource
+	WaitFrameFor(ctx context.Context, client string, since uint64) (uint64, []byte, error)
+	SteerFor(client string, params map[string]float64) error
+}
+
+// Server is the Ajax front-end HTTP server.
+type Server struct {
+	src FrameSource
+	mux *http.ServeMux
+	// PollTimeout bounds a long-poll before replying 204 No Content; the
+	// client immediately re-polls, which keeps proxies from killing idle
+	// connections.
+	PollTimeout time.Duration
+}
+
+// NewServer builds a front end for the given source.
+func NewServer(src FrameSource) *Server {
+	s := &Server{src: src, mux: http.NewServeMux(), PollTimeout: 25 * time.Second}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/frame", s.handleFrame)
+	s.mux.HandleFunc("POST /api/steer", s.handleSteer)
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	return s
+}
+
+// Handler returns the http.Handler for mounting or serving.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+// handleFrame is the XMLHttpRequest object-exchange endpoint: the browser
+// asks for any frame newer than the one it has; the server holds the
+// request open until one exists.
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	since := uint64(0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.PollTimeout)
+	defer cancel()
+	var seq uint64
+	var png []byte
+	var err error
+	if cs, ok := s.src.(ClientFrameSource); ok {
+		seq, png, err = cs.WaitFrameFor(ctx, r.URL.Query().Get("client"), since)
+	} else {
+		seq, png, err = s.src.WaitFrame(ctx, since)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Frame-Seq", strconv.FormatUint(seq, 10))
+	w.Header().Set("Cache-Control", "no-store")
+	w.Write(png)
+}
+
+func (s *Server) handleSteer(w http.ResponseWriter, r *http.Request) {
+	var params map[string]float64
+	if err := json.NewDecoder(r.Body).Decode(&params); err != nil {
+		http.Error(w, "bad steering payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(params) == 0 {
+		http.Error(w, "empty steering payload", http.StatusBadRequest)
+		return
+	}
+	var err error
+	if cs, ok := s.src.(ClientFrameSource); ok {
+		err = cs.SteerFor(r.URL.Query().Get("client"), params)
+	} else {
+		err = s.src.Steer(params)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"ok":true}`)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.src.Status())
+}
+
+// indexHTML is the embedded browser client: an image that updates in place
+// via long-polling XHR and a steering form that posts asynchronously.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<title>RICSA — Computational Monitoring and Steering</title>
+<style>
+ body { font-family: sans-serif; background: #1b1b22; color: #ddd; margin: 1.5em; }
+ #frame { border: 1px solid #555; image-rendering: pixelated; width: 512px; height: 512px; }
+ .panel { display: inline-block; vertical-align: top; margin-left: 2em; }
+ label { display: block; margin-top: .6em; }
+ input { width: 8em; }
+ #status { margin-top: 1em; font-size: .85em; color: #9a9; white-space: pre; }
+</style>
+</head>
+<body>
+<h2>RICSA monitor</h2>
+<img id="frame" alt="waiting for first frame">
+<div class="panel">
+  <h3>Steering</h3>
+  <form id="steer">
+    <label>Left pressure <input name="left_pressure" type="number" step="0.1" value="1.0"></label>
+    <label>Left density <input name="left_density" type="number" step="0.1" value="1.0"></label>
+    <label>Isovalue <input name="isovalue" type="number" step="0.05" value="0.5"></label>
+    <label>Yaw <input name="yaw" type="number" step="0.1" value="0.9"></label>
+    <label>Pitch <input name="pitch" type="number" step="0.1" value="0.35"></label>
+    <label>Zoom <input name="zoom" type="number" step="0.1" value="1.0"></label>
+    <button type="submit">Steer</button>
+  </form>
+  <div id="status"></div>
+</div>
+<script>
+let seq = 0;
+async function pollFrames() {
+  for (;;) {
+    try {
+      const resp = await fetch('/api/frame?since=' + seq, {cache: 'no-store'});
+      if (resp.status === 200) {
+        seq = parseInt(resp.headers.get('X-Frame-Seq'), 10);
+        const blob = await resp.blob();
+        const img = document.getElementById('frame');
+        const old = img.src;
+        img.src = URL.createObjectURL(blob);
+        if (old) URL.revokeObjectURL(old);
+      }
+    } catch (e) {
+      await new Promise(r => setTimeout(r, 1000));
+    }
+  }
+}
+async function pollStatus() {
+  for (;;) {
+    try {
+      const resp = await fetch('/api/status');
+      document.getElementById('status').textContent =
+        JSON.stringify(await resp.json(), null, 1);
+    } catch (e) {}
+    await new Promise(r => setTimeout(r, 2000));
+  }
+}
+document.getElementById('steer').addEventListener('submit', async (ev) => {
+  ev.preventDefault();
+  const params = {};
+  for (const el of ev.target.elements) {
+    if (el.name && el.value !== '') params[el.name] = parseFloat(el.value);
+  }
+  await fetch('/api/steer', {method: 'POST', body: JSON.stringify(params)});
+});
+pollFrames();
+pollStatus();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,341 @@
+package webui
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ricsa/internal/steering"
+)
+
+// fakeSource is a scriptable FrameSource.
+type fakeSource struct {
+	mu     sync.Mutex
+	seq    uint64
+	png    []byte
+	notify chan struct{}
+	steers []map[string]float64
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{notify: make(chan struct{})}
+}
+
+func (f *fakeSource) publish(png []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	f.png = png
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+func (f *fakeSource) WaitFrame(ctx context.Context, since uint64) (uint64, []byte, error) {
+	for {
+		f.mu.Lock()
+		if f.seq > since && f.png != nil {
+			s, p := f.seq, f.png
+			f.mu.Unlock()
+			return s, p, nil
+		}
+		ch := f.notify
+		f.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func (f *fakeSource) Steer(p map[string]float64) error {
+	if _, bad := p["reject_me"]; bad {
+		return fmt.Errorf("rejected")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.steers = append(f.steers, p)
+	return nil
+}
+
+func (f *fakeSource) Status() map[string]any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return map[string]any{"frame_seq": f.seq}
+}
+
+func TestIndexServesHTML(t *testing.T) {
+	srv := httptest.NewServer(NewServer(newFakeSource()).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "XMLHttpRequest") && !strings.Contains(string(body), "fetch(") {
+		t.Fatal("page lacks asynchronous polling client")
+	}
+	if !strings.Contains(string(body), "/api/steer") {
+		t.Fatal("page lacks steering form target")
+	}
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	srv := httptest.NewServer(NewServer(newFakeSource()).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestFrameLongPollDeliversWhenPublished(t *testing.T) {
+	src := newFakeSource()
+	srv := httptest.NewServer(NewServer(src).Handler())
+	defer srv.Close()
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		src.publish([]byte("png-bytes-1"))
+	}()
+	resp, err := http.Get(srv.URL + "/api/frame?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Frame-Seq"); got != "1" {
+		t.Fatalf("seq header %q, want 1", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "png-bytes-1" {
+		t.Fatalf("body %q", body)
+	}
+}
+
+func TestFramePollTimesOutWith204(t *testing.T) {
+	s := NewServer(newFakeSource())
+	s.PollTimeout = 50 * time.Millisecond
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/frame?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestFrameBadSinceRejected(t *testing.T) {
+	srv := httptest.NewServer(NewServer(newFakeSource()).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/frame?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMultipleClientsReceiveSameFrame(t *testing.T) {
+	src := newFakeSource()
+	srv := httptest.NewServer(NewServer(src).Handler())
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/api/frame?since=0")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if string(body) != "shared-frame" {
+				errs <- fmt.Errorf("body %q", body)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	src.publish([]byte("shared-frame"))
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSteerEndpoint(t *testing.T) {
+	src := newFakeSource()
+	srv := httptest.NewServer(NewServer(src).Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(map[string]float64{"left_pressure": 8, "isovalue": 0.4})
+	resp, err := http.Post(srv.URL+"/api/steer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(src.steers) != 1 || src.steers[0]["left_pressure"] != 8 {
+		t.Fatalf("steer not recorded: %v", src.steers)
+	}
+
+	// Bad JSON.
+	resp, _ = http.Post(srv.URL+"/api/steer", "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON status %d, want 400", resp.StatusCode)
+	}
+	// Empty payload.
+	resp, _ = http.Post(srv.URL+"/api/steer", "application/json", strings.NewReader("{}"))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty payload status %d, want 400", resp.StatusCode)
+	}
+	// Source rejection surfaces as 400.
+	body, _ = json.Marshal(map[string]float64{"reject_me": 1})
+	resp, _ = http.Post(srv.URL+"/api/steer", "application/json", bytes.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("rejected steer status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	src := newFakeSource()
+	src.publish([]byte("x"))
+	srv := httptest.NewServer(NewServer(src).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status["frame_seq"].(float64) != 1 {
+		t.Fatalf("status %v", status)
+	}
+}
+
+func TestLiveSourceProducesFramesAndSteers(t *testing.T) {
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 32, 12, 12
+	req.StepsPerFrame = 1
+	src, err := NewLiveSource(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.FramePeriod = 5 * time.Millisecond
+	src.Width, src.Height = 64, 64
+	src.Start()
+	defer src.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seq1, png1, err := src.WaitFrame(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 == 0 || len(png1) == 0 {
+		t.Fatal("no first frame")
+	}
+	if png1[1] != 'P' || png1[2] != 'N' || png1[3] != 'G' {
+		t.Fatal("frame is not PNG")
+	}
+	seq2, _, err := src.WaitFrame(ctx, seq1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 <= seq1 {
+		t.Fatalf("sequence did not advance: %d -> %d", seq1, seq2)
+	}
+
+	if err := src.Steer(map[string]float64{"left_pressure": 9, "isovalue": 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	// The physics parameter lands at the next step boundary.
+	if _, _, err := src.WaitFrame(ctx, seq2); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Sim().Params().LeftPressure; got != 9 {
+		t.Fatalf("left pressure %v, want 9", got)
+	}
+	if err := src.Steer(map[string]float64{"bogus": 1}); err == nil {
+		t.Fatal("unknown steering key accepted")
+	}
+	st := src.Status()
+	if st["simulator"] != "sod" {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestLiveSourceEndToEndOverHTTP(t *testing.T) {
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 24, 10, 10
+	req.StepsPerFrame = 1
+	src, err := NewLiveSource(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.FramePeriod = 5 * time.Millisecond
+	src.Width, src.Height = 48, 48
+	src.Start()
+	defer src.Stop()
+
+	srv := httptest.NewServer(NewServer(src).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/frame?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := json.Marshal(map[string]float64{"zoom": 1.5})
+	r2, err := http.Post(srv.URL+"/api/steer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 200 {
+		t.Fatalf("steer status %d", r2.StatusCode)
+	}
+}
