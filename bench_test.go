@@ -91,6 +91,69 @@ func BenchmarkDPOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeUncached64 runs the full DP on a 64-node graph every
+// iteration: the cost a multi-session service would pay per re-optimization
+// without the CM's memoization layer.
+func BenchmarkOptimizeUncached64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := pipeline.RandomGraph(rng, 64, 2)
+	p := pipeline.RandomPipeline(rng, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Optimize(g, p, 0, 63); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeCached64 is the same instance answered by the optimizer
+// cache: each iteration pays fingerprinting plus a map lookup and a VRT
+// clone instead of the DP. The graph carries a measurement-epoch stamp, as
+// every Deployment.Measure-produced graph does, so the fingerprint is O(1).
+func BenchmarkOptimizeCached64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := pipeline.RandomGraph(rng, 64, 2)
+	g.Rev = pipeline.NextGraphRev()
+	p := pipeline.RandomPipeline(rng, 8, false)
+	c := pipeline.NewCache(0)
+	if _, err := c.Optimize(g, p, 0, 63); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Optimize(g, p, 0, 63); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeSerial512 and BenchmarkOptimizeParallel512 compare the
+// serial DP against the sharded per-column evaluation on a graph large
+// enough for the fan-out to pay.
+func BenchmarkOptimizeSerial512(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := pipeline.RandomGraph(rng, 512, 4)
+	p := pipeline.RandomPipeline(rng, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.OptimizeWith(g, p, 0, 511, pipeline.OptimizeOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeParallel512(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := pipeline.RandomGraph(rng, 512, 4)
+	p := pipeline.RandomPipeline(rng, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.OptimizeWith(g, p, 0, 511, pipeline.OptimizeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDPExhaustiveSmall shows the exponential reference cost the DP
 // avoids (ablation: DP vs exhaustive).
 func BenchmarkDPExhaustiveSmall(b *testing.B) {

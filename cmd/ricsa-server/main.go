@@ -1,18 +1,30 @@
-// Command ricsa-server runs a live RICSA deployment on this machine: a
-// steerable hydrodynamics simulation, the visualization modules, and the
-// Ajax web front end. Point any browser at the listen address to watch the
-// computation and steer it (Fig. 6 of the paper, minus the 2008 hardware).
+// Command ricsa-server runs a live multi-session RICSA deployment on this
+// machine: up to -max-sessions steerable hydrodynamics simulations, each
+// with its own visualization loop, behind the multi-session Ajax front end.
+// The central management state — the measured network graph and the
+// memoized pipeline optimizer — is shared by every session.
+//
+// Point any browser at the listen address for the session list; each
+// session page streams frames to any number of concurrent viewers and
+// accepts steering. A default session is created at startup from the -sim/
+// -var/-method flags so the service is immediately watchable; create more
+// with the web form or POST /api/sessions.
 //
 // Usage:
 //
-//	ricsa-server -addr :8080 -sim sod -var density -method isosurface
+//	ricsa-server -addr :8080 -max-sessions 16 -sim sod -var density
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ricsa/internal/steering"
@@ -21,36 +33,58 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-	sim := flag.String("sim", "sod", "simulator: sod or bowshock")
+	maxSessions := flag.Int("max-sessions", 16, "maximum concurrent simulation sessions")
+	sim := flag.String("sim", "sod", "default session simulator: sod or bowshock")
 	variable := flag.String("var", "density", "monitored variable: density or pressure")
-	method := flag.String("method", "isosurface", "visualization: isosurface or raycast")
+	method := flag.String("method", "isosurface", "visualization: isosurface, raycast, or streamline")
 	iso := flag.Float64("iso", 0.5, "isovalue for isosurface extraction")
 	nx := flag.Int("nx", 96, "grid cells in x")
 	ny := flag.Int("ny", 48, "grid cells in y")
 	nz := flag.Int("nz", 48, "grid cells in z")
 	steps := flag.Int("steps", 2, "solver cycles per frame")
 	period := flag.Duration("period", 150*time.Millisecond, "frame period")
+	reopt := flag.Int("reoptimize-every", 8, "frames between CM optimizer consultations")
+	noBootstrap := flag.Bool("no-bootstrap", false, "do not create the default session at startup")
 	flag.Parse()
 
-	req := steering.DefaultRequest()
-	req.Simulator = *sim
-	req.Variable = *variable
-	req.Method = *method
-	req.Isovalue = float32(*iso)
-	req.NX, req.NY, req.NZ = *nx, *ny, *nz
-	req.StepsPerFrame = *steps
+	mgr := steering.NewSessionManager(steering.ManagerConfig{
+		MaxSessions:     *maxSessions,
+		ReoptimizeEvery: *reopt,
+	})
 
-	src, err := webui.NewLiveSource(req)
-	if err != nil {
-		log.Fatalf("ricsa-server: %v", err)
+	if !*noBootstrap {
+		req := steering.DefaultRequest()
+		req.Simulator = *sim
+		req.Variable = *variable
+		req.Method = *method
+		req.Isovalue = float32(*iso)
+		req.NX, req.NY, req.NZ = *nx, *ny, *nz
+		req.StepsPerFrame = *steps
+		s, err := mgr.CreateTuned(req, *period, 0, 0)
+		if err != nil {
+			log.Fatalf("ricsa-server: bootstrap session: %v", err)
+		}
+		fmt.Printf("RICSA server: session %s simulating %q\n", s.ID, *sim)
 	}
-	src.FramePeriod = *period
-	src.Start()
-	defer src.Stop()
 
-	srv := webui.NewServer(src)
-	fmt.Printf("RICSA server: simulating %q, serving http://%s/\n", *sim, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	hub := webui.NewHub(mgr)
+	srv := &http.Server{Addr: *addr, Handler: hub.Handler()}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nRICSA server: draining sessions...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			log.Printf("ricsa-server: session shutdown: %v", err)
+		}
+		srv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("RICSA server: up to %d sessions, serving http://%s/\n", *maxSessions, *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("ricsa-server: %v", err)
 	}
 }

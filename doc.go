@@ -1,10 +1,13 @@
 // Package ricsa reproduces "Computational Monitoring and Steering Using
 // Network-Optimized Visualization and Ajax Web Server" (Zhu, Wu, Rao —
-// IPDPS 2008) as a Go library: a complete remote visualization and
-// computational steering system with a dynamic-programming pipeline
-// optimizer, a Robbins-Monro stabilized transport protocol, a steerable
+// IPDPS 2008) as a Go library and grows it into a multi-session service:
+// a complete remote visualization and computational steering system with
+// a dynamic-programming pipeline optimizer behind a shared memoization
+// layer, a Robbins-Monro stabilized transport protocol, a steerable
 // hydrodynamics simulation substrate, software visualization modules, and
-// an Ajax web front end.
+// an Ajax web front end that serves N concurrent steerable sessions
+// (internal/steering.SessionManager + internal/webui.Hub) to any number
+// of viewers each.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the paper-vs-measured comparison of every figure.

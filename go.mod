@@ -1,0 +1,3 @@
+module ricsa
+
+go 1.22

@@ -1,0 +1,264 @@
+package pipeline
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the memoization layer the multi-session service sits on:
+// under steady network conditions every session monitoring the same dataset
+// class asks the CM for the same mapping, and under adaptive reconfiguration
+// a session re-asks whenever a frame misses its predicted delay. Both are
+// exact repeats of an earlier (graph, pipeline, src, dst) instance, so the
+// CM keeps an LRU of solved instances keyed by content fingerprints instead
+// of re-running the dynamic program.
+
+// The fingerprints hash whole 64-bit words (an FNV-1a variant over words
+// with a final avalanche) rather than bytes: a cache lookup re-hashes the
+// graph on every call, so fingerprinting must stay an order of magnitude
+// cheaper than the dynamic program it short-circuits.
+
+const (
+	fpOffset = 0xcbf29ce484222325
+	fpPrime  = 0x00000100000001b3
+)
+
+func fpMix(h, x uint64) uint64 { return (h ^ x) * fpPrime }
+
+func fpFloat(h uint64, x float64) uint64 { return fpMix(h, math.Float64bits(x)) }
+
+func fpString(h uint64, s string) uint64 {
+	// Fold the string into words of 8 bytes, then mix its length so "ab"
+	// followed by "c" differs from "a" followed by "bc".
+	var w uint64
+	for i := 0; i < len(s); i++ {
+		w = w<<8 | uint64(s[i])
+		if i%8 == 7 {
+			h = fpMix(h, w)
+			w = 0
+		}
+	}
+	h = fpMix(h, w)
+	return fpMix(h, uint64(len(s)))
+}
+
+// fpFinal applies a strong avalanche (splitmix64 finalizer) so near-equal
+// inputs do not yield near-equal fingerprints.
+func fpFinal(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NextGraphRev returns a process-unique revision token for Graph.Rev.
+// Measurement layers stamp each freshly probed graph with one so that
+// fingerprinting — and therefore every cache lookup — skips the full
+// content hash.
+func NextGraphRev() uint64 { return graphRev.Add(1) }
+
+var graphRev atomic.Uint64
+
+// Fingerprint returns a 64-bit digest of the graph. A Rev-stamped graph is
+// digested from its revision token and dimensions (O(1) in the edge
+// count); an unstamped graph is digested from its full content — node
+// capabilities and every directed edge's measured bandwidth and delay —
+// so any re-measurement that changes an effective bandwidth changes the
+// fingerprint, and cached mappings computed for stale network conditions
+// can never be returned for fresh ones.
+func (g *Graph) Fingerprint() uint64 {
+	h := uint64(fpOffset)
+	if g.Rev != 0 {
+		h = fpMix(h, g.Rev)
+		h = fpMix(h, uint64(len(g.Nodes)))
+		return fpFinal(h)
+	}
+	h = fpMix(h, uint64(len(g.Nodes)))
+	for _, nd := range g.Nodes {
+		h = fpString(h, nd.Name)
+		h = fpFloat(h, nd.Power)
+		flags := uint64(0)
+		if nd.HasGPU {
+			flags = 1
+		}
+		h = fpMix(h, flags<<32|uint64(uint32(nd.Workers)))
+		h = fpFloat(h, nd.ScatterBW)
+		h = fpFloat(h, nd.ParallelOverhead)
+		h = fpFloat(h, nd.TrianglesPerSec)
+	}
+	for from, adj := range g.Adj {
+		h = fpMix(h, uint64(from)<<32|uint64(uint32(len(adj))))
+		for _, e := range adj {
+			h = fpMix(h, uint64(e.To))
+			h = fpFloat(h, e.Bandwidth)
+			h = fpFloat(h, e.Delay)
+		}
+	}
+	return fpFinal(h)
+}
+
+// Fingerprint returns a 64-bit digest of the pipeline's content: source
+// size plus every module's cost, output size, and capability flags.
+// Steering that changes module costs (a new isovalue changes the extraction
+// model) changes the fingerprint.
+func (p *Pipeline) Fingerprint() uint64 {
+	h := uint64(fpOffset)
+	h = fpFloat(h, p.SourceBytes)
+	for _, m := range p.Modules {
+		h = fpString(h, m.Name)
+		h = fpFloat(h, m.RefTime)
+		h = fpFloat(h, m.OutBytes)
+		flags := uint64(0)
+		if m.NeedsGPU {
+			flags |= 1
+		}
+		if m.Parallelizable {
+			flags |= 2
+		}
+		h = fpMix(h, flags)
+	}
+	return fpFinal(h)
+}
+
+// Clone deep-copies a VRT so cached results can be handed to concurrent
+// callers without aliasing.
+func (v *VRT) Clone() *VRT {
+	if v == nil {
+		return nil
+	}
+	out := &VRT{Delay: v.Delay, Groups: make([]Assignment, len(v.Groups))}
+	for i, grp := range v.Groups {
+		out.Groups[i] = Assignment{
+			Node:    grp.Node,
+			Modules: append([]string(nil), grp.Modules...),
+		}
+	}
+	return out
+}
+
+// CacheKey identifies one optimization instance.
+type CacheKey struct {
+	Graph, Pipe uint64
+	Src, Dst    int
+}
+
+// CacheStats is a snapshot of cache effectiveness counters. A Hit includes
+// callers that joined an in-flight computation of the same key (the DP ran
+// once for the whole group).
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+}
+
+type cacheEntry struct {
+	key CacheKey
+	vrt *VRT
+	err error
+}
+
+// inflightCall coalesces concurrent misses on the same key.
+type inflightCall struct {
+	done chan struct{}
+	vrt  *VRT
+	err  error
+}
+
+// Cache memoizes Optimize results, bounded by an LRU policy. It is safe for
+// concurrent use; concurrent misses on the same key run the dynamic program
+// once and share the result (single-flight). Infeasible instances are cached
+// too, so a session flapping against ErrNoFeasibleMapping does not re-pay
+// the DP on every retry.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List
+	index    map[CacheKey]*list.Element
+	inflight map[CacheKey]*inflightCall
+	hits     uint64
+	misses   uint64
+}
+
+// DefaultCacheCapacity bounds a NewCache(0) cache. Each entry is a solved
+// VRT — tens of small strings — so even thousands are cheap; the bound
+// exists to keep long-running multi-session services from growing without
+// limit as network conditions drift.
+const DefaultCacheCapacity = 4096
+
+// NewCache builds an optimizer cache holding up to capacity solved
+// instances (capacity <= 0 selects DefaultCacheCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[CacheKey]*list.Element),
+		inflight: make(map[CacheKey]*inflightCall),
+	}
+}
+
+// Optimize is the memoized equivalent of the package-level Optimize.
+func (c *Cache) Optimize(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
+	return c.OptimizeWith(g, p, src, dst, OptimizeOptions{})
+}
+
+// OptimizeWith is the memoized equivalent of the package-level OptimizeWith.
+// The returned VRT is a private copy the caller may retain and mutate.
+func (c *Cache) OptimizeWith(g *Graph, p *Pipeline, src, dst int, opt OptimizeOptions) (*VRT, error) {
+	key := CacheKey{Graph: g.Fingerprint(), Pipe: p.Fingerprint(), Src: src, Dst: dst}
+
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.hits++
+		c.mu.Unlock()
+		return ent.vrt.Clone(), ent.err
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		return call.vrt.Clone(), call.err
+	}
+	c.misses++
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	vrt, err := OptimizeWith(g, p, src, dst, opt)
+
+	c.mu.Lock()
+	call.vrt, call.err = vrt, err
+	close(call.done)
+	delete(c.inflight, key)
+	el := c.lru.PushFront(&cacheEntry{key: key, vrt: vrt, err: err})
+	c.index[key] = el
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+	return vrt.Clone(), err
+}
+
+// Stats snapshots the effectiveness counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+}
+
+// Purge drops every cached instance (counters are preserved).
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.index = make(map[CacheKey]*list.Element)
+}

@@ -1,0 +1,80 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"ricsa/internal/pipeline"
+)
+
+// ExampleOptimize partitions a three-module visualization pipeline across
+// a small WAN: a data source, a GPU cluster, and the client. The optimizer
+// extracts at the source (shipping 12 MB of geometry beats shipping 64 MB
+// of raw data, even to a faster node), renders on the GPU cluster, and
+// sends only the framebuffer down to the client.
+func ExampleOptimize() {
+	g := pipeline.NewGraph(
+		pipeline.Node{Name: "datasource", Power: 1},
+		pipeline.Node{Name: "cluster", Power: 1.5, Workers: 4, HasGPU: true, ScatterBW: 80e6},
+		pipeline.Node{Name: "client", Power: 1, HasGPU: true},
+	)
+	g.AddBiEdge(0, 1, 12e6, 0.007) // datasource <-> cluster, 12 MB/s
+	g.AddBiEdge(1, 2, 10e6, 0.003) // cluster <-> client, 10 MB/s
+	g.AddBiEdge(0, 2, 2e6, 0.010)  // thin direct path
+
+	p := &pipeline.Pipeline{
+		Name:        "isosurface",
+		SourceBytes: 64e6, // one 64 MB dataset per frame
+		Modules: []pipeline.Module{
+			{Name: "Extract", RefTime: 3.2, OutBytes: 12e6, Parallelizable: true},
+			{Name: "Render", RefTime: 0.9, OutBytes: 1e6, NeedsGPU: true},
+			{Name: "Deliver", RefTime: 0.05, OutBytes: 1e6},
+		},
+	}
+
+	vrt, err := pipeline.Optimize(g, p, 0, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, grp := range vrt.Groups {
+		fmt.Printf("%s: %v\n", grp.Node, grp.Modules)
+	}
+	fmt.Printf("predicted delay %.3fs\n", vrt.Delay)
+	// Output:
+	// datasource: [Source Extract]
+	// cluster: [Render]
+	// client: [Deliver]
+	// predicted delay 4.960s
+}
+
+// ExampleCache shows the memoization layer a multi-session service puts in
+// front of Optimize: the first request runs the dynamic program, repeats
+// are answered from the cache, and any change to the measured network
+// produces a new fingerprint — so a stale mapping can never be served.
+func ExampleCache() {
+	g := pipeline.NewGraph(
+		pipeline.Node{Name: "ds", Power: 1},
+		pipeline.Node{Name: "client", Power: 1, HasGPU: true},
+	)
+	g.AddBiEdge(0, 1, 8e6, 0.005)
+	p := &pipeline.Pipeline{
+		SourceBytes: 16e6,
+		Modules: []pipeline.Module{
+			{Name: "Extract", RefTime: 1.0, OutBytes: 4e6},
+			{Name: "Render", RefTime: 0.5, OutBytes: 1e6, NeedsGPU: true},
+		},
+	}
+
+	c := pipeline.NewCache(0)
+	c.Optimize(g, p, 0, 1) // miss: runs the DP
+	c.Optimize(g, p, 0, 1) // hit
+	c.Optimize(g, p, 0, 1) // hit
+
+	g.Adj[0][0].Bandwidth = 2e6 // network conditions changed
+	c.Optimize(g, p, 0, 1)      // new fingerprint: miss
+
+	st := c.Stats()
+	fmt.Printf("hits %d, misses %d\n", st.Hits, st.Misses)
+	// Output:
+	// hits 2, misses 2
+}

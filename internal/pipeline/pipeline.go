@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Module is one visualization module M_j (j >= 2): filtering,
@@ -81,6 +83,13 @@ type Edge struct {
 type Graph struct {
 	Nodes []Node
 	Adj   [][]Edge
+	// Rev, when non-zero, is a revision token assigned by the graph's
+	// owner — typically the measurement epoch that produced it (see
+	// NextGraphRev). Fingerprint then digests the token and the graph's
+	// dimensions instead of re-hashing every edge, making cache lookups
+	// O(1) in |E|. Owners that mutate a stamped graph in place must
+	// re-stamp it (or zero Rev to fall back to full content hashing).
+	Rev uint64
 }
 
 // NewGraph allocates a graph with the given nodes and no edges.
@@ -208,11 +217,96 @@ var (
 	ErrBadEndpoints      = errors.New("pipeline: invalid source or destination node")
 )
 
+// OptimizeOptions tunes how the dynamic program executes. The zero value
+// selects the defaults: automatic parallelism for large graphs, serial
+// execution for small ones.
+type OptimizeOptions struct {
+	// Workers caps the goroutines used per DP column. 0 means automatic
+	// (up to GOMAXPROCS workers once the graph reaches the parallel
+	// threshold, keeping at least parallelChunk nodes of work each);
+	// 1 forces the serial path; >1 forces that worker count.
+	Workers int
+	// ParallelThreshold is the node count at which automatic mode fans
+	// out. 0 selects DefaultParallelThreshold; an explicit value also
+	// lifts the work-per-goroutine floor, so graphs past a caller-chosen
+	// threshold always get at least two workers.
+	ParallelThreshold int
+}
+
+// parallelChunk is the node count automatic mode keeps per goroutine: DP
+// columns are thin (O(in-degree) per node), so finer shards cost more in
+// spawn/join than they save in compute.
+const parallelChunk = 128
+
+// DefaultParallelThreshold is the graph size at which Optimize switches
+// from serial to parallel column evaluation in automatic mode — two
+// parallelChunk shards of work.
+const DefaultParallelThreshold = 2 * parallelChunk
+
+func (o OptimizeOptions) workers(nNodes int) int {
+	w := o.Workers
+	if w == 0 {
+		th := o.ParallelThreshold
+		explicit := th > 0
+		if !explicit {
+			th = DefaultParallelThreshold
+		}
+		if nNodes < th {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+		if maxUseful := nNodes / parallelChunk; w > maxUseful {
+			w = maxUseful
+			if explicit && w < 2 {
+				// The caller asked for parallelism at this size; honor it
+				// with the minimum useful fan-out.
+				w = 2
+			}
+		}
+	}
+	if w > nNodes {
+		w = nNodes
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// inEdge is a directed edge viewed from its head: the tail node plus the
+// link parameters. The DP relaxes each node over its in-edges, so Optimize
+// builds this reverse index once instead of scanning every node pair with
+// FindEdge per column.
+type inEdge struct {
+	From int32
+	E    Edge
+}
+
+func inEdgeIndex(g *Graph) [][]inEdge {
+	in := make([][]inEdge, len(g.Nodes))
+	for u, adj := range g.Adj {
+		for _, e := range adj {
+			in[e.To] = append(in[e.To], inEdge{From: int32(u), E: e})
+		}
+	}
+	return in
+}
+
 // Optimize runs the dynamic program of Eqs. 9-10: T^j(v_i) is the minimal
 // delay of mapping the first j messages onto a path from src to v_i; the
 // answer is T^n(dst). Complexity O(n x |E|). The returned VRT includes the
-// source group (M_1 at src) followed by the computed groups.
+// source group (M_1 at src) followed by the computed groups. Large graphs
+// are solved with one goroutine per GOMAXPROCS slice of the node set; see
+// OptimizeWith to control this.
 func Optimize(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
+	return OptimizeWith(g, p, src, dst, OptimizeOptions{})
+}
+
+// OptimizeWith is Optimize with explicit execution options. Within a column
+// j every T^j(v) depends only on column j-1, so the per-node loop shards
+// across workers without synchronization beyond the column barrier; results
+// are identical to the serial path.
+func OptimizeWith(g *Graph, p *Pipeline, src, dst int, opt OptimizeOptions) (*VRT, error) {
 	nNodes := len(g.Nodes)
 	n := len(p.Modules)
 	if src < 0 || src >= nNodes || dst < 0 || dst >= nNodes {
@@ -221,6 +315,8 @@ func Optimize(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
 	if n == 0 {
 		return nil, errors.New("pipeline: empty module list")
 	}
+	in := inEdgeIndex(g)
+	workers := opt.workers(nNodes)
 
 	// T[v] holds T^j(v) for the current column j; prevT the previous one.
 	T := make([]float64, nNodes)
@@ -251,12 +347,12 @@ func Optimize(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
 		}
 	}
 
-	// Recursion: Eq. 9.
-	for j := 1; j < n; j++ {
-		choice[j] = make([]int32, nNodes)
-		for v := 0; v < nNodes; v++ {
+	// Recursion: Eq. 9. relax computes one column slice [lo, hi); slices
+	// only read prevT and write disjoint ranges of T and ch.
+	relax := func(j int, ch []int32, T, prevT []float64, lo, hi int) {
+		for v := lo; v < hi; v++ {
 			T[v] = math.Inf(1)
-			choice[j][v] = -1
+			ch[v] = -1
 			ct := computeTime(g, p, j, v)
 			if math.IsInf(ct, 1) {
 				continue
@@ -264,23 +360,41 @@ func Optimize(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
 			// Sub-case 1: inherit — module j joins the group at v.
 			if best := prevT[v] + ct; best < T[v] {
 				T[v] = best
-				choice[j][v] = int32(v)
+				ch[v] = int32(v)
 			}
 			// Sub-case 2: module j starts a new group at v, its input
 			// crossing an incident link from a neighbor u.
-			for u := 0; u < nNodes; u++ {
-				if u == v {
+			for _, ie := range in[v] {
+				u := int(ie.From)
+				if u == v || math.IsInf(prevT[u], 1) {
 					continue
 				}
-				e := g.FindEdge(u, v)
-				if e == nil || math.IsInf(prevT[u], 1) {
-					continue
-				}
-				if cand := prevT[u] + ct + transferTime(p, j, *e); cand < T[v] {
+				if cand := prevT[u] + ct + transferTime(p, j, ie.E); cand < T[v] {
 					T[v] = cand
-					choice[j][v] = int32(u)
+					ch[v] = ie.From
 				}
 			}
+		}
+	}
+	for j := 1; j < n; j++ {
+		choice[j] = make([]int32, nNodes)
+		if workers <= 1 {
+			relax(j, choice[j], T, prevT, 0, nNodes)
+		} else {
+			var wg sync.WaitGroup
+			chunk := (nNodes + workers - 1) / workers
+			for lo := 0; lo < nNodes; lo += chunk {
+				hi := lo + chunk
+				if hi > nNodes {
+					hi = nNodes
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					relax(j, choice[j], T, prevT, lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
 		}
 		T, prevT = prevT, T
 	}

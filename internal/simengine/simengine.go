@@ -201,11 +201,21 @@ func (s *Sim) SetParams(p Params) {
 	s.pending = &cp
 }
 
-// Time returns the simulated physical time.
-func (s *Sim) Time() float64 { return s.time }
+// Time returns the simulated physical time. Safe to call while another
+// goroutine drives Step (the web front ends poll it for status).
+func (s *Sim) Time() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.time
+}
 
-// Cycle returns the number of completed steps.
-func (s *Sim) Cycle() int { return s.cycle }
+// Cycle returns the number of completed steps. Safe to call while another
+// goroutine drives Step.
+func (s *Sim) Cycle() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycle
+}
 
 // Step advances one cycle (sweepx, sweepy, sweepz) and returns the dt used.
 func (s *Sim) Step() float64 {
@@ -225,8 +235,10 @@ func (s *Sim) Step() float64 {
 	if s.NZ > 1 {
 		s.sweep(2, dt, par)
 	}
+	s.mu.Lock()
 	s.time += dt
 	s.cycle++
+	s.mu.Unlock()
 	return dt
 }
 

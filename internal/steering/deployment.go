@@ -10,6 +10,13 @@
 // end-to-end frame delay measured here includes every term of the paper's
 // Eq. 2 plus the real transport-level effects (cross traffic, loss) the
 // analytical model abstracts away.
+//
+// Two session models share the CM machinery. Session replays one
+// monitoring loop on the emulated virtual clock (the experiment
+// substrate). SessionManager owns up to MaxSessions concurrent live
+// sessions — real simulations advancing in wall time with per-session
+// lifecycle goroutines — behind one shared measured graph and one shared
+// optimizer cache (the service substrate; see DESIGN.md).
 package steering
 
 import (
@@ -30,6 +37,10 @@ type Deployment struct {
 	// Estimates holds the raw per-channel measurement results keyed by
 	// "from->to".
 	Estimates map[string]cost.PathEstimate
+	// Cache, when non-nil, memoizes Optimize calls. Deployments owned by
+	// a SessionManager share one cache across sessions; standalone
+	// deployments may install their own with pipeline.NewCache.
+	Cache *pipeline.Cache
 }
 
 // NewDeployment wraps a network. Call Measure before optimizing.
@@ -69,6 +80,9 @@ func (d *Deployment) Measure(probeSizes []int, repeats int) {
 			g.AddEdge(idx[ch.From.Name], idx[ch.To.Name], est.EPB, est.MinDelay.Seconds())
 		}
 	}
+	// Stamp the measurement epoch so optimizer-cache lookups fingerprint
+	// this graph in O(1) instead of re-hashing every edge.
+	g.Rev = pipeline.NextGraphRev()
 	d.Graph = g
 }
 
@@ -82,6 +96,9 @@ func (d *Deployment) Optimize(p *pipeline.Pipeline, srcName, dstName string) (*p
 	dst := d.Graph.NodeIndex(dstName)
 	if src < 0 || dst < 0 {
 		return nil, fmt.Errorf("steering: unknown node %q or %q", srcName, dstName)
+	}
+	if d.Cache != nil {
+		return d.Cache.Optimize(d.Graph, p, src, dst)
 	}
 	return pipeline.Optimize(d.Graph, p, src, dst)
 }

@@ -1,0 +1,569 @@
+package steering
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ricsa/internal/grid"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+	"ricsa/internal/simengine"
+)
+
+// This file is the multi-session deployment service: where Session replays
+// one monitoring loop on the emulated virtual clock, SessionManager owns N
+// concurrent *live* sessions — each a real simulation advancing in wall
+// time with its own lifecycle goroutine — and a single shared CM state: one
+// measured network graph and one optimizer cache. Sessions re-consult the
+// CM as conditions change; identical (graph, pipeline, endpoints) instances
+// across sessions and across time are answered from the cache instead of
+// re-running the dynamic program.
+
+// Manager errors.
+var (
+	// ErrSessionLimit is returned by Create when the manager is at its
+	// -max-sessions capacity.
+	ErrSessionLimit = errors.New("steering: session limit reached")
+	// ErrNoSession is returned for operations on unknown or destroyed ids.
+	ErrNoSession = errors.New("steering: no such session")
+	// ErrShuttingDown is returned by Create after Shutdown began.
+	ErrShuttingDown = errors.New("steering: manager is shutting down")
+)
+
+// ManagerConfig tunes a SessionManager.
+type ManagerConfig struct {
+	// MaxSessions bounds concurrently live sessions (<= 0 selects 8).
+	MaxSessions int
+	// CacheCapacity bounds the shared optimizer cache
+	// (<= 0 selects pipeline.DefaultCacheCapacity).
+	CacheCapacity int
+	// ReoptimizeEvery is the number of frames between a session's
+	// consultations of the CM optimizer (<= 0 selects 8). Consultations
+	// whose inputs are unchanged hit the shared cache.
+	ReoptimizeEvery int
+	// Seed drives the emulated testbed network the CM measures.
+	Seed int64
+}
+
+// SessionManager owns the live sessions of one RICSA service instance plus
+// the central-management state they share: the measured pipeline graph of
+// the emulated six-site testbed and the memoized optimizer. It is safe for
+// concurrent use by HTTP handlers.
+type SessionManager struct {
+	cfg   ManagerConfig
+	cache *pipeline.Cache
+
+	mu       sync.Mutex
+	graph    *pipeline.Graph // current CM view; replaced by Remeasure
+	sessions map[string]*ManagedSession
+	nextID   uint64
+	closed   bool
+}
+
+// NewSessionManager builds a manager: it constructs the emulated testbed,
+// actively measures every channel (the Section 4.3 probes), and prepares
+// the shared optimizer cache.
+func NewSessionManager(cfg ManagerConfig) *SessionManager {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 8
+	}
+	if cfg.ReoptimizeEvery <= 0 {
+		cfg.ReoptimizeEvery = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	m := &SessionManager{
+		cfg:      cfg,
+		cache:    pipeline.NewCache(cfg.CacheCapacity),
+		sessions: make(map[string]*ManagedSession),
+	}
+	m.graph = m.measure(cfg.Seed)
+	return m
+}
+
+// measure probes a fresh testbed instance and returns the CM's graph view.
+func (m *SessionManager) measure(seed int64) *pipeline.Graph {
+	tb := netsim.DefaultTestbed()
+	tb.Loss = 0
+	tb.CrossMean = 0.9
+	d := NewDeployment(netsim.Testbed(seed, tb))
+	d.Measure([]int{256 << 10, 1 << 20}, 1)
+	return d.Graph
+}
+
+// Remeasure simulates a network-condition change: the CM re-probes a fresh
+// testbed epoch and replaces the shared graph. Sessions pick up the new
+// view at their next optimizer consultation; because the graph fingerprint
+// changed, those consultations miss the cache and re-run the DP once each.
+func (m *SessionManager) Remeasure(seed int64) {
+	g := m.measure(seed)
+	m.mu.Lock()
+	m.graph = g
+	m.mu.Unlock()
+}
+
+// Graph returns the CM's current measured graph (shared, read-only).
+func (m *SessionManager) Graph() *pipeline.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graph
+}
+
+// CacheStats reports the shared optimizer cache counters.
+func (m *SessionManager) CacheStats() pipeline.CacheStats { return m.cache.Stats() }
+
+// optimize is the CM entry point sessions call: memoized DP over the
+// current graph from the named data source to the named client.
+func (m *SessionManager) optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error) {
+	m.mu.Lock()
+	g := m.graph
+	m.mu.Unlock()
+	src, dst := g.NodeIndex(srcName), g.NodeIndex(dstName)
+	if src < 0 || dst < 0 {
+		return nil, fmt.Errorf("steering: unknown endpoint %q or %q", srcName, dstName)
+	}
+	return m.cache.Optimize(g, p, src, dst)
+}
+
+// Create starts a new live session for the request and returns it. The
+// session's lifecycle goroutine runs until Destroy or Shutdown.
+func (m *SessionManager) Create(req Request) (*ManagedSession, error) {
+	return m.CreateTuned(req, 0, 0, 0)
+}
+
+// CreateTuned is Create with explicit pacing and frame geometry applied
+// before the lifecycle goroutine starts (zero values keep the defaults:
+// 200ms frames at 512x512).
+func (m *SessionManager) CreateTuned(req Request, framePeriod time.Duration, width, height int) (*ManagedSession, error) {
+	s, err := newManagedSession(m, req)
+	if err != nil {
+		return nil, err
+	}
+	if framePeriod > 0 {
+		s.FramePeriod = framePeriod
+	}
+	if width > 0 {
+		s.Width = width
+	}
+	if height > 0 {
+		s.Height = height
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d live)", ErrSessionLimit, m.cfg.MaxSessions)
+	}
+	m.nextID++
+	s.ID = fmt.Sprintf("s%d", m.nextID)
+	m.sessions[s.ID] = s
+	m.mu.Unlock()
+	go s.run()
+	return s, nil
+}
+
+// Get returns the live session with the given id.
+func (m *SessionManager) Get(id string) (*ManagedSession, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List returns the live sessions ordered by id.
+func (m *SessionManager) List() []*ManagedSession {
+	m.mu.Lock()
+	out := make([]*ManagedSession, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len reports the number of live sessions.
+func (m *SessionManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Destroy stops the session's lifecycle goroutine, waits for it to exit,
+// and frees its slot.
+func (m *SessionManager) Destroy(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	s.halt()
+	return nil
+}
+
+// Shutdown gracefully stops every session, refusing new Creates. It
+// returns when all lifecycle goroutines have exited or ctx ends.
+func (m *SessionManager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	victims := make([]*ManagedSession, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		victims = append(victims, s)
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		for _, s := range victims {
+			s.halt()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ManagedSession is one live monitored simulation owned by a
+// SessionManager: a wall-clock simulate→consult-CM→render→publish loop
+// that any number of web viewers can attach to. It satisfies the webui
+// FrameSource contract (WaitFrame/Steer/Status) structurally.
+type ManagedSession struct {
+	ID  string
+	mgr *SessionManager
+	sim *simengine.Sim
+
+	// FramePeriod paces the loop; Width/Height size rendered frames.
+	// Fixed at creation (CreateTuned); the lifecycle goroutine reads them
+	// unlocked.
+	FramePeriod time.Duration
+	Width       int
+	Height      int
+
+	mu        sync.Mutex
+	req       Request
+	seq       uint64
+	png       []byte
+	notify    chan struct{}
+	viewers   int
+	vrt       *pipeline.VRT
+	optErr    error
+	renderErr error
+	reopts    int    // CM consultations performed
+	sinceOpt  int    // frames since the last consultation
+	pipeKey   uint64 // fingerprint of the pipeline last sent to the CM
+	pipe      *pipeline.Pipeline
+	// pipeGen counts cost-model invalidations (isovalue steers). A CM
+	// consultation snapshots it and discards its result if an
+	// invalidation landed while the optimizer ran unlocked, so a stale
+	// pipeline can never be installed over a fresher reset.
+	pipeGen uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newManagedSession validates the request and instantiates the simulator;
+// the caller registers the session and starts its goroutine.
+func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) {
+	switch req.Method {
+	case "isosurface", "raycast", "streamline", "":
+	default:
+		return nil, fmt.Errorf("steering: unknown method %q", req.Method)
+	}
+	var sim *simengine.Sim
+	switch req.Simulator {
+	case "sod":
+		sim = simengine.NewSod(req.NX, req.NY, req.NZ, simengine.DefaultSodParams())
+	case "bowshock":
+		sim = simengine.NewBowShock(req.NX, req.NY, req.NZ, simengine.DefaultBowShockParams())
+	default:
+		return nil, fmt.Errorf("steering: unknown simulator %q", req.Simulator)
+	}
+	if req.StepsPerFrame <= 0 {
+		req.StepsPerFrame = 1
+	}
+	return &ManagedSession{
+		mgr:         m,
+		sim:         sim,
+		req:         req,
+		notify:      make(chan struct{}),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		FramePeriod: 200 * time.Millisecond,
+		Width:       512,
+		Height:      512,
+	}, nil
+}
+
+// run is the session's lifecycle goroutine.
+func (s *ManagedSession) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.FramePeriod)
+	defer ticker.Stop()
+	s.produce()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.produce()
+		}
+	}
+}
+
+// halt stops the lifecycle goroutine and waits for it.
+func (s *ManagedSession) halt() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+func (s *ManagedSession) snapshot(req Request) *grid.ScalarField {
+	if req.Variable == "pressure" {
+		return s.sim.Pressure()
+	}
+	return s.sim.Density()
+}
+
+// produce advances the simulation one frame, consults the CM when due, and
+// publishes the rendered image.
+func (s *ManagedSession) produce() {
+	s.mu.Lock()
+	req := s.req
+	due := s.pipe == nil || s.sinceOpt >= s.mgr.cfg.ReoptimizeEvery
+	s.mu.Unlock()
+
+	for i := 0; i < req.StepsPerFrame; i++ {
+		s.sim.Step()
+	}
+	field := s.snapshot(req)
+
+	if due {
+		s.consultCM(field, req)
+	}
+
+	img, err := RenderDataset(field, req, s.Width, s.Height)
+	var png []byte
+	if err == nil {
+		png, err = img.PNG()
+	}
+	s.mu.Lock()
+	s.sinceOpt++
+	s.renderErr = err
+	if err == nil {
+		s.seq++
+		s.png = png
+		close(s.notify)
+		s.notify = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// consultCM rebuilds the session's pipeline model when its cost inputs
+// changed (a new isovalue) and asks the CM for a mapping. The paper's roles
+// map onto the testbed: the data source runs at GaTech, the client/front
+// end at ORNL. Unchanged (graph, pipeline) instances are answered from the
+// shared cache.
+func (s *ManagedSession) consultCM(field *grid.ScalarField, req Request) {
+	s.mu.Lock()
+	pipe := s.pipe
+	gen := s.pipeGen
+	s.mu.Unlock()
+
+	if pipe == nil {
+		st := AnalyzeDataset(field, req.Simulator, req.BlockEdge, req.Isovalue)
+		pipe = BuildIsoPipeline(st)
+	}
+	vrt, err := s.mgr.optimize(pipe, netsim.GaTech, netsim.ORNL)
+
+	s.mu.Lock()
+	if s.pipeGen != gen {
+		// A steer invalidated the cost model while the optimizer ran:
+		// drop this result (leaving sinceOpt past due) so the next frame
+		// re-analyzes under the fresh parameters instead of installing a
+		// stale pipeline over the reset.
+		s.mu.Unlock()
+		return
+	}
+	s.pipe = pipe
+	s.pipeKey = pipe.Fingerprint()
+	s.vrt, s.optErr = vrt, err
+	s.reopts++
+	s.sinceOpt = 0
+	s.mu.Unlock()
+}
+
+// Attach registers a viewer and returns its detach function. The hub calls
+// this once per watching client so Status can report fan-out.
+func (s *ManagedSession) Attach() (detach func()) {
+	s.mu.Lock()
+	s.viewers++
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.viewers--
+			s.mu.Unlock()
+		})
+	}
+}
+
+// WaitFrame blocks until a frame with sequence > since exists (or ctx
+// ends). Any number of viewers may wait concurrently.
+func (s *ManagedSession) WaitFrame(ctx context.Context, since uint64) (uint64, []byte, error) {
+	for {
+		s.mu.Lock()
+		if s.seq > since && s.png != nil {
+			seq, png := s.seq, s.png
+			s.mu.Unlock()
+			return seq, png, nil
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-s.stop:
+			return 0, nil, fmt.Errorf("%w: session destroyed", ErrNoSession)
+		case <-ch:
+		}
+	}
+}
+
+// Steer applies named steering parameters: physics keys go to the
+// simulator at its next step boundary; view keys retarget the renderer. A
+// changed isovalue invalidates the pipeline cost model, forcing a CM
+// consultation before the next frame. Application is atomic: an unknown
+// key rejects the whole request with nothing applied.
+func (s *ManagedSession) Steer(params map[string]float64) error {
+	for k := range params {
+		switch k {
+		case "left_pressure", "left_density", "right_pressure", "right_density",
+			"gamma", "cfl", "wind_velocity", "wind_density",
+			"isovalue", "yaw", "pitch", "zoom":
+		default:
+			return fmt.Errorf("steering: unknown steering parameter %q", k)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.sim.Params()
+	steerSim := false
+	for k, v := range params {
+		switch k {
+		case "left_pressure":
+			p.LeftPressure, steerSim = v, true
+		case "left_density":
+			p.LeftDensity, steerSim = v, true
+		case "right_pressure":
+			p.RightPressure, steerSim = v, true
+		case "right_density":
+			p.RightDensity, steerSim = v, true
+		case "gamma":
+			p.Gamma, steerSim = v, true
+		case "cfl":
+			p.CFL, steerSim = v, true
+		case "wind_velocity":
+			p.WindVelocity, steerSim = v, true
+		case "wind_density":
+			p.WindDensity, steerSim = v, true
+		case "isovalue":
+			if s.req.Isovalue != float32(v) {
+				s.req.Isovalue = float32(v)
+				// Cost model changed: rebuild and re-optimize next frame.
+				s.pipe = nil
+				s.pipeKey = 0
+				s.pipeGen++
+			}
+		case "yaw":
+			s.req.Camera.Yaw = v
+		case "pitch":
+			s.req.Camera.Pitch = v
+		case "zoom":
+			s.req.Camera.Zoom = v
+		}
+	}
+	if steerSim {
+		s.sim.SetParams(p)
+	}
+	return nil
+}
+
+// Status reports session state for the GUI sidebar and the service's
+// sessions listing.
+func (s *ManagedSession) Status() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.sim.Params()
+	st := map[string]any{
+		"id":              s.ID,
+		"simulator":       s.req.Simulator,
+		"variable":        s.req.Variable,
+		"method":          s.req.Method,
+		"cycle":           s.sim.Cycle(),
+		"sim_time":        s.sim.Time(),
+		"frame_seq":       s.seq,
+		"viewers":         s.viewers,
+		"isovalue":        s.req.Isovalue,
+		"left_pressure":   p.LeftPressure,
+		"left_density":    p.LeftDensity,
+		"reoptimizations": s.reopts,
+	}
+	if s.vrt != nil {
+		st["vrt_path"] = s.vrt.Path()
+		st["vrt_delay_s"] = s.vrt.Delay
+	}
+	if s.optErr != nil {
+		st["optimize_error"] = s.optErr.Error()
+	}
+	if s.renderErr != nil {
+		st["render_error"] = s.renderErr.Error()
+	}
+	return st
+}
+
+// Request returns a copy of the session's current request.
+func (s *ManagedSession) Request() Request {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.req
+}
+
+// VRT returns the session's current mapping (may be nil before the first
+// CM consultation completes).
+func (s *ManagedSession) VRT() *pipeline.VRT {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vrt.Clone()
+}
+
+// Reoptimizations reports how many times the session consulted the CM.
+func (s *ManagedSession) Reoptimizations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reopts
+}

@@ -1,0 +1,284 @@
+package webui
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ricsa/internal/steering"
+)
+
+// Hub is the multi-session Ajax front end: it routes /sessions/{id}/...
+// requests to the right live session of a steering.SessionManager and
+// multiplexes any number of viewers onto each one. The single-session
+// Server remains for embedding one fixed source; cmd/ricsa-server now
+// serves a Hub.
+//
+// Routes:
+//
+//	GET    /                        service page: session list + create form
+//	GET    /api/sessions            JSON array of session statuses
+//	POST   /api/sessions            create a session (JSON CreateRequest)
+//	DELETE /api/sessions/{id}       destroy a session
+//	GET    /api/cache               shared optimizer-cache counters
+//	GET    /sessions/{id}           embedded viewer page for the session
+//	GET    /sessions/{id}/api/frame long-poll the next frame (?since=N)
+//	POST   /sessions/{id}/api/steer steer the session
+//	GET    /sessions/{id}/api/status session status JSON
+type Hub struct {
+	mgr *steering.SessionManager
+	mux *http.ServeMux
+	// PollTimeout bounds a frame long-poll before replying 204 No Content.
+	PollTimeout time.Duration
+}
+
+// NewHub builds the multi-session front end over a session manager.
+func NewHub(mgr *steering.SessionManager) *Hub {
+	h := &Hub{mgr: mgr, mux: http.NewServeMux(), PollTimeout: 25 * time.Second}
+	h.mux.HandleFunc("GET /{$}", h.handleIndex)
+	h.mux.HandleFunc("GET /api/sessions", h.handleList)
+	h.mux.HandleFunc("POST /api/sessions", h.handleCreate)
+	h.mux.HandleFunc("DELETE /api/sessions/{id}", h.handleDestroy)
+	h.mux.HandleFunc("GET /api/cache", h.handleCache)
+	h.mux.HandleFunc("GET /sessions/{id}", h.handleViewer)
+	h.mux.HandleFunc("GET /sessions/{id}/api/frame", h.handleFrame)
+	h.mux.HandleFunc("POST /sessions/{id}/api/steer", h.handleSteer)
+	h.mux.HandleFunc("GET /sessions/{id}/api/status", h.handleStatus)
+	return h
+}
+
+// Handler returns the http.Handler for mounting or serving.
+func (h *Hub) Handler() http.Handler { return h.mux }
+
+// CreateRequest is the POST /api/sessions payload. Zero-valued fields fall
+// back to steering.DefaultRequest.
+type CreateRequest struct {
+	Simulator     string  `json:"simulator"`
+	Variable      string  `json:"variable"`
+	Method        string  `json:"method"`
+	Isovalue      float64 `json:"isovalue"`
+	NX            int     `json:"nx"`
+	NY            int     `json:"ny"`
+	NZ            int     `json:"nz"`
+	StepsPerFrame int     `json:"steps_per_frame"`
+	// FramePeriodMS paces the session's frame loop (default 200).
+	FramePeriodMS int `json:"frame_period_ms"`
+}
+
+func (cr CreateRequest) toRequest() steering.Request {
+	req := steering.DefaultRequest()
+	if cr.Simulator != "" {
+		req.Simulator = cr.Simulator
+	}
+	if cr.Variable != "" {
+		req.Variable = cr.Variable
+	}
+	if cr.Method != "" {
+		req.Method = cr.Method
+	}
+	if cr.Isovalue != 0 {
+		req.Isovalue = float32(cr.Isovalue)
+	}
+	if cr.NX > 0 {
+		req.NX = cr.NX
+	}
+	if cr.NY > 0 {
+		req.NY = cr.NY
+	}
+	if cr.NZ > 0 {
+		req.NZ = cr.NZ
+	}
+	if cr.StepsPerFrame > 0 {
+		req.StepsPerFrame = cr.StepsPerFrame
+	}
+	return req
+}
+
+// session resolves the {id} path value, writing 404 on a miss.
+func (h *Hub) session(w http.ResponseWriter, r *http.Request) *steering.ManagedSession {
+	s, ok := h.mgr.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such session", http.StatusNotFound)
+		return nil
+	}
+	return s
+}
+
+func (h *Hub) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cr CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
+		http.Error(w, "bad session payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s, err := h.mgr.CreateTuned(cr.toRequest(),
+		time.Duration(cr.FramePeriodMS)*time.Millisecond, 0, 0)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, steering.ErrSessionLimit) {
+			code = http.StatusTooManyRequests
+		} else if errors.Is(err, steering.ErrShuttingDown) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(map[string]any{"id": s.ID, "url": "/sessions/" + s.ID})
+}
+
+func (h *Hub) handleDestroy(w http.ResponseWriter, r *http.Request) {
+	if err := h.mgr.Destroy(r.PathValue("id")); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"ok":true}`)
+}
+
+func (h *Hub) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := h.mgr.List()
+	out := make([]map[string]any, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Status())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (h *Hub) handleCache(w http.ResponseWriter, r *http.Request) {
+	st := h.mgr.CacheStats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"hits": st.Hits, "misses": st.Misses, "entries": st.Entries,
+	})
+}
+
+func (h *Hub) handleViewer(w http.ResponseWriter, r *http.Request) {
+	s := h.session(w, r)
+	if s == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, clientPage("/sessions/"+s.ID, "RICSA session "+s.ID))
+}
+
+func (h *Hub) handleFrame(w http.ResponseWriter, r *http.Request) {
+	s := h.session(w, r)
+	if s == nil {
+		return
+	}
+	detach := s.Attach()
+	defer detach()
+	serveFrame(w, r, h.PollTimeout, s.WaitFrame)
+}
+
+func (h *Hub) handleSteer(w http.ResponseWriter, r *http.Request) {
+	s := h.session(w, r)
+	if s == nil {
+		return
+	}
+	var params map[string]float64
+	if err := json.NewDecoder(r.Body).Decode(&params); err != nil {
+		http.Error(w, "bad steering payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(params) == 0 {
+		http.Error(w, "empty steering payload", http.StatusBadRequest)
+		return
+	}
+	if err := s.Steer(params); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"ok":true}`)
+}
+
+func (h *Hub) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s := h.session(w, r)
+	if s == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Status())
+}
+
+func (h *Hub) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, hubHTML)
+}
+
+// hubHTML is the service page: lists live sessions (each linking to its
+// viewer), shows optimizer-cache counters, and offers a create form.
+const hubHTML = `<!DOCTYPE html>
+<html>
+<head>
+<title>RICSA — sessions</title>
+<style>
+ body { font-family: sans-serif; background: #1b1b22; color: #ddd; margin: 1.5em; }
+ table { border-collapse: collapse; margin-top: 1em; }
+ td, th { border: 1px solid #444; padding: .35em .7em; text-align: left; }
+ a { color: #8ac; }
+ #cache { margin-top: 1em; color: #9a9; font-size: .9em; }
+ form { margin-top: 1.5em; }
+ label { margin-right: 1em; }
+ input, select { width: 7em; }
+</style>
+</head>
+<body>
+<h2>RICSA sessions</h2>
+<table id="sessions"><tr><th>id</th><th>simulator</th><th>frame</th>
+<th>viewers</th><th>mapping</th><th></th></tr></table>
+<div id="cache"></div>
+<form id="create">
+  <label>Simulator <select name="simulator">
+    <option value="sod">sod</option><option value="bowshock">bowshock</option>
+  </select></label>
+  <label>Method <select name="method">
+    <option value="isosurface">isosurface</option>
+    <option value="raycast">raycast</option>
+    <option value="streamline">streamline</option>
+  </select></label>
+  <button type="submit">New session</button>
+</form>
+<script>
+async function refresh() {
+  const rows = [['id','simulator','frame','viewers','mapping','']];
+  try {
+    const sessions = await (await fetch('/api/sessions')).json();
+    for (const s of sessions) {
+      rows.push(['<a href="/sessions/' + s.id + '">' + s.id + '</a>',
+                 s.simulator, s.frame_seq, s.viewers,
+                 (s.vrt_path || []).join(' → '),
+                 '<button data-id="' + s.id + '">destroy</button>']);
+    }
+    const cache = await (await fetch('/api/cache')).json();
+    document.getElementById('cache').textContent =
+      'optimizer cache: ' + cache.hits + ' hits / ' + cache.misses +
+      ' misses / ' + cache.entries + ' entries';
+  } catch (e) {}
+  const table = document.getElementById('sessions');
+  table.innerHTML = rows.map((r, i) =>
+    '<tr>' + r.map(c => (i ? '<td>' : '<th>') + c + (i ? '</td>' : '</th>')).join('') + '</tr>'
+  ).join('');
+}
+document.getElementById('sessions').addEventListener('click', async (ev) => {
+  const id = ev.target.dataset && ev.target.dataset.id;
+  if (id) { await fetch('/api/sessions/' + id, {method: 'DELETE'}); refresh(); }
+});
+document.getElementById('create').addEventListener('submit', async (ev) => {
+  ev.preventDefault();
+  const body = {};
+  for (const el of ev.target.elements) if (el.name) body[el.name] = el.value;
+  await fetch('/api/sessions', {method: 'POST', body: JSON.stringify(body)});
+  refresh();
+});
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

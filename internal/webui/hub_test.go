@@ -1,0 +1,329 @@
+package webui
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ricsa/internal/steering"
+)
+
+func testHub(t *testing.T, maxSessions int) (*Hub, *steering.SessionManager) {
+	t.Helper()
+	mgr := steering.NewSessionManager(steering.ManagerConfig{
+		MaxSessions:     maxSessions,
+		ReoptimizeEvery: 2,
+		Seed:            42,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	})
+	return NewHub(mgr), mgr
+}
+
+// createSession posts a small/fast session and returns its id.
+func createSession(t *testing.T, url string) string {
+	t.Helper()
+	body, _ := json.Marshal(CreateRequest{
+		Simulator: "sod", NX: 16, NY: 8, NZ: 8,
+		StepsPerFrame: 1, FramePeriodMS: 3,
+	})
+	resp, err := http.Post(url+"/api/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("create returned empty id")
+	}
+	return out.ID
+}
+
+func TestHubSessionLifecycleOverHTTP(t *testing.T) {
+	h, mgr := testHub(t, 4)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	id := createSession(t, srv.URL)
+	if mgr.Len() != 1 {
+		t.Fatalf("manager has %d sessions, want 1", mgr.Len())
+	}
+
+	// Listing includes it.
+	resp, err := http.Get(srv.URL + "/api/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]any
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 1 || list[0]["id"] != id {
+		t.Fatalf("listing %v, want session %s", list, id)
+	}
+
+	// The viewer page targets the session-scoped API.
+	resp, err = http.Get(srv.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "/sessions/"+id+"/api/steer") {
+		t.Fatalf("viewer page does not target /sessions/%s/api/steer", id)
+	}
+
+	// Frames are served under the session route.
+	resp, err = http.Get(srv.URL + "/sessions/" + id + "/api/frame?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	png, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "image/png" {
+		t.Fatalf("frame status %d type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if len(png) < 4 || png[1] != 'P' || png[2] != 'N' || png[3] != 'G' {
+		t.Fatal("frame is not PNG")
+	}
+
+	// Steering lands in this session.
+	body, _ := json.Marshal(map[string]float64{"left_pressure": 7})
+	resp, err = http.Post(srv.URL+"/sessions/"+id+"/api/steer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("steer status %d", resp.StatusCode)
+	}
+
+	// Status reflects the session.
+	resp, err = http.Get(srv.URL + "/sessions/" + id + "/api/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status map[string]any
+	json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if status["id"] != id || status["simulator"] != "sod" {
+		t.Fatalf("status %v", status)
+	}
+
+	// Destroy frees the slot; the routes then 404.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/sessions/"+id, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("destroy status %d", resp.StatusCode)
+	}
+	if mgr.Len() != 0 {
+		t.Fatal("session not destroyed")
+	}
+	resp, _ = http.Get(srv.URL + "/sessions/" + id + "/api/status")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("destroyed session status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHubViewerMultiplexing attaches many concurrent viewers to one session
+// and checks that all of them receive frames while status reports the
+// fan-out.
+func TestHubViewerMultiplexing(t *testing.T) {
+	h, _ := testHub(t, 1)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	id := createSession(t, srv.URL)
+
+	const viewers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, viewers)
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := 0; f < 3; f++ {
+				resp, err := http.Get(srv.URL + "/sessions/" + id + "/api/frame?since=0")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("viewer frame status %d", resp.StatusCode)
+					return
+				}
+				if len(body) < 4 || body[1] != 'P' {
+					errs <- fmt.Errorf("viewer got non-PNG frame")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestHubViewerCountDuringPoll checks that a blocked long-poll is counted
+// as an attached viewer.
+func TestHubViewerCountDuringPoll(t *testing.T) {
+	h, mgr := testHub(t, 1)
+	h.PollTimeout = 500 * time.Millisecond
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	id := createSession(t, srv.URL)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// since far in the future: blocks until the poll timeout.
+		resp, err := http.Get(srv.URL + "/sessions/" + id + "/api/frame?since=1099511627776")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	s, _ := mgr.Get(id)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Status()["viewers"].(int) >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Status()["viewers"].(int); got < 1 {
+		t.Fatalf("viewers %d during long-poll, want >= 1", got)
+	}
+	<-done
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Status()["viewers"].(int) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("viewers %d after poll ended, want 0", s.Status()["viewers"])
+}
+
+func TestHubSessionLimitOverHTTP(t *testing.T) {
+	h, _ := testHub(t, 1)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	createSession(t, srv.URL)
+
+	body, _ := json.Marshal(CreateRequest{Simulator: "sod", NX: 16, NY: 8, NZ: 8})
+	resp, err := http.Post(srv.URL+"/api/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit create status %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestHubRejectsBadInput(t *testing.T) {
+	h, _ := testHub(t, 2)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	// Unknown simulator.
+	body, _ := json.Marshal(CreateRequest{Simulator: "warp-drive"})
+	resp, _ := http.Post(srv.URL+"/api/sessions", "application/json", bytes.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad simulator status %d, want 400", resp.StatusCode)
+	}
+	// Unknown visualization method must be rejected at creation, not
+	// produce a session that can never render a frame.
+	body, _ = json.Marshal(CreateRequest{Simulator: "sod", Method: "volume"})
+	resp, _ = http.Post(srv.URL+"/api/sessions", "application/json", bytes.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad method status %d, want 400", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, _ = http.Post(srv.URL+"/api/sessions", "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON status %d, want 400", resp.StatusCode)
+	}
+	// Unknown session everywhere.
+	for _, path := range []string{"/sessions/nope", "/sessions/nope/api/status", "/sessions/nope/api/frame"} {
+		resp, _ = http.Get(srv.URL + path)
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("GET %s status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	// Bad since on a live session.
+	id := createSession(t, srv.URL)
+	resp, _ = http.Get(srv.URL + "/sessions/" + id + "/api/frame?since=banana")
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad since status %d, want 400", resp.StatusCode)
+	}
+	// Unknown steering key.
+	body, _ = json.Marshal(map[string]float64{"bogus": 1})
+	resp, _ = http.Post(srv.URL+"/sessions/"+id+"/api/steer", "application/json", bytes.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad steer key status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHubIndexAndCacheEndpoints(t *testing.T) {
+	h, _ := testHub(t, 1)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(page), "/api/sessions") {
+		t.Fatalf("index status %d or missing session API reference", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/api/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cache map[string]any
+	json.NewDecoder(resp.Body).Decode(&cache)
+	resp.Body.Close()
+	for _, k := range []string{"hits", "misses", "entries"} {
+		if _, ok := cache[k]; !ok {
+			t.Fatalf("cache stats missing %q: %v", k, cache)
+		}
+	}
+}

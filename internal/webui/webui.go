@@ -8,15 +8,24 @@
 // preserves the mechanics that matter — only the image element updates when
 // a new frame arrives, and steering posts happen asynchronously while the
 // animation continues. Any number of browsers can watch one computation.
+//
+// Server fronts a single FrameSource (one computation). Hub is the
+// multi-session service front end: it routes /sessions/{id}/... to the
+// live sessions of a steering.SessionManager, multiplexes any number of
+// viewers per session, and exposes session CRUD plus the shared
+// optimizer-cache counters. cmd/ricsa-server serves a Hub.
 package webui
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
+
+	"ricsa/internal/steering"
 )
 
 // FrameSource is what the front end serves: a sequence of PNG frames plus
@@ -70,13 +79,27 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, indexHTML)
+	fmt.Fprint(w, clientPage("", "RICSA monitor"))
 }
 
 // handleFrame is the XMLHttpRequest object-exchange endpoint: the browser
 // asks for any frame newer than the one it has; the server holds the
 // request open until one exists.
 func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	serveFrame(w, r, s.PollTimeout, func(ctx context.Context, since uint64) (uint64, []byte, error) {
+		if cs, ok := s.src.(ClientFrameSource); ok {
+			return cs.WaitFrameFor(ctx, r.URL.Query().Get("client"), since)
+		}
+		return s.src.WaitFrame(ctx, since)
+	})
+}
+
+// serveFrame implements the long-poll frame protocol shared by the
+// single-session Server and the Hub's per-session routes: parse ?since,
+// wait under the poll timeout (204 on expiry, 410 if the session died
+// mid-wait), and reply with the PNG and its sequence header.
+func serveFrame(w http.ResponseWriter, r *http.Request, timeout time.Duration,
+	wait func(ctx context.Context, since uint64) (uint64, []byte, error)) {
 	since := uint64(0)
 	if v := r.URL.Query().Get("since"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
@@ -86,22 +109,18 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		}
 		since = n
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.PollTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	var seq uint64
-	var png []byte
-	var err error
-	if cs, ok := s.src.(ClientFrameSource); ok {
-		seq, png, err = cs.WaitFrameFor(ctx, r.URL.Query().Get("client"), since)
-	} else {
-		seq, png, err = s.src.WaitFrame(ctx, since)
-	}
+	seq, png, err := wait(ctx, since)
 	if err != nil {
-		if ctx.Err() != nil {
+		switch {
+		case ctx.Err() != nil:
 			w.WriteHeader(http.StatusNoContent)
-			return
+		case errors.Is(err, steering.ErrNoSession):
+			http.Error(w, err.Error(), http.StatusGone)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "image/png")
@@ -139,8 +158,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.src.Status())
 }
 
-// indexHTML is the embedded browser client: an image that updates in place
-// via long-polling XHR and a steering form that posts asynchronously.
+// clientPage renders the embedded browser client — an image that updates in
+// place via long-polling XHR and a steering form that posts asynchronously —
+// against the API mounted under base ("" for the single-session Server,
+// "/sessions/{id}" for a Hub session).
+func clientPage(base, title string) string {
+	return fmt.Sprintf(indexHTML, base, title)
+}
+
+// indexHTML is the clientPage template: %[1]s is the API base path and
+// %[2]s the page heading.
 const indexHTML = `<!DOCTYPE html>
 <html>
 <head>
@@ -155,7 +182,7 @@ const indexHTML = `<!DOCTYPE html>
 </style>
 </head>
 <body>
-<h2>RICSA monitor</h2>
+<h2>%[2]s</h2>
 <img id="frame" alt="waiting for first frame">
 <div class="panel">
   <h3>Steering</h3>
@@ -175,7 +202,7 @@ let seq = 0;
 async function pollFrames() {
   for (;;) {
     try {
-      const resp = await fetch('/api/frame?since=' + seq, {cache: 'no-store'});
+      const resp = await fetch('%[1]s/api/frame?since=' + seq, {cache: 'no-store'});
       if (resp.status === 200) {
         seq = parseInt(resp.headers.get('X-Frame-Seq'), 10);
         const blob = await resp.blob();
@@ -183,6 +210,13 @@ async function pollFrames() {
         const old = img.src;
         img.src = URL.createObjectURL(blob);
         if (old) URL.revokeObjectURL(old);
+      } else if (resp.status === 404 || resp.status === 410) {
+        document.getElementById('status').textContent = 'session ended';
+        return;
+      } else if (resp.status !== 204) {
+        // 204 is the long-poll timeout: re-poll immediately. Anything
+        // else is an error; back off instead of hammering the server.
+        await new Promise(r => setTimeout(r, 1000));
       }
     } catch (e) {
       await new Promise(r => setTimeout(r, 1000));
@@ -192,7 +226,7 @@ async function pollFrames() {
 async function pollStatus() {
   for (;;) {
     try {
-      const resp = await fetch('/api/status');
+      const resp = await fetch('%[1]s/api/status');
       document.getElementById('status').textContent =
         JSON.stringify(await resp.json(), null, 1);
     } catch (e) {}
@@ -205,7 +239,7 @@ document.getElementById('steer').addEventListener('submit', async (ev) => {
   for (const el of ev.target.elements) {
     if (el.name && el.value !== '') params[el.name] = parseFloat(el.value);
   }
-  await fetch('/api/steer', {method: 'POST', body: JSON.stringify(params)});
+  await fetch('%[1]s/api/steer', {method: 'POST', body: JSON.stringify(params)});
 });
 pollFrames();
 pollStatus();
