@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"ricsa/internal/pipeline"
+)
+
+// This file is the machine-readable perf artifact: -bench-json runs the
+// pipeline-optimizer micro-benchmarks under testing.Benchmark and writes
+// BENCH_pipeline.json, so the repo's perf trajectory is a diffable file
+// across PRs instead of living only in `go test -bench` terminal output.
+
+// BenchRecord is one micro-benchmark row.
+type BenchRecord struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchInstance builds the 64-node optimization instance shared by the
+// micro-benchmarks (the same shape as the root-package cache benchmarks).
+func benchInstance() (*pipeline.Graph, *pipeline.Pipeline) {
+	rng := rand.New(rand.NewSource(1))
+	g := pipeline.RandomGraph(rng, 64, 3)
+	g.Rev = pipeline.NextGraphRev()
+	p := pipeline.RandomPipeline(rng, 8, false)
+	return g, p
+}
+
+func writeBenchJSON(path string) error {
+	g, p := benchInstance()
+	cache := pipeline.NewCache(0)
+	if _, err := cache.Optimize(g, p, 0, 63); err != nil {
+		return fmt.Errorf("warm cache: %w", err)
+	}
+	ups := []pipeline.EdgeUpdate{{From: 0, To: g.Adj[0][0].To, Bandwidth: 5e6, Delay: 0.01}}
+
+	benches := []struct {
+		op string
+		fn func(b *testing.B)
+	}{
+		{"optimize_dp_64node", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Optimize(g, p, 0, 63); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"optimize_cached_64node", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cache.Optimize(g, p, 0, 63); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"fingerprint_graph_stamped", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = g.Fingerprint()
+			}
+		}},
+		{"fingerprint_pipeline", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = p.Fingerprint()
+			}
+		}},
+		{"apply_edge_updates_64node", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = g.ApplyEdgeUpdates(ups)
+			}
+		}},
+	}
+
+	records := make([]BenchRecord, 0, len(benches))
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		records = append(records, BenchRecord{
+			Op:          bench.op,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d pipeline benchmarks to %s\n", len(records), path)
+	return nil
+}

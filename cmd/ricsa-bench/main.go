@@ -9,6 +9,8 @@
 //	ricsa-bench -exp all            # every experiment at full scale
 //	ricsa-bench -exp fig9           # one experiment
 //	ricsa-bench -exp fig9 -scale 4  # reduced-scale quick run
+//	ricsa-bench -bench-json BENCH_pipeline.json  # machine-readable
+//	                                  pipeline micro-benchmarks, then exit
 package main
 
 import (
@@ -21,11 +23,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig9, fig10, transport, dp, cost, all")
+	exp := flag.String("exp", "all",
+		"experiment: fig9, fig10, transport, dp, cost, gain, predict, adapt, all")
 	scale := flag.Int("scale", 1, "dataset analysis scale divisor (1 = full size)")
 	trials := flag.Int("trials", 3, "trials per measurement")
 	seed := flag.Int64("seed", 1, "random seed")
+	benchJSON := flag.String("bench-json", "",
+		"write pipeline micro-benchmarks (op, ns/op, allocs) as JSON to this path and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "ricsa-bench bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := experiments.DefaultOptions()
 	opt.Seed = *seed
@@ -49,6 +62,25 @@ func main() {
 	run("cost", func() error { return runCost(opt) })
 	run("gain", func() error { return runGain(opt) })
 	run("predict", func() error { return runPredict(opt) })
+	run("adapt", func() error { return runAdapt(opt) })
+}
+
+func runAdapt(opt experiments.Options) error {
+	fmt.Println("== Sec. 5.3.2: adaptive reconfiguration on link collapse ==")
+	res, err := experiments.RunAdaptation(opt, 3, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %10s\n", "phase", "delay")
+	fmt.Printf("%-24s %9.2fs\n", "healthy (mean)", res.HealthyMean)
+	fmt.Printf("%-24s %9.2fs\n", "degraded (first frame)", res.DegradedPeak)
+	fmt.Printf("%-24s %9.2fs\n", "recovered (mean)", res.RecoveredMean)
+	fmt.Printf("-- reconfigs %d, adapter triggers %d, graph restamps %d\n",
+		res.Reconfigs, res.Adaptations, res.Restamps)
+	fmt.Printf("-- loop before: %v\n", res.PathBefore)
+	fmt.Printf("-- loop after:  %v\n", res.PathAfter)
+	fmt.Println()
+	return nil
 }
 
 func runGain(opt experiments.Options) error {

@@ -2,7 +2,13 @@
 // machine: up to -max-sessions steerable hydrodynamics simulations, each
 // with its own visualization loop, behind the multi-session Ajax front end.
 // The central management state — the measured network graph and the
-// memoized pipeline optimizer — is shared by every session.
+// memoized pipeline optimizer — is shared by every session. A background
+// prober re-measures a few links every -probe-interval and re-stamps the
+// graph only when an estimate drifts past -probe-tolerance; sessions whose
+// installed mapping deviates past -adapt-tolerance for -adapt-window
+// consecutive frames are re-optimized early. GET /api/cm exposes the
+// control-plane state (probe epoch, per-edge staleness, adaptation
+// counters).
 //
 // Point any browser at the listen address for the session list; each
 // session page streams frames to any number of concurrent viewers and
@@ -44,12 +50,26 @@ func main() {
 	steps := flag.Int("steps", 2, "solver cycles per frame")
 	period := flag.Duration("period", 150*time.Millisecond, "frame period")
 	reopt := flag.Int("reoptimize-every", 8, "frames between CM optimizer consultations")
+	probeInterval := flag.Duration("probe-interval", 5*time.Second,
+		"background prober cadence (0 disables continuous re-measurement)")
+	probeLinks := flag.Int("probe-links", 2, "directed links re-probed per prober tick")
+	probeTolerance := flag.Float64("probe-tolerance", 0.05,
+		"relative estimate drift that re-stamps the measured graph")
+	adaptTolerance := flag.Float64("adapt-tolerance", 0.5,
+		"fractional delay deviation that counts a frame as degraded")
+	adaptWindow := flag.Int("adapt-window", 2,
+		"consecutive degraded frames before a session is re-optimized early")
 	noBootstrap := flag.Bool("no-bootstrap", false, "do not create the default session at startup")
 	flag.Parse()
 
 	mgr := steering.NewSessionManager(steering.ManagerConfig{
-		MaxSessions:     *maxSessions,
-		ReoptimizeEvery: *reopt,
+		MaxSessions:       *maxSessions,
+		ReoptimizeEvery:   *reopt,
+		ProbeInterval:     *probeInterval,
+		ProbeLinksPerTick: *probeLinks,
+		ProbeTolerance:    *probeTolerance,
+		AdaptTolerance:    *adaptTolerance,
+		AdaptWindow:       *adaptWindow,
 	})
 
 	if !*noBootstrap {

@@ -1,0 +1,458 @@
+// Package cm is the Central Manager of the paper's Section 2 architecture,
+// extracted into one reusable control loop: measure the network, optimize
+// the pipeline mapping (the Eq. 9-10 dynamic program, memoized), deploy the
+// resulting VRT, monitor realized frame delay against the VRT's prediction,
+// and adapt when conditions drift. Both of the repo's session models are
+// clients of this engine — emulated steering.Session/Deployment drive it on
+// the netsim virtual clock, live steering.SessionManager sessions on wall
+// time — so the measure/optimize/adapt logic exists exactly once.
+//
+// Measurement is continuous and incremental. A Manager keeps one EWMA
+// estimate per directed edge, fed by the Section 4.3 EPB probes: a full
+// sweep (MeasureAll) is authoritative and adopts raw values, while the
+// background Prober re-probes a small round-robin subset of links per tick
+// and nudges estimates by an EWMA step scaled by the probe's fit confidence.
+// Either way, the published pipeline.Graph snapshot is only replaced — and
+// its Rev only re-stamped — when an estimate moves past the configured
+// tolerance, so an unchanged network keeps its fingerprint and every
+// optimizer consultation keeps hitting the shared cache.
+package cm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ricsa/internal/cost"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+)
+
+// Node-inventory defaults applied to every host (previously hard-coded in
+// the steering measurement layer): intra-cluster scatter bandwidth and the
+// fixed parallel-invocation overhead of Section 5.3.1.
+const (
+	DefaultScatterBW        = 80 * netsim.MB
+	DefaultParallelOverhead = 0.8
+)
+
+// Config tunes a Manager. The zero value selects workable defaults for
+// every knob; ProbeInterval <= 0 leaves the background Prober off (virtual-
+// clock clients call ProbeTick themselves).
+type Config struct {
+	// ProbeSizes is the test-message sweep per probe (nil selects
+	// cost.DefaultProbeSizes) and ProbeRepeats the per-size averaging.
+	ProbeSizes   []int
+	ProbeRepeats int
+	// ProbeInterval is the wall-clock cadence of the background Prober
+	// started by Start. <= 0 disables it.
+	ProbeInterval time.Duration
+	// ProbeLinksPerTick is how many directed edges one ProbeTick re-probes,
+	// round-robin over the edge set (<= 0 selects 2).
+	ProbeLinksPerTick int
+	// Tolerance is the relative drift an EWMA estimate must show against
+	// the published graph before the edge is patched and the graph
+	// re-stamped (<= 0 selects 0.05). Below it, the network is considered
+	// unchanged and cached mappings stay valid.
+	Tolerance float64
+	// DelayFloor is the minimum absolute drift (seconds) an edge's
+	// fixed-delay estimate must show before it counts: intercept
+	// estimates are noisy in relative terms on short paths, and a
+	// sub-millisecond wobble on a 5ms edge is irrelevant to frame delays
+	// (<= 0 selects 2ms).
+	DelayFloor float64
+	// EWMAAlpha is the base smoothing step for incremental probe updates,
+	// scaled per probe by its fit confidence (<= 0 selects 0.25 — small
+	// enough that steady cross-traffic wobble stays inside the tolerance,
+	// large enough that a collapsed link crosses it on its first
+	// re-probe).
+	EWMAAlpha float64
+	// DeviationTolerance and DeviationWindow parameterize Adapters: a frame
+	// whose observed delay exceeds prediction by more than the tolerance
+	// fraction counts as deviating, and DeviationWindow consecutive
+	// deviations trigger re-optimization (<= 0 select 0.5 and 2).
+	DeviationTolerance float64
+	DeviationWindow    int
+	// CacheCapacity bounds the optimizer cache (<= 0 selects the pipeline
+	// default).
+	CacheCapacity int
+}
+
+func (c *Config) fill() {
+	if c.ProbeRepeats < 1 {
+		c.ProbeRepeats = 1
+	}
+	if c.ProbeLinksPerTick <= 0 {
+		c.ProbeLinksPerTick = 2
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.05
+	}
+	if c.DelayFloor <= 0 {
+		c.DelayFloor = 0.002
+	}
+	if c.EWMAAlpha <= 0 {
+		c.EWMAAlpha = 0.25
+	}
+	if c.DeviationTolerance <= 0 {
+		c.DeviationTolerance = 0.5
+	}
+	if c.DeviationWindow <= 0 {
+		c.DeviationWindow = 2
+	}
+}
+
+// edgeState is the Manager's per-directed-edge measurement record.
+type edgeState struct {
+	from, to       string
+	fromIdx, toIdx int
+	ch             *netsim.Channel
+	bw             float64 // EWMA effective bandwidth, bytes/s
+	delay          float64 // EWMA minimum delay, seconds
+	confidence     float64 // last probe's fit confidence
+	r2             float64 // last probe's fit quality
+	lastProbeEpoch uint64
+	everProbed     bool
+}
+
+// Manager is one Central Manager instance: the measured graph snapshot, the
+// per-edge estimate store, the shared memoized optimizer, and the counters
+// the control plane exposes. All methods are safe for concurrent use; the
+// underlying netsim.Network is only ever touched under the Manager's lock.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	net    *netsim.Network
+	nodes  []pipeline.Node // immutable inventory, sorted by name
+	idx    map[string]int
+	edges  []*edgeState // deterministic (link, direction) order
+	graph  *pipeline.Graph
+	cache  *pipeline.Cache
+	epoch  uint64 // probe ticks + full sweeps completed
+	cursor int    // round-robin position for ProbeTick
+
+	restamps    uint64 // graph revisions published after the initial one
+	adaptations uint64 // Adapter-triggered re-optimizations
+
+	proberStop chan struct{}
+	proberDone chan struct{}
+}
+
+// New builds a Manager over the emulated network, runs the initial full
+// measurement sweep, and publishes the first graph snapshot.
+func New(net *netsim.Network, cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{
+		cfg:   cfg,
+		cache: pipeline.NewCache(cfg.CacheCapacity),
+	}
+	m.bind(net)
+	m.mu.Lock()
+	m.measureAllLocked(cfg.ProbeSizes, cfg.ProbeRepeats)
+	m.mu.Unlock()
+	return m
+}
+
+// bind inventories the network's nodes (sorted by name for deterministic
+// indexes) and builds the edge-state list in (link, direction) order.
+func (m *Manager) bind(net *netsim.Network) {
+	nodes := net.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	m.net = net
+	// Published graph snapshots alias the node inventory (NewGraph and
+	// ApplyEdgeUpdates share the Nodes slice), so rebinding must build a
+	// fresh slice — reusing the backing array would mutate snapshots that
+	// concurrent optimizer calls are reading.
+	m.nodes = make([]pipeline.Node, 0, len(nodes))
+	m.idx = make(map[string]int, len(nodes))
+	for i, nd := range nodes {
+		m.idx[nd.Name] = i
+		m.nodes = append(m.nodes, pipeline.Node{
+			Name:             nd.Name,
+			Power:            nd.Power,
+			HasGPU:           nd.HasGPU,
+			Workers:          nd.Workers,
+			ScatterBW:        DefaultScatterBW,
+			ParallelOverhead: DefaultParallelOverhead,
+		})
+	}
+	prior := make(map[string]*edgeState, len(m.edges))
+	for _, e := range m.edges {
+		prior[e.from+"->"+e.to] = e
+	}
+	m.edges = make([]*edgeState, 0, len(prior))
+	// The round-robin cursor indexed the old edge list; restart the pass.
+	m.cursor = 0
+	for _, l := range net.Links() {
+		for _, ch := range []*netsim.Channel{l.AB, l.BA} {
+			st := prior[ch.From.Name+"->"+ch.To.Name]
+			if st == nil {
+				st = &edgeState{from: ch.From.Name, to: ch.To.Name}
+			}
+			st.ch = ch
+			st.fromIdx = m.idx[ch.From.Name]
+			st.toIdx = m.idx[ch.To.Name]
+			m.edges = append(m.edges, st)
+		}
+	}
+}
+
+// AdoptNetwork rebinds the Manager to a fresh emulation of the same
+// topology (a new measurement epoch of the same six-site testbed, say) and
+// runs a gated full sweep. Estimates carry over by edge name, so a new
+// network exhibiting the same conditions produces no graph re-stamp — and
+// therefore no cache misses. The node-name set must match the original.
+func (m *Manager) AdoptNetwork(net *netsim.Network) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(net.Nodes()) != len(m.nodes) {
+		return fmt.Errorf("cm: adopted network has %d nodes, want %d", len(net.Nodes()), len(m.nodes))
+	}
+	for _, nd := range net.Nodes() {
+		if _, ok := m.idx[nd.Name]; !ok {
+			return fmt.Errorf("cm: adopted network adds unknown node %q", nd.Name)
+		}
+	}
+	m.bind(net)
+	m.measureAllLocked(m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+	return nil
+}
+
+// MeasureAll runs a full authoritative probing sweep with the configured
+// sizes: every directed edge is probed, estimates adopt the raw results,
+// and the graph is re-stamped only if something moved past the tolerance.
+func (m *Manager) MeasureAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.measureAllLocked(m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+}
+
+// MeasureAllWith is MeasureAll with an explicit probe sweep.
+func (m *Manager) MeasureAllWith(sizes []int, repeats int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if repeats < 1 {
+		repeats = 1
+	}
+	m.measureAllLocked(sizes, repeats)
+}
+
+func (m *Manager) measureAllLocked(sizes []int, repeats int) {
+	m.epoch++
+	for _, st := range m.edges {
+		est := cost.MeasureEPB(st.ch, sizes, repeats)
+		// Full sweeps are authoritative: adopt raw values so a genuinely
+		// changed network converges in one sweep instead of EWMA steps.
+		st.bw = est.EPB
+		st.delay = est.MinDelay.Seconds()
+		st.confidence = est.Confidence
+		st.r2 = est.R2
+		st.lastProbeEpoch = m.epoch
+		st.everProbed = true
+	}
+	m.publishLocked()
+}
+
+// ProbeTick re-probes the next ProbeLinksPerTick edges round-robin and
+// folds the results into the EWMA estimates, weighting the step by each
+// probe's fit confidence. It returns true when the drift crossed the
+// tolerance and a re-stamped graph snapshot was published.
+func (m *Manager) ProbeTick() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.edges) == 0 {
+		return false
+	}
+	m.epoch++
+	k := m.cfg.ProbeLinksPerTick
+	if k > len(m.edges) {
+		k = len(m.edges)
+	}
+	for i := 0; i < k; i++ {
+		st := m.edges[m.cursor]
+		m.cursor = (m.cursor + 1) % len(m.edges)
+		est := cost.MeasureEPB(st.ch, m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+		if est.EPB <= 0 || est.Confidence <= 0 {
+			continue // degenerate fit: keep the prior estimate
+		}
+		alpha := m.cfg.EWMAAlpha * est.Confidence
+		if !st.everProbed {
+			alpha = 1
+		}
+		st.bw += alpha * (est.EPB - st.bw)
+		st.delay += alpha * (est.MinDelay.Seconds() - st.delay)
+		st.confidence = est.Confidence
+		st.r2 = est.R2
+		st.lastProbeEpoch = m.epoch
+		st.everProbed = true
+	}
+	return m.publishLocked()
+}
+
+// drifted reports whether the estimate (want) moved past the tolerance
+// relative to the published value (have). floor is the minimum absolute
+// drift that counts, guarding near-zero baselines and sub-noise wobble.
+func (m *Manager) drifted(have, want, floor float64) bool {
+	diff := want - have
+	if diff < 0 {
+		diff = -diff
+	}
+	base := have
+	if base < 0 {
+		base = -base
+	}
+	th := m.cfg.Tolerance * base
+	if th < floor {
+		th = floor
+	}
+	return diff > th
+}
+
+// publishLocked compares the estimate store against the published graph and
+// replaces the snapshot only on tolerance-crossing drift. Returns true when
+// a new snapshot (with a fresh Rev) was published.
+func (m *Manager) publishLocked() bool {
+	if m.graph == nil {
+		g := pipeline.NewGraph(m.nodes...)
+		for _, st := range m.edges {
+			g.AddEdge(st.fromIdx, st.toIdx, st.bw, st.delay)
+		}
+		g.Rev = pipeline.NextGraphRev()
+		m.graph = g
+		return true
+	}
+	var ups []pipeline.EdgeUpdate
+	for _, st := range m.edges {
+		e := m.graph.FindEdge(st.fromIdx, st.toIdx)
+		if e == nil {
+			ups = append(ups, pipeline.EdgeUpdate{From: st.fromIdx, To: st.toIdx, Bandwidth: st.bw, Delay: st.delay})
+			continue
+		}
+		if m.drifted(e.Bandwidth, st.bw, 1) || m.drifted(e.Delay, st.delay, m.cfg.DelayFloor) {
+			ups = append(ups, pipeline.EdgeUpdate{From: st.fromIdx, To: st.toIdx, Bandwidth: st.bw, Delay: st.delay})
+		}
+	}
+	if len(ups) == 0 {
+		return false
+	}
+	m.graph = m.graph.ApplyEdgeUpdates(ups)
+	m.restamps++
+	return true
+}
+
+// Graph returns the current published snapshot. Snapshots are immutable;
+// holders keep a consistent view across concurrent probe ticks.
+func (m *Manager) Graph() *pipeline.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graph
+}
+
+// Network returns the emulated network the Manager probes. Callers that
+// perturb it (tests degrading a link) race only with the prober; drive
+// ProbeTick manually or keep the background prober off while doing so.
+func (m *Manager) Network() *netsim.Network {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.net
+}
+
+// Cache exposes the shared memoized optimizer.
+func (m *Manager) Cache() *pipeline.Cache { return m.cache }
+
+// CacheStats reports the shared optimizer-cache counters.
+func (m *Manager) CacheStats() pipeline.CacheStats { return m.cache.Stats() }
+
+// Estimates returns the per-edge measurement store as the estimator's
+// result type, keyed "from->to" (the shape the probing layer historically
+// reported).
+func (m *Manager) Estimates() map[string]cost.PathEstimate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]cost.PathEstimate, len(m.edges))
+	for _, st := range m.edges {
+		out[st.from+"->"+st.to] = cost.PathEstimate{
+			EPB:        st.bw,
+			MinDelay:   time.Duration(st.delay * float64(time.Second)),
+			R2:         st.r2,
+			Confidence: st.confidence,
+		}
+	}
+	return out
+}
+
+// Optimize answers a session's consultation: the memoized Eq. 9-10 dynamic
+// program over the current graph snapshot between the named endpoints.
+func (m *Manager) Optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error) {
+	m.mu.Lock()
+	g := m.graph
+	m.mu.Unlock()
+	src, dst := g.NodeIndex(srcName), g.NodeIndex(dstName)
+	if src < 0 || dst < 0 {
+		return nil, fmt.Errorf("cm: unknown endpoint %q or %q", srcName, dstName)
+	}
+	return m.cache.Optimize(g, p, src, dst)
+}
+
+// PredictPlacement evaluates an installed placement under the *current*
+// graph snapshot — the monitor half of the loop. A placement whose
+// evaluation has drifted above its VRT's at-install prediction is the
+// signal Adapters watch for.
+func (m *Manager) PredictPlacement(p *pipeline.Pipeline, srcName string, placement []string) (float64, error) {
+	m.mu.Lock()
+	g := m.graph
+	m.mu.Unlock()
+	return pipeline.EvaluatePlacement(g, p, srcName, placement)
+}
+
+// noteAdaptation counts an Adapter trigger.
+func (m *Manager) noteAdaptation() {
+	m.mu.Lock()
+	m.adaptations++
+	m.mu.Unlock()
+}
+
+// Start launches the background Prober: one ProbeTick per ProbeInterval of
+// wall time, until Stop. It is a no-op when ProbeInterval <= 0 or a prober
+// is already running.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.cfg.ProbeInterval <= 0 || m.proberStop != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.proberStop, m.proberDone = stop, done
+	interval := m.cfg.ProbeInterval
+	m.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.ProbeTick()
+			}
+		}
+	}()
+}
+
+// Stop halts the background Prober and waits for it to exit.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	stop, done := m.proberStop, m.proberDone
+	m.proberStop, m.proberDone = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

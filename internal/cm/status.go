@@ -1,0 +1,86 @@
+package cm
+
+// EdgeStatus is one directed edge's control-plane view: the current EWMA
+// estimate, the fit confidence of its last probe, and how stale it is in
+// probe epochs.
+type EdgeStatus struct {
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	BandwidthBps float64 `json:"bandwidth_bps"`
+	DelaySeconds float64 `json:"delay_s"`
+	Confidence   float64 `json:"confidence"`
+	ProbeEpoch   uint64  `json:"probe_epoch"`
+	StaleTicks   uint64  `json:"stale_ticks"`
+}
+
+// Status is the Manager's observable state, shaped for the web control
+// plane (GET /api/cm).
+type Status struct {
+	ProbeEpoch   uint64       `json:"probe_epoch"`
+	GraphRev     uint64       `json:"graph_rev"`
+	Restamps     uint64       `json:"restamps"`
+	Adaptations  uint64       `json:"adaptations"`
+	Tolerance    float64      `json:"tolerance"`
+	Nodes        int          `json:"nodes"`
+	Edges        []EdgeStatus `json:"edges"`
+	CacheHits    uint64       `json:"cache_hits"`
+	CacheMisses  uint64       `json:"cache_misses"`
+	CacheEntries int          `json:"cache_entries"`
+}
+
+// Status snapshots the control-plane view.
+func (m *Manager) Status() Status {
+	cs := m.cache.Stats()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		ProbeEpoch:   m.epoch,
+		Restamps:     m.restamps,
+		Adaptations:  m.adaptations,
+		Tolerance:    m.cfg.Tolerance,
+		Nodes:        len(m.nodes),
+		CacheHits:    cs.Hits,
+		CacheMisses:  cs.Misses,
+		CacheEntries: cs.Entries,
+	}
+	if m.graph != nil {
+		st.GraphRev = m.graph.Rev
+	}
+	for _, e := range m.edges {
+		es := EdgeStatus{
+			From:         e.from,
+			To:           e.to,
+			BandwidthBps: e.bw,
+			DelaySeconds: e.delay,
+			Confidence:   e.confidence,
+			ProbeEpoch:   e.lastProbeEpoch,
+		}
+		if m.epoch > e.lastProbeEpoch {
+			es.StaleTicks = m.epoch - e.lastProbeEpoch
+		}
+		st.Edges = append(st.Edges, es)
+	}
+	return st
+}
+
+// Adaptations reports the total Adapter-triggered re-optimizations.
+func (m *Manager) Adaptations() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.adaptations
+}
+
+// ProbeEpoch reports the number of completed probe ticks and full sweeps.
+func (m *Manager) ProbeEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Restamps reports how many re-stamped graph snapshots have been published
+// after the initial measurement.
+func (m *Manager) Restamps() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.restamps
+}

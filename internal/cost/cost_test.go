@@ -259,6 +259,43 @@ func TestMeasureEPBUnderCrossTraffic(t *testing.T) {
 	}
 }
 
+// TestMeasureEPBConfidence pins the confidence contract the central
+// manager's EWMA relies on: a clean full sweep is near-certain, a noisy
+// cross-trafficked fit reports less certainty than a clean one, a two-point
+// sweep is discounted, and a degenerate fit reports zero.
+func TestMeasureEPBConfidence(t *testing.T) {
+	n := netsim.New(5)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 8 * netsim.MB, Delay: 20 * time.Millisecond})
+
+	clean := MeasureEPB(l.AB, nil, 1)
+	if clean.Confidence < 0.95 || clean.Confidence > 1 {
+		t.Fatalf("clean full-sweep confidence %v, want ~1", clean.Confidence)
+	}
+
+	short := MeasureEPB(l.AB, []int{256 << 10, 1 << 20}, 1)
+	if short.Confidence > 0.5 {
+		t.Fatalf("two-point sweep confidence %v, want <= 0.5", short.Confidence)
+	}
+
+	if (PathEstimate{}).Confidence != 0 {
+		t.Fatal("zero estimate must carry zero confidence")
+	}
+
+	m := netsim.New(42)
+	c := m.AddNode("c", 1)
+	d := m.AddNode("d", 1)
+	lc := m.Connect(c, d, netsim.LinkConfig{
+		Bandwidth: 10 * netsim.MB, Delay: 10 * time.Millisecond,
+		Cross: netsim.DefaultCrossTraffic(0.5),
+	})
+	noisy := MeasureEPB(lc.AB, nil, 1)
+	if noisy.Confidence >= clean.Confidence {
+		t.Fatalf("noisy confidence %v not below clean %v", noisy.Confidence, clean.Confidence)
+	}
+}
+
 func TestTransferTimePrediction(t *testing.T) {
 	p := PathEstimate{EPB: 1 * netsim.MB, MinDelay: 30 * time.Millisecond}
 	got := p.TransferTime(2 * netsim.MB)

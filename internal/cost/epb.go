@@ -14,6 +14,12 @@ type PathEstimate struct {
 	EPB      float64       // effective path bandwidth, bytes/s
 	MinDelay time.Duration // intercept d0: propagation + equipment delay
 	R2       float64       // coefficient of determination of the fit
+	// Confidence in [0, 1] weights how much a consumer should trust this
+	// estimate: the fit quality, zeroed when the regression degenerates
+	// (non-positive slope, too few samples). The central manager scales its
+	// EWMA step by it so a probe perturbed by a cross-traffic burst nudges
+	// the edge estimate less than a clean one.
+	Confidence float64
 }
 
 // TransferTime predicts the delay of moving size bytes over the path using
@@ -61,6 +67,12 @@ func MeasureEPB(ch *netsim.Channel, sizes []int, repeats int) PathEstimate {
 	est := PathEstimate{R2: r2}
 	if slope > 0 {
 		est.EPB = 1 / slope
+		est.Confidence = math.Max(0, math.Min(1, r2))
+	}
+	if len(xs) < 3 {
+		// Two points always fit a line exactly; don't let a degenerate sweep
+		// report certainty.
+		est.Confidence /= 2
 	}
 	if intercept > 0 {
 		est.MinDelay = time.Duration(intercept * float64(time.Second))

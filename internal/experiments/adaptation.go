@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ricsa/internal/dataset"
+	"ricsa/internal/netsim"
+	"ricsa/internal/steering"
+)
+
+// This file reproduces the runtime-reconfiguration behaviour of Section
+// 5.3.2 on the shared internal/cm control loop: a monitored session runs
+// over the emulated testbed with continuous background probing, a link on
+// its chosen loop collapses mid-run, the Adapter detects the sustained
+// deviation from the VRT's predicted delay, and the CM's gated re-measure
+// plus re-optimization moves the loop off the dead link.
+
+// AdaptationResult summarizes one adaptive-reconfiguration run.
+type AdaptationResult struct {
+	// HealthyMean is the mean end-to-end frame delay (seconds) before the
+	// link collapse; DegradedPeak the first frame delay after it;
+	// RecoveredMean the mean across the frames after reconfiguration.
+	HealthyMean   float64
+	DegradedPeak  float64
+	RecoveredMean float64
+	// Reconfigs is the session's re-optimization count, Adaptations the
+	// manager-level Adapter-trigger counter, Restamps the number of
+	// re-stamped graph snapshots the CM published.
+	Reconfigs   int
+	Adaptations uint64
+	Restamps    uint64
+	PathBefore  []string
+	PathAfter   []string
+}
+
+// RunAdaptation drives the experiment: healthyFrames frames on the intact
+// testbed, then a collapse of every data hop on the session's installed
+// loop to 2% capacity, then recoveryFrames more frames during which the
+// control loop must detect and route around the failure.
+func RunAdaptation(o Options, healthyFrames, recoveryFrames int) (*AdaptationResult, error) {
+	o.fill()
+	if healthyFrames < 1 {
+		healthyFrames = 3
+	}
+	if recoveryFrames < 2 {
+		recoveryFrames = 4
+	}
+
+	cfg := netsim.DefaultTestbed()
+	cfg.Loss = 0
+	cfg.CrossMean = o.CrossMean
+	d := steering.NewDeployment(netsim.Testbed(o.Seed, cfg))
+	d.Measure([]int{256 << 10, 1 << 20}, 1)
+
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 64, 32, 32
+	req.StepsPerFrame = 1
+	s, err := steering.NewSession(d, netsim.ORNL, netsim.ORNL, netsim.LSU, netsim.GaTech, req)
+	if err != nil {
+		return nil, err
+	}
+	s.AdaptTolerance = 0.5
+	s.AdaptWindow = 1
+	s.ProbeEvery = 2 // drive the incremental Prober on the virtual clock
+
+	// The toy solver's dataset is small enough to ship anywhere; monitor
+	// the heavy archival pipeline instead so path choice matters.
+	scale := o.AnalysisScale * 8
+	st := steering.AnalyzeSpec(dataset.RageSpec.Scaled(scale), o.BlockEdge)
+	st.RawBytes = dataset.RageSpec.SizeBytes()
+	s.Pipe = steering.BuildIsoPipeline(st)
+	vrt, err := d.Optimize(s.Pipe, s.DS, s.Client)
+	if err != nil {
+		return nil, err
+	}
+	s.VRT = vrt
+	s.Placement = steering.PlacementFromVRT(vrt)
+
+	res := &AdaptationResult{PathBefore: vrt.Path()}
+
+	if err := s.RunFrames(healthyFrames, nil); err != nil {
+		return nil, err
+	}
+	for _, f := range s.Frames {
+		res.HealthyMean += f.Elapsed.Seconds()
+	}
+	res.HealthyMean /= float64(len(s.Frames))
+
+	// Collapse every data hop of the installed loop.
+	path := vrt.Path()
+	for i := 0; i+1 < len(path); i++ {
+		l := d.Net.FindLink(path[i], path[i+1])
+		if l == nil {
+			continue
+		}
+		l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+		l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
+	}
+
+	// Run frame by frame so the post-reconfiguration frames can be
+	// averaged separately.
+	var post []float64
+	for i := 0; i < recoveryFrames; i++ {
+		before := s.Reconfigs
+		if err := s.RunFrames(1, nil); err != nil {
+			return nil, err
+		}
+		last := s.Frames[len(s.Frames)-1].Elapsed.Seconds()
+		if i == 0 {
+			res.DegradedPeak = last
+		}
+		if s.Reconfigs > 0 && s.Reconfigs == before {
+			// A frame fully after the swap.
+			post = append(post, last)
+		}
+	}
+	if len(post) == 0 {
+		return nil, fmt.Errorf("experiments: no frames ran after reconfiguration (reconfigs=%d)", s.Reconfigs)
+	}
+	for _, v := range post {
+		res.RecoveredMean += v
+	}
+	res.RecoveredMean /= float64(len(post))
+
+	res.Reconfigs = s.Reconfigs
+	res.Adaptations = d.CM.Adaptations()
+	res.Restamps = d.CM.Restamps()
+	res.PathAfter = s.VRT.Path()
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestRunAdaptationRecovers(t *testing.T) {
+	o := DefaultOptions()
+	o.AnalysisScale = 1 // RageSpec is analyzed at 1/8 scale internally
+	o.Trials = 1
+	o.BlockEdge = 4
+	o.Seed = 21
+
+	res, err := RunAdaptation(o, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigs < 1 {
+		t.Fatalf("no reconfiguration: %+v", res)
+	}
+	if res.Adaptations < 1 {
+		t.Fatalf("manager adaptation counter %d, want >= 1", res.Adaptations)
+	}
+	if res.Restamps < 1 {
+		t.Fatalf("collapse never re-stamped the graph: %+v", res)
+	}
+	if res.DegradedPeak <= res.HealthyMean {
+		t.Fatalf("collapse did not degrade delay: healthy %.3fs, degraded %.3fs",
+			res.HealthyMean, res.DegradedPeak)
+	}
+	if res.RecoveredMean >= res.DegradedPeak {
+		t.Fatalf("no recovery: degraded %.3fs, recovered %.3fs",
+			res.DegradedPeak, res.RecoveredMean)
+	}
+	if len(res.PathBefore) == 0 || len(res.PathAfter) == 0 {
+		t.Fatalf("missing paths: %+v", res)
+	}
+}

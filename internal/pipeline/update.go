@@ -1,0 +1,55 @@
+package pipeline
+
+// This file is the incremental re-measurement API. The original measurement
+// layers rebuilt the whole Graph per probing epoch, which forced a new Rev —
+// and therefore an optimizer-cache miss — even when the network had not
+// actually changed. Continuous probing instead patches individual edges:
+// the central manager collects the edges whose fresh estimates moved past
+// its tolerance and applies them in one batch, producing a new immutable
+// snapshot only when something really moved. Unchanged networks keep their
+// Rev and keep hitting the cache.
+
+// EdgeUpdate names one directed edge's freshly measured parameters.
+type EdgeUpdate struct {
+	From, To  int
+	Bandwidth float64 // bytes per second
+	Delay     float64 // seconds
+}
+
+// ApplyEdgeUpdates returns a copy of g with the updates applied and a fresh
+// Rev stamp. The copy is shallow where possible: the node inventory and
+// every adjacency row without an update are shared with g, so the cost is
+// O(|touched rows|), not O(|E|). g itself is never mutated — callers holding
+// the old snapshot (a concurrently running optimizer, a session that has not
+// re-consulted yet) keep a consistent view. Updates naming an absent edge
+// insert it.
+func (g *Graph) ApplyEdgeUpdates(ups []EdgeUpdate) *Graph {
+	out := &Graph{Nodes: g.Nodes, Adj: make([][]Edge, len(g.Adj)), Rev: NextGraphRev()}
+	copy(out.Adj, g.Adj)
+	copied := make([]bool, len(g.Adj))
+	for _, up := range ups {
+		if !copied[up.From] {
+			out.Adj[up.From] = append([]Edge(nil), g.Adj[up.From]...)
+			copied[up.From] = true
+		}
+		row := out.Adj[up.From]
+		patched := false
+		for i := range row {
+			if row[i].To == up.To {
+				row[i].Bandwidth = up.Bandwidth
+				row[i].Delay = up.Delay
+				patched = true
+				break
+			}
+		}
+		if !patched {
+			out.Adj[up.From] = append(row, Edge{To: up.To, Bandwidth: up.Bandwidth, Delay: up.Delay})
+		}
+	}
+	return out
+}
+
+// Restamp assigns g a fresh revision token. Owners that mutate a stamped
+// graph in place must call this (or zero Rev) before the next cache lookup;
+// ApplyEdgeUpdates does it automatically for its copy.
+func (g *Graph) Restamp() { g.Rev = NextGraphRev() }

@@ -11,36 +11,38 @@
 // Eq. 2 plus the real transport-level effects (cross traffic, loss) the
 // analytical model abstracts away.
 //
-// Two session models share the CM machinery. Session replays one
-// monitoring loop on the emulated virtual clock (the experiment
-// substrate). SessionManager owns up to MaxSessions concurrent live
-// sessions — real simulations advancing in wall time with per-session
-// lifecycle goroutines — behind one shared measured graph and one shared
-// optimizer cache (the service substrate; see DESIGN.md).
+// Two session models are clients of the one control loop in internal/cm.
+// Session replays one monitoring loop on the emulated virtual clock (the
+// experiment substrate). SessionManager owns up to MaxSessions concurrent
+// live sessions — real simulations advancing in wall time with per-session
+// lifecycle goroutines — behind one shared cm.Manager (the service
+// substrate; see DESIGN.md).
 package steering
 
 import (
 	"fmt"
 
+	"ricsa/internal/cm"
 	"ricsa/internal/cost"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 )
 
-// Deployment binds an emulated network to a measured pipeline graph.
+// Deployment binds an emulated network to a Central Manager instance. It is
+// the virtual-clock client of the cm control loop: Measure builds (or
+// refreshes) the CM, Optimize consults its memoized dynamic program, and
+// ProbeTick drives incremental background re-measurement between frames.
 type Deployment struct {
 	Net *netsim.Network
-	// Graph is the pipeline optimizer's view of the network, populated by
-	// Measure: effective bandwidths from active probing (Section 4.3) and
-	// node capabilities from the host inventory.
+	// CM is the control loop: the measured graph, the per-edge EWMA
+	// estimate store, and the shared memoized optimizer. Nil until Measure.
+	CM *cm.Manager
+	// Graph is the CM's current published snapshot (a synced read-only
+	// view, refreshed by Measure/ProbeTick; kept as a field for the many
+	// evaluation layers that address the graph directly).
 	Graph *pipeline.Graph
-	// Estimates holds the raw per-channel measurement results keyed by
-	// "from->to".
+	// Estimates is the CM's per-channel measurement view keyed "from->to".
 	Estimates map[string]cost.PathEstimate
-	// Cache, when non-nil, memoizes Optimize calls. Deployments owned by
-	// a SessionManager share one cache across sessions; standalone
-	// deployments may install their own with pipeline.NewCache.
-	Cache *pipeline.Cache
 }
 
 // NewDeployment wraps a network. Call Measure before optimizing.
@@ -48,65 +50,47 @@ func NewDeployment(net *netsim.Network) *Deployment {
 	return &Deployment{Net: net, Estimates: make(map[string]cost.PathEstimate)}
 }
 
-// Measure actively probes every directed channel with test messages and
-// builds the pipeline graph from the resulting EPB estimates and the node
-// inventory. probeSizes may be nil for the default sweep; repeats averages
-// multiple probes per size to smooth cross traffic.
+// Measure actively probes every directed channel with test messages (the
+// Section 4.3 probes) and publishes the pipeline graph. The first call
+// constructs the Central Manager; later calls run a gated full sweep
+// through it, so re-measuring an unchanged network keeps the graph's Rev
+// and the optimizer cache warm. probeSizes may be nil for the default
+// sweep; repeats averages multiple probes per size to smooth cross traffic.
 func (d *Deployment) Measure(probeSizes []int, repeats int) {
-	nodes := d.Net.Nodes()
-	// Deterministic ordering: netsim.Nodes is map-ordered, so sort by name.
-	sortNodesByName(nodes)
-
-	g := pipeline.NewGraph()
-	idx := make(map[string]int, len(nodes))
-	for i, nd := range nodes {
-		idx[nd.Name] = i
-		g.Nodes = append(g.Nodes, pipeline.Node{
-			Name:             nd.Name,
-			Power:            nd.Power,
-			HasGPU:           nd.HasGPU,
-			Workers:          nd.Workers,
-			ScatterBW:        80 * netsim.MB,
-			ParallelOverhead: 0.8,
-		})
+	if d.CM == nil {
+		d.CM = cm.New(d.Net, cm.Config{ProbeSizes: probeSizes, ProbeRepeats: repeats})
+	} else {
+		d.CM.MeasureAllWith(probeSizes, repeats)
 	}
-	g.Adj = make([][]pipeline.Edge, len(g.Nodes))
-
-	for _, l := range d.Net.Links() {
-		for _, ch := range []*netsim.Channel{l.AB, l.BA} {
-			est := cost.MeasureEPB(ch, probeSizes, repeats)
-			key := ch.From.Name + "->" + ch.To.Name
-			d.Estimates[key] = est
-			g.AddEdge(idx[ch.From.Name], idx[ch.To.Name], est.EPB, est.MinDelay.Seconds())
-		}
-	}
-	// Stamp the measurement epoch so optimizer-cache lookups fingerprint
-	// this graph in O(1) instead of re-hashing every edge.
-	g.Rev = pipeline.NextGraphRev()
-	d.Graph = g
+	d.sync()
 }
 
-// Optimize runs the CM node's dynamic program for the given pipeline from
-// the named data source to the named client.
+// ProbeTick re-probes the next few links round-robin (the continuous
+// background measurement of the control loop, driven here on the virtual
+// clock by the session between frames). It reports whether the drift
+// crossed the CM's tolerance and a re-stamped graph was published.
+func (d *Deployment) ProbeTick() bool {
+	if d.CM == nil {
+		return false
+	}
+	changed := d.CM.ProbeTick()
+	// Only the graph view is refreshed on the per-frame path; Estimates
+	// (a full map rebuild) is refreshed by the explicit Measure sweeps.
+	d.Graph = d.CM.Graph()
+	return changed
+}
+
+// sync refreshes the snapshot views after a full measurement sweep.
+func (d *Deployment) sync() {
+	d.Graph = d.CM.Graph()
+	d.Estimates = d.CM.Estimates()
+}
+
+// Optimize runs the CM node's memoized dynamic program for the given
+// pipeline from the named data source to the named client.
 func (d *Deployment) Optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error) {
-	if d.Graph == nil {
+	if d.CM == nil {
 		return nil, fmt.Errorf("steering: Measure must run before Optimize")
 	}
-	src := d.Graph.NodeIndex(srcName)
-	dst := d.Graph.NodeIndex(dstName)
-	if src < 0 || dst < 0 {
-		return nil, fmt.Errorf("steering: unknown node %q or %q", srcName, dstName)
-	}
-	if d.Cache != nil {
-		return d.Cache.Optimize(d.Graph, p, src, dst)
-	}
-	return pipeline.Optimize(d.Graph, p, src, dst)
-}
-
-func sortNodesByName(nodes []*netsim.Node) {
-	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && nodes[j].Name < nodes[j-1].Name; j-- {
-			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
-		}
-	}
+	return d.CM.Optimize(p, srcName, dstName)
 }

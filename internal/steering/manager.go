@@ -4,24 +4,28 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"ricsa/internal/cm"
 	"ricsa/internal/grid"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 	"ricsa/internal/simengine"
 )
 
-// This file is the multi-session deployment service: where Session replays
-// one monitoring loop on the emulated virtual clock, SessionManager owns N
+// This file is the multi-session deployment service: SessionManager owns N
 // concurrent *live* sessions — each a real simulation advancing in wall
-// time with its own lifecycle goroutine — and a single shared CM state: one
-// measured network graph and one optimizer cache. Sessions re-consult the
+// time with its own lifecycle goroutine — as wall-clock clients of one
+// shared cm.Manager control loop: one measured network graph kept fresh by
+// the background Prober, one memoized optimizer. Sessions re-consult the
 // CM as conditions change; identical (graph, pipeline, endpoints) instances
 // across sessions and across time are answered from the cache instead of
-// re-running the dynamic program.
+// re-running the dynamic program, and each session's frame pacing charges
+// its installed mapping's predicted delay — the paper's semantics that the
+// loop does not advance until the previous image is delivered.
 
 // Manager errors.
 var (
@@ -47,26 +51,47 @@ type ManagerConfig struct {
 	ReoptimizeEvery int
 	// Seed drives the emulated testbed network the CM measures.
 	Seed int64
+	// ProbeInterval is the wall-clock cadence of the CM's background
+	// Prober (<= 0 disables it; tests drive ProbeTick explicitly).
+	ProbeInterval time.Duration
+	// ProbeLinksPerTick is how many directed edges one prober tick
+	// re-probes (<= 0 selects the cm default).
+	ProbeLinksPerTick int
+	// ProbeTolerance is the relative estimate drift that re-stamps the
+	// graph (<= 0 selects the cm default).
+	ProbeTolerance float64
+	// AdaptTolerance and AdaptWindow parameterize session Adapters: a
+	// frame whose re-predicted delay exceeds the installed VRT's by more
+	// than the tolerance fraction counts as deviating, and AdaptWindow
+	// consecutive deviations force a re-optimization (<= 0 select the cm
+	// defaults).
+	AdaptTolerance float64
+	AdaptWindow    int
 }
 
-// SessionManager owns the live sessions of one RICSA service instance plus
-// the central-management state they share: the measured pipeline graph of
-// the emulated six-site testbed and the memoized optimizer. It is safe for
-// concurrent use by HTTP handlers.
+// SessionManager owns the live sessions of one RICSA service instance. The
+// central-management state they share — the measured graph of the emulated
+// six-site testbed, the per-edge estimates, and the memoized optimizer —
+// lives in one cm.Manager. It is safe for concurrent use by HTTP handlers.
 type SessionManager struct {
-	cfg   ManagerConfig
-	cache *pipeline.Cache
+	cfg ManagerConfig
+	cm  *cm.Manager
 
 	mu       sync.Mutex
-	graph    *pipeline.Graph // current CM view; replaced by Remeasure
 	sessions map[string]*ManagedSession
 	nextID   uint64
 	closed   bool
 }
 
+// managerProbeSizes is the probe sweep the live service uses: two sizes
+// keep a full six-site sweep fast while still separating bandwidth from
+// fixed delay.
+func managerProbeSizes() []int { return []int{256 << 10, 1 << 20} }
+
 // NewSessionManager builds a manager: it constructs the emulated testbed,
-// actively measures every channel (the Section 4.3 probes), and prepares
-// the shared optimizer cache.
+// hands it to a new Central Manager (which actively measures every channel
+// — the Section 4.3 probes), and starts the background Prober when a
+// ProbeInterval is configured.
 func NewSessionManager(cfg ManagerConfig) *SessionManager {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 8
@@ -79,55 +104,57 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 	}
 	m := &SessionManager{
 		cfg:      cfg,
-		cache:    pipeline.NewCache(cfg.CacheCapacity),
 		sessions: make(map[string]*ManagedSession),
 	}
-	m.graph = m.measure(cfg.Seed)
+	m.cm = cm.New(managerTestbed(cfg.Seed), cm.Config{
+		ProbeSizes:         managerProbeSizes(),
+		ProbeInterval:      cfg.ProbeInterval,
+		ProbeLinksPerTick:  cfg.ProbeLinksPerTick,
+		Tolerance:          cfg.ProbeTolerance,
+		DeviationTolerance: cfg.AdaptTolerance,
+		DeviationWindow:    cfg.AdaptWindow,
+		CacheCapacity:      cfg.CacheCapacity,
+	})
+	m.cm.Start()
 	return m
 }
 
-// measure probes a fresh testbed instance and returns the CM's graph view.
-func (m *SessionManager) measure(seed int64) *pipeline.Graph {
+// managerTestbed builds the emulated six-site network the live service's
+// CM measures: lossless and mildly cross-trafficked, so probing is cheap
+// and deterministic per seed.
+func managerTestbed(seed int64) *netsim.Network {
 	tb := netsim.DefaultTestbed()
 	tb.Loss = 0
 	tb.CrossMean = 0.9
-	d := NewDeployment(netsim.Testbed(seed, tb))
-	d.Measure([]int{256 << 10, 1 << 20}, 1)
-	return d.Graph
+	return netsim.Testbed(seed, tb)
 }
 
-// Remeasure simulates a network-condition change: the CM re-probes a fresh
-// testbed epoch and replaces the shared graph. Sessions pick up the new
-// view at their next optimizer consultation; because the graph fingerprint
-// changed, those consultations miss the cache and re-run the DP once each.
+// CM exposes the shared control loop (status for the web control plane,
+// the emulated network for tests that perturb link conditions).
+func (m *SessionManager) CM() *cm.Manager { return m.cm }
+
+// Remeasure simulates a network-condition change: the CM adopts a fresh
+// testbed epoch and runs a gated full sweep. Estimates carry over by edge,
+// so a remeasure that finds the same conditions keeps the graph's Rev —
+// sessions' next consultations still hit the cache — while genuine drift
+// re-stamps the graph and forces exactly one DP re-run per distinct
+// instance.
 func (m *SessionManager) Remeasure(seed int64) {
-	g := m.measure(seed)
-	m.mu.Lock()
-	m.graph = g
-	m.mu.Unlock()
+	// The adopted network is always the same six-site topology, so
+	// AdoptNetwork cannot fail here.
+	_ = m.cm.AdoptNetwork(managerTestbed(seed))
 }
 
 // Graph returns the CM's current measured graph (shared, read-only).
-func (m *SessionManager) Graph() *pipeline.Graph {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.graph
-}
+func (m *SessionManager) Graph() *pipeline.Graph { return m.cm.Graph() }
 
 // CacheStats reports the shared optimizer cache counters.
-func (m *SessionManager) CacheStats() pipeline.CacheStats { return m.cache.Stats() }
+func (m *SessionManager) CacheStats() pipeline.CacheStats { return m.cm.CacheStats() }
 
 // optimize is the CM entry point sessions call: memoized DP over the
 // current graph from the named data source to the named client.
 func (m *SessionManager) optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error) {
-	m.mu.Lock()
-	g := m.graph
-	m.mu.Unlock()
-	src, dst := g.NodeIndex(srcName), g.NodeIndex(dstName)
-	if src < 0 || dst < 0 {
-		return nil, fmt.Errorf("steering: unknown endpoint %q or %q", srcName, dstName)
-	}
-	return m.cache.Optimize(g, p, src, dst)
+	return m.cm.Optimize(p, srcName, dstName)
 }
 
 // Create starts a new live session for the request and returns it. The
@@ -216,8 +243,9 @@ func (m *SessionManager) Destroy(id string) error {
 	return nil
 }
 
-// Shutdown gracefully stops every session, refusing new Creates. It
-// returns when all lifecycle goroutines have exited or ctx ends.
+// Shutdown gracefully stops every session and the background Prober,
+// refusing new Creates. It returns when all lifecycle goroutines have
+// exited or ctx ends.
 func (m *SessionManager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
@@ -227,6 +255,8 @@ func (m *SessionManager) Shutdown(ctx context.Context) error {
 		delete(m.sessions, id)
 	}
 	m.mu.Unlock()
+
+	m.cm.Stop()
 
 	done := make(chan struct{})
 	go func() {
@@ -252,9 +282,9 @@ type ManagedSession struct {
 	mgr *SessionManager
 	sim *simengine.Sim
 
-	// FramePeriod paces the loop; Width/Height size rendered frames.
-	// Fixed at creation (CreateTuned); the lifecycle goroutine reads them
-	// unlocked.
+	// FramePeriod is the base pacing of the loop — the installed mapping's
+	// predicted delivery delay is charged on top per frame (see period).
+	// Width/Height size rendered frames. Fixed at creation (CreateTuned).
 	FramePeriod time.Duration
 	Width       int
 	Height      int
@@ -269,6 +299,7 @@ type ManagedSession struct {
 	optErr    error
 	renderErr error
 	reopts    int    // CM consultations performed
+	adapts    int    // Adapter-forced consultations among them
 	sinceOpt  int    // frames since the last consultation
 	pipeKey   uint64 // fingerprint of the pipeline last sent to the CM
 	pipe      *pipeline.Pipeline
@@ -277,6 +308,7 @@ type ManagedSession struct {
 	// invalidation landed while the optimizer ran unlocked, so a stale
 	// pipeline can never be installed over a fresher reset.
 	pipeGen uint64
+	adapter *cm.Adapter
 
 	stop chan struct{}
 	done chan struct{}
@@ -312,23 +344,42 @@ func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) 
 		FramePeriod: 200 * time.Millisecond,
 		Width:       512,
 		Height:      512,
+		adapter:     m.cm.NewAdapter(),
 	}, nil
 }
 
-// run is the session's lifecycle goroutine.
+// run is the session's lifecycle goroutine. Pacing is re-derived per frame:
+// the installed VRT's predicted end-to-end delay is charged on top of the
+// base frame period, so a session whose mapping delivers slowly publishes
+// slowly — the paper's "the simulation does not proceed until the image
+// from the last time step is delivered", with the emulated delivery time
+// standing in for physical transfer.
 func (s *ManagedSession) run() {
 	defer close(s.done)
-	ticker := time.NewTicker(s.FramePeriod)
-	defer ticker.Stop()
 	s.produce()
+	timer := time.NewTimer(s.period())
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 			s.produce()
+			timer.Reset(s.period())
 		}
 	}
+}
+
+// period is the effective frame period: the base pacing plus the installed
+// mapping's predicted delivery delay.
+func (s *ManagedSession) period() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.FramePeriod
+	if s.vrt != nil && s.vrt.Delay > 0 {
+		p += time.Duration(s.vrt.Delay * float64(time.Second))
+	}
+	return p
 }
 
 // halt stops the lifecycle goroutine and waits for it.
@@ -348,12 +399,14 @@ func (s *ManagedSession) snapshot(req Request) *grid.ScalarField {
 	return s.sim.Density()
 }
 
-// produce advances the simulation one frame, consults the CM when due, and
-// publishes the rendered image.
+// produce advances the simulation one frame, consults the CM when due (on
+// schedule, or early when the Adapter reports the installed mapping has
+// drifted), and publishes the rendered image.
 func (s *ManagedSession) produce() {
 	s.mu.Lock()
 	req := s.req
 	due := s.pipe == nil || s.sinceOpt >= s.mgr.cfg.ReoptimizeEvery
+	pipe, vrt := s.pipe, s.vrt
 	s.mu.Unlock()
 
 	for i := 0; i < req.StepsPerFrame; i++ {
@@ -361,6 +414,9 @@ func (s *ManagedSession) produce() {
 	}
 	field := s.snapshot(req)
 
+	if !due && pipe != nil && vrt != nil && s.monitor(pipe, vrt) {
+		due = true
+	}
 	if due {
 		s.consultCM(field, req)
 	}
@@ -380,6 +436,27 @@ func (s *ManagedSession) produce() {
 		s.notify = make(chan struct{})
 	}
 	s.mu.Unlock()
+}
+
+// monitor is the session's monitor→adapt step: it re-evaluates the
+// installed placement under the CM's *current* graph (which the Prober
+// keeps fresh) and feeds the result to the Adapter. A placement whose
+// re-predicted delay deviates from its at-install prediction for
+// AdaptWindow consecutive frames forces an early consultation.
+func (s *ManagedSession) monitor(pipe *pipeline.Pipeline, vrt *pipeline.VRT) bool {
+	observed, err := s.mgr.cm.PredictPlacement(pipe, netsim.GaTech, PlacementFromVRT(vrt))
+	if err != nil {
+		// The placement no longer evaluates (a topology change): treat as
+		// an unbounded deviation so the window logic still applies.
+		observed = math.Inf(1)
+	}
+	if !s.adapter.Observe(observed, vrt.Delay) {
+		return false
+	}
+	s.mu.Lock()
+	s.adapts++
+	s.mu.Unlock()
+	return true
 }
 
 // consultCM rebuilds the session's pipeline model when its cost inputs
@@ -414,6 +491,7 @@ func (s *ManagedSession) consultCM(field *grid.ScalarField, req Request) {
 	s.reopts++
 	s.sinceOpt = 0
 	s.mu.Unlock()
+	s.adapter.Reset()
 }
 
 // Attach registers a viewer and returns its detach function. The hub calls
@@ -532,6 +610,7 @@ func (s *ManagedSession) Status() map[string]any {
 		"left_pressure":   p.LeftPressure,
 		"left_density":    p.LeftDensity,
 		"reoptimizations": s.reopts,
+		"adaptations":     s.adapts,
 	}
 	if s.vrt != nil {
 		st["vrt_path"] = s.vrt.Path()
@@ -566,4 +645,11 @@ func (s *ManagedSession) Reoptimizations() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.reopts
+}
+
+// Adaptations reports how many consultations the Adapter forced early.
+func (s *ManagedSession) Adaptations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adapts
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ricsa/internal/netsim"
 )
 
 // testManager builds a manager with fast, small-session defaults.
@@ -192,20 +194,177 @@ func TestSharedCacheAcrossSessions(t *testing.T) {
 	}
 }
 
-// TestRemeasureInvalidates checks that a network re-measurement changes the
-// graph fingerprint so the next consultations re-run the DP.
+// TestRemeasureInvalidates checks that a genuine network-condition change
+// re-stamps the graph so the next consultations re-run the DP: a link is
+// collapsed on the CM's emulated network and a full gated sweep registers
+// the drift.
 func TestRemeasureInvalidates(t *testing.T) {
 	m := testManager(t, 1)
 	s := createFast(t, m)
 	waitUntil(t, "first consultation", func() bool { return s.Reoptimizations() >= 1 })
 	missesBefore := m.CacheStats().Misses
 
-	m.Remeasure(777)
+	l := m.CM().Network().FindLink(netsim.GaTech, netsim.UT)
+	l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+	l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
+	m.CM().MeasureAll()
+
 	reopts := s.Reoptimizations()
 	waitUntil(t, "post-remeasure consultation", func() bool { return s.Reoptimizations() > reopts })
 	waitUntil(t, "cache miss on new graph", func() bool {
 		return m.CacheStats().Misses > missesBefore
 	})
+}
+
+// TestRemeasureNoopIsCacheHit is the tolerance gate's service-level
+// promise: re-measuring a network whose conditions did not change keeps the
+// graph revision, so sessions' next consultations are answered from the
+// cache — zero new misses.
+func TestRemeasureNoopIsCacheHit(t *testing.T) {
+	m := testManager(t, 1)
+	s := createFast(t, m)
+	waitUntil(t, "first consultation", func() bool { return s.Reoptimizations() >= 1 })
+	missesBefore := m.CacheStats().Misses
+	revBefore := m.Graph().Rev
+
+	m.Remeasure(42) // the same seed testManager measured at startup
+
+	if got := m.Graph().Rev; got != revBefore {
+		t.Fatalf("no-op remeasure re-stamped the graph: rev %d -> %d", revBefore, got)
+	}
+	reopts := s.Reoptimizations()
+	waitUntil(t, "post-remeasure consultation", func() bool { return s.Reoptimizations() > reopts })
+	if got := m.CacheStats().Misses; got != missesBefore {
+		t.Fatalf("no-op remeasure caused %d new cache misses", got-missesBefore)
+	}
+}
+
+// TestPredictedDelayChargedToPacing verifies the live frame loop charges
+// the installed mapping's predicted delay: a session on a collapsed
+// network (whose VRT predicts a multi-second delivery) publishes far fewer
+// frames than an identical session on the healthy testbed.
+func TestPredictedDelayChargedToPacing(t *testing.T) {
+	req := smallRequest()
+	req.NX, req.NY, req.NZ = 64, 32, 32 // big enough that transfer delay dominates
+
+	frameRate := func(m *SessionManager) (frames uint64, predicted float64) {
+		s, err := m.CreateTuned(req, 3*time.Millisecond, 48, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "first consultation", func() bool { return s.Reoptimizations() >= 1 })
+		vrt := s.VRT()
+		if vrt == nil {
+			t.Fatal("no mapping installed")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		start, _, err := s.WaitFrame(ctx, 0)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(700 * time.Millisecond)
+		st := s.Status()
+		return st["frame_seq"].(uint64) - start, vrt.Delay
+	}
+
+	healthy := testManager(t, 1)
+	fastFrames, fastDelay := frameRate(healthy)
+
+	degraded := testManager(t, 1)
+	for _, l := range degraded.CM().Network().Links() {
+		l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+		l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
+	}
+	degraded.CM().MeasureAll()
+	slowFrames, slowDelay := frameRate(degraded)
+
+	if slowDelay <= fastDelay {
+		t.Fatalf("degraded VRT predicts %.3fs, not above healthy %.3fs", slowDelay, fastDelay)
+	}
+	if slowFrames >= fastFrames {
+		t.Fatalf("slower mapping did not lower the frame rate: %d frames vs %d healthy (delays %.3fs vs %.3fs)",
+			slowFrames, fastFrames, slowDelay, fastDelay)
+	}
+}
+
+// TestAdaptationUnderChurn is the live half of Section 5.3.2: a session
+// whose chosen path collapses mid-run gets a new VRT within the Adapter's
+// deviation window — without waiting out the periodic reoptimization
+// schedule — while a long-polling viewer sees monotonically increasing
+// frame sequence numbers across the swap.
+func TestAdaptationUnderChurn(t *testing.T) {
+	m := NewSessionManager(ManagerConfig{
+		MaxSessions:     1,
+		ReoptimizeEvery: 1 << 20, // isolate the Adapter: no periodic reopts
+		Seed:            42,
+		AdaptTolerance:  0.5,
+		AdaptWindow:     2,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	req := smallRequest()
+	req.NX, req.NY, req.NZ = 64, 32, 32
+	s, err := m.CreateTuned(req, 3*time.Millisecond, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "first consultation", func() bool { return s.Reoptimizations() >= 1 })
+	before := s.VRT()
+
+	// Viewer long-polls through the whole churn, checking monotonicity.
+	viewerCtx, stopViewer := context.WithCancel(context.Background())
+	viewerErr := make(chan error, 1)
+	go func() {
+		var since uint64
+		for {
+			seq, png, err := s.WaitFrame(viewerCtx, since)
+			if err != nil {
+				viewerErr <- nil // context cancelled at test end
+				return
+			}
+			if seq <= since || len(png) == 0 {
+				viewerErr <- fmt.Errorf("non-monotonic frame: %d after %d", seq, since)
+				return
+			}
+			since = seq
+		}
+	}()
+
+	// Collapse every link the installed mapping uses, then register the
+	// drift with a full sweep (standing in for enough prober ticks).
+	path := before.Path()
+	for i := 0; i+1 < len(path); i++ {
+		l := m.CM().Network().FindLink(path[i], path[i+1])
+		if l == nil {
+			continue
+		}
+		l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+		l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
+	}
+	m.CM().MeasureAll()
+
+	waitUntil(t, "adapter-forced reconfiguration", func() bool { return s.Adaptations() >= 1 })
+	waitUntil(t, "new mapping installed", func() bool {
+		vrt := s.VRT()
+		return vrt != nil && vrt.Delay != before.Delay
+	})
+	if m.CM().Adaptations() == 0 {
+		t.Fatal("manager-level adaptation counter never advanced")
+	}
+
+	// The viewer must still be receiving frames after the swap.
+	seqAtSwap := s.Status()["frame_seq"].(uint64)
+	waitUntil(t, "frames after the swap", func() bool {
+		return s.Status()["frame_seq"].(uint64) > seqAtSwap
+	})
+	stopViewer()
+	if err := <-viewerErr; err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestSteerIsovalueReoptimizes checks that changing the isovalue rebuilds

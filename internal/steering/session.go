@@ -3,6 +3,7 @@ package steering
 import (
 	"fmt"
 
+	"ricsa/internal/cm"
 	"ricsa/internal/grid"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
@@ -73,8 +74,17 @@ type Session struct {
 	// ("the mapping scheme is adaptively re-configured during runtime in
 	// response to drastic network or host condition changes", Sec. 5.3.2).
 	AdaptTolerance float64
+	// AdaptWindow is how many consecutive deviating frames arm the
+	// reconfiguration (<= 0 selects 1: every deviating frame, the original
+	// behaviour of the emulated loop).
+	AdaptWindow int
+	// ProbeEvery, when positive, drives the CM's incremental Prober on the
+	// virtual clock: one round-robin probe tick after every ProbeEvery
+	// frames, between frames (when the session owns the event loop).
+	ProbeEvery int
 	// Reconfigs counts runtime re-optimizations performed.
 	Reconfigs int
+	adapter   *cm.Adapter
 
 	Frames      []FrameResult
 	ControlLats []netsim.Time
@@ -173,6 +183,12 @@ func (s *Session) RunFrames(n int, steer func(frame int) *simengine.Params) erro
 			}
 		}
 
+		if s.ProbeEvery > 0 && (i+1)%s.ProbeEvery == 0 {
+			// Continuous background measurement, charged on the virtual
+			// clock between frames while the session owns the event loop.
+			s.D.ProbeTick()
+		}
+
 		if steer != nil {
 			if p := steer(i); p != nil {
 				ctrlDone := false
@@ -195,13 +211,20 @@ func (s *Session) RunFrames(n int, steer func(frame int) *simengine.Params) erro
 	return nil
 }
 
-// maybeReconfigure compares the last frame's realized delay against the
-// VRT's prediction; on a drastic deviation the CM re-probes every link and
-// recomputes the mapping.
+// maybeReconfigure feeds the last frame's realized delay to the session's
+// cm.Adapter; on a sustained drastic deviation the CM re-probes every link
+// (tolerance-gated, so a transient that measures back healthy changes
+// nothing) and recomputes the mapping.
 func (s *Session) maybeReconfigure() error {
+	if s.adapter == nil {
+		window := s.AdaptWindow
+		if window <= 0 {
+			window = 1
+		}
+		s.adapter = s.D.CM.NewAdapterTuned(s.AdaptTolerance, window)
+	}
 	last := s.Frames[len(s.Frames)-1].Elapsed.Seconds()
-	pred := s.VRT.Delay
-	if pred <= 0 || last <= pred*(1+s.AdaptTolerance) {
+	if !s.adapter.Observe(last, s.VRT.Delay) {
 		return nil
 	}
 	s.D.Measure(nil, 1)
@@ -212,6 +235,7 @@ func (s *Session) maybeReconfigure() error {
 	s.VRT = vrt
 	s.Placement = PlacementFromVRT(vrt)
 	s.Reconfigs++
+	s.adapter.Reset()
 	return nil
 }
 

@@ -23,6 +23,9 @@ import (
 //	POST   /api/sessions            create a session (JSON CreateRequest)
 //	DELETE /api/sessions/{id}       destroy a session
 //	GET    /api/cache               shared optimizer-cache counters
+//	GET    /api/cm                  control-plane state: probe epoch,
+//	                                per-edge estimates and staleness,
+//	                                adaptation counters
 //	GET    /sessions/{id}           embedded viewer page for the session
 //	GET    /sessions/{id}/api/frame long-poll the next frame (?since=N)
 //	POST   /sessions/{id}/api/steer steer the session
@@ -42,6 +45,7 @@ func NewHub(mgr *steering.SessionManager) *Hub {
 	h.mux.HandleFunc("POST /api/sessions", h.handleCreate)
 	h.mux.HandleFunc("DELETE /api/sessions/{id}", h.handleDestroy)
 	h.mux.HandleFunc("GET /api/cache", h.handleCache)
+	h.mux.HandleFunc("GET /api/cm", h.handleCM)
 	h.mux.HandleFunc("GET /sessions/{id}", h.handleViewer)
 	h.mux.HandleFunc("GET /sessions/{id}/api/frame", h.handleFrame)
 	h.mux.HandleFunc("POST /sessions/{id}/api/steer", h.handleSteer)
@@ -156,6 +160,11 @@ func (h *Hub) handleCache(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (h *Hub) handleCM(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h.mgr.CM().Status())
+}
+
 func (h *Hub) handleViewer(w http.ResponseWriter, r *http.Request) {
 	s := h.session(w, r)
 	if s == nil {
@@ -222,7 +231,7 @@ const hubHTML = `<!DOCTYPE html>
  table { border-collapse: collapse; margin-top: 1em; }
  td, th { border: 1px solid #444; padding: .35em .7em; text-align: left; }
  a { color: #8ac; }
- #cache { margin-top: 1em; color: #9a9; font-size: .9em; }
+ #cache, #cm { margin-top: 1em; color: #9a9; font-size: .9em; }
  form { margin-top: 1.5em; }
  label { margin-right: 1em; }
  input, select { width: 7em; }
@@ -233,6 +242,7 @@ const hubHTML = `<!DOCTYPE html>
 <table id="sessions"><tr><th>id</th><th>simulator</th><th>frame</th>
 <th>viewers</th><th>mapping</th><th></th></tr></table>
 <div id="cache"></div>
+<div id="cm"></div>
 <form id="create">
   <label>Simulator <select name="simulator">
     <option value="sod">sod</option><option value="bowshock">bowshock</option>
@@ -259,6 +269,10 @@ async function refresh() {
     document.getElementById('cache').textContent =
       'optimizer cache: ' + cache.hits + ' hits / ' + cache.misses +
       ' misses / ' + cache.entries + ' entries';
+    const cm = await (await fetch('/api/cm')).json();
+    document.getElementById('cm').textContent =
+      'control plane: probe epoch ' + cm.probe_epoch + ' / ' +
+      cm.restamps + ' restamps / ' + cm.adaptations + ' adaptations';
   } catch (e) {}
   const table = document.getElementById('sessions');
   table.innerHTML = rows.map((r, i) =>

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -325,5 +326,181 @@ func TestHubIndexAndCacheEndpoints(t *testing.T) {
 		if _, ok := cache[k]; !ok {
 			t.Fatalf("cache stats missing %q: %v", k, cache)
 		}
+	}
+}
+
+// TestHubCMEndpoint checks the control-plane route: probe epoch, per-edge
+// estimates with staleness, and adaptation counters.
+func TestHubCMEndpoint(t *testing.T) {
+	h, mgr := testHub(t, 1)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/cm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm struct {
+		ProbeEpoch  uint64 `json:"probe_epoch"`
+		GraphRev    uint64 `json:"graph_rev"`
+		Adaptations uint64 `json:"adaptations"`
+		Edges       []struct {
+			From       string  `json:"from"`
+			To         string  `json:"to"`
+			Bandwidth  float64 `json:"bandwidth_bps"`
+			StaleTicks uint64  `json:"stale_ticks"`
+		} `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cm); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cm status %d", resp.StatusCode)
+	}
+	if cm.ProbeEpoch == 0 || cm.GraphRev == 0 {
+		t.Fatalf("cm state has no measurement epoch: %+v", cm)
+	}
+	if len(cm.Edges) == 0 {
+		t.Fatal("cm state lists no edges")
+	}
+	for _, e := range cm.Edges {
+		if e.From == "" || e.To == "" || e.Bandwidth <= 0 {
+			t.Fatalf("implausible edge %+v", e)
+		}
+	}
+
+	// A probe tick advances the epoch observably.
+	before := cm.ProbeEpoch
+	mgr.CM().ProbeTick()
+	resp, err = http.Get(srv.URL + "/api/cm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm2 struct {
+		ProbeEpoch uint64 `json:"probe_epoch"`
+	}
+	json.NewDecoder(resp.Body).Decode(&cm2)
+	resp.Body.Close()
+	if cm2.ProbeEpoch <= before {
+		t.Fatalf("probe epoch did not advance: %d -> %d", before, cm2.ProbeEpoch)
+	}
+}
+
+// TestHubFramesMonotonicAcrossAdaptation long-polls frames over HTTP while
+// the session's chosen path collapses and the Adapter swaps the mapping:
+// every response must be a 200 PNG with a strictly increasing sequence —
+// no 404/410 flap through the reconfiguration.
+func TestHubFramesMonotonicAcrossAdaptation(t *testing.T) {
+	mgr := steering.NewSessionManager(steering.ManagerConfig{
+		MaxSessions:     1,
+		ReoptimizeEvery: 1 << 20, // isolate the Adapter
+		Seed:            42,
+		AdaptTolerance:  0.5,
+		AdaptWindow:     2,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	})
+	h := NewHub(mgr)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(CreateRequest{
+		Simulator: "sod", NX: 64, NY: 32, NZ: 32,
+		StepsPerFrame: 1, FramePeriodMS: 3,
+	})
+	resp, err := http.Post(srv.URL+"/api/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+
+	s, ok := mgr.Get(created.ID)
+	if !ok {
+		t.Fatal("session not registered")
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for s.Reoptimizations() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	before := s.VRT()
+	if before == nil {
+		t.Fatal("no mapping installed")
+	}
+
+	// Long-polling viewer: collects frames through the churn.
+	stop := make(chan struct{})
+	viewerErr := make(chan error, 1)
+	go func() {
+		var since uint64
+		for {
+			select {
+			case <-stop:
+				viewerErr <- nil
+				return
+			default:
+			}
+			resp, err := http.Get(fmt.Sprintf("%s/sessions/%s/api/frame?since=%d", srv.URL, created.ID, since))
+			if err != nil {
+				viewerErr <- err
+				return
+			}
+			png, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNoContent {
+				continue // poll timeout, retry
+			}
+			if resp.StatusCode != 200 {
+				viewerErr <- fmt.Errorf("frame poll status %d mid-churn", resp.StatusCode)
+				return
+			}
+			seq, err := strconv.ParseUint(resp.Header.Get("X-Frame-Seq"), 10, 64)
+			if err == nil && seq <= since {
+				viewerErr <- fmt.Errorf("non-monotonic frame %d after %d", seq, since)
+				return
+			}
+			if err == nil {
+				since = seq
+			}
+			if len(png) < 4 || png[1] != 'P' {
+				viewerErr <- fmt.Errorf("non-PNG frame mid-churn")
+				return
+			}
+		}
+	}()
+
+	// Collapse the installed path and register the drift.
+	path := before.Path()
+	for i := 0; i+1 < len(path); i++ {
+		if l := mgr.CM().Network().FindLink(path[i], path[i+1]); l != nil {
+			l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+			l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
+		}
+	}
+	mgr.CM().MeasureAll()
+
+	deadline = time.Now().Add(15 * time.Second)
+	for s.Adaptations() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Adaptations() < 1 {
+		t.Fatal("adapter never forced a reconfiguration")
+	}
+	// Let the viewer observe at least one post-swap frame.
+	seqAtSwap := s.Status()["frame_seq"].(uint64)
+	deadline = time.Now().Add(15 * time.Second)
+	for s.Status()["frame_seq"].(uint64) <= seqAtSwap && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	if err := <-viewerErr; err != nil {
+		t.Fatal(err)
 	}
 }
