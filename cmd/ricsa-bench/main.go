@@ -8,6 +8,7 @@
 //
 //	ricsa-bench -exp all            # every experiment at full scale
 //	ricsa-bench -exp fig9           # one experiment
+//	ricsa-bench -exp fanout         # K viewers: independent paths vs tree
 //	ricsa-bench -exp fig9 -scale 4  # reduced-scale quick run
 //	ricsa-bench -bench-json BENCH_pipeline.json  # machine-readable
 //	                                  pipeline micro-benchmarks, then exit
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ricsa/internal/experiments"
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig9, fig10, transport, dp, cost, gain, predict, adapt, all")
+		"experiment: fig9, fig10, transport, dp, cost, gain, predict, adapt, fanout, all")
 	scale := flag.Int("scale", 1, "dataset analysis scale divisor (1 = full size)")
 	trials := flag.Int("trials", 3, "trials per measurement")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -63,6 +65,27 @@ func main() {
 	run("gain", func() error { return runGain(opt) })
 	run("predict", func() error { return runPredict(opt) })
 	run("adapt", func() error { return runAdapt(opt) })
+	run("fanout", func() error { return runFanout(opt) })
+}
+
+func runFanout(opt experiments.Options) error {
+	fmt.Println("== Fan-out: K independent paths vs one shared routing tree ==")
+	rows, err := experiments.RunFanout(opt, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-3s %-28s %10s %10s %10s %10s %12s\n",
+		"K", "viewers", "indep max", "indep sum", "tree max", "tree work", "cache h/m")
+	for _, r := range rows {
+		fmt.Printf("%-3d %-28s %9.2fs %9.2fs %9.2fs %9.2fs %9d/%d\n",
+			r.K, strings.Join(r.Viewers, ","), r.IndependentMax, r.IndependentSum,
+			r.TreeDelay, r.TreeWork, r.CacheHits, r.CacheMisses)
+	}
+	last := rows[len(rows)-1]
+	fmt.Printf("-- shared prefix (paid once, %.2fs): %v\n", last.TreeSharedDelay, last.SharedPath)
+	fmt.Printf("-- branches: %v\n", last.BranchSummary)
+	fmt.Println()
+	return nil
 }
 
 func runAdapt(opt experiments.Options) error {

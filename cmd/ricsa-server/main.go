@@ -13,12 +13,16 @@
 // Point any browser at the listen address for the session list; each
 // session page streams frames to any number of concurrent viewers and
 // accepts steering. A default session is created at startup from the -sim/
-// -var/-method flags so the service is immediately watchable; create more
-// with the web form or POST /api/sessions.
+// -var/-method flags so the service is immediately watchable; its endpoints
+// come from -source/-client (or -clients for a multi-viewer routing tree).
+// Create more with the web form or POST /api/sessions, whose JSON may name
+// any measured host as source_node/client_node/client_nodes.
 //
 // Usage:
 //
 //	ricsa-server -addr :8080 -max-sessions 16 -sim sod -var density
+//	ricsa-server -source OSU -client UT
+//	ricsa-server -source GaTech -clients ORNL,UT,NCState
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +48,13 @@ func main() {
 	sim := flag.String("sim", "sod", "default session simulator: sod or bowshock")
 	variable := flag.String("var", "density", "monitored variable: density or pressure")
 	method := flag.String("method", "isosurface", "visualization: isosurface, raycast, or streamline")
+	source := flag.String("source", "GaTech",
+		"testbed host running the default session's data source")
+	client := flag.String("client", "ORNL",
+		"testbed host the default session delivers frames to")
+	clients := flag.String("clients", "",
+		"comma-separated viewer hosts for a multi-viewer default session "+
+			"(one shared routing tree; overrides -client)")
 	iso := flag.Float64("iso", 0.5, "isovalue for isosurface extraction")
 	nx := flag.Int("nx", 96, "grid cells in x")
 	ny := flag.Int("ny", 48, "grid cells in y")
@@ -80,11 +92,21 @@ func main() {
 		req.Isovalue = float32(*iso)
 		req.NX, req.NY, req.NZ = *nx, *ny, *nz
 		req.StepsPerFrame = *steps
+		req.SourceNode = *source
+		req.ClientNode = *client
+		if *clients != "" {
+			for _, host := range strings.Split(*clients, ",") {
+				if host = strings.TrimSpace(host); host != "" {
+					req.ClientNodes = append(req.ClientNodes, host)
+				}
+			}
+		}
 		s, err := mgr.CreateTuned(req, *period, 0, 0)
 		if err != nil {
 			log.Fatalf("ricsa-server: bootstrap session: %v", err)
 		}
-		fmt.Printf("RICSA server: session %s simulating %q\n", s.ID, *sim)
+		fmt.Printf("RICSA server: session %s simulating %q (%s -> %s)\n",
+			s.ID, *sim, req.SourceNode, strings.Join(req.Destinations(), ","))
 	}
 
 	hub := webui.NewHub(mgr)

@@ -396,6 +396,40 @@ func (m *Manager) Optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipe
 	return m.cache.Optimize(g, p, src, dst)
 }
 
+// OptimizeMulti answers a fan-out consultation: the memoized shared-tree
+// dynamic program over the current graph snapshot from the named data
+// source to the named viewer hosts. Identical (graph, pipeline, source,
+// viewer-set) instances — every viewer of a session after the first — are
+// answered from the cache.
+func (m *Manager) OptimizeMulti(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error) {
+	m.mu.Lock()
+	g := m.graph
+	m.mu.Unlock()
+	src := g.NodeIndex(srcName)
+	if src < 0 {
+		return nil, fmt.Errorf("cm: unknown endpoint %q", srcName)
+	}
+	dsts := make([]int, len(dstNames))
+	for i, name := range dstNames {
+		if dsts[i] = g.NodeIndex(name); dsts[i] < 0 {
+			return nil, fmt.Errorf("cm: unknown endpoint %q", name)
+		}
+	}
+	return m.cache.OptimizeMulti(g, p, src, dsts)
+}
+
+// NodeNames returns the measured hosts in graph order — the valid
+// SourceNode/ClientNode values a session request may name.
+func (m *Manager) NodeNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.nodes))
+	for i, nd := range m.nodes {
+		out[i] = nd.Name
+	}
+	return out
+}
+
 // PredictPlacement evaluates an installed placement under the *current*
 // graph snapshot — the monitor half of the loop. A placement whose
 // evaluation has drifted above its VRT's at-install prediction is the

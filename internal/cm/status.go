@@ -22,6 +22,7 @@ type Status struct {
 	Adaptations  uint64       `json:"adaptations"`
 	Tolerance    float64      `json:"tolerance"`
 	Nodes        int          `json:"nodes"`
+	NodeNames    []string     `json:"node_names"`
 	Edges        []EdgeStatus `json:"edges"`
 	CacheHits    uint64       `json:"cache_hits"`
 	CacheMisses  uint64       `json:"cache_misses"`
@@ -39,12 +40,16 @@ func (m *Manager) Status() Status {
 		Adaptations:  m.adaptations,
 		Tolerance:    m.cfg.Tolerance,
 		Nodes:        len(m.nodes),
+		NodeNames:    make([]string, 0, len(m.nodes)),
 		CacheHits:    cs.Hits,
 		CacheMisses:  cs.Misses,
 		CacheEntries: cs.Entries,
 	}
 	if m.graph != nil {
 		st.GraphRev = m.graph.Rev
+	}
+	for _, nd := range m.nodes {
+		st.NodeNames = append(st.NodeNames, nd.Name)
 	}
 	for _, e := range m.edges {
 		es := EdgeStatus{

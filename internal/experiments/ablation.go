@@ -83,7 +83,7 @@ func RunPredictionAccuracy(o Options) ([]PredictionRow, error) {
 		}
 		out = append(out, predRow(spec.Name, "optimal(DP)", vrt.Delay, fr.Elapsed.Seconds()))
 
-		for _, loop := range steering.Fig9Loops() {
+		for _, loop := range Fig9Loops() {
 			src := d.Graph.NodeIndex(loop.Source)
 			nodes := make([]int, len(loop.Placement))
 			for k, name := range loop.Placement {

@@ -135,7 +135,7 @@ func RunFig9(o Options) ([]Fig9Result, error) {
 		res.Optimal = optSum / float64(o.Trials)
 
 		bestPCPC := 0.0
-		for _, loop := range steering.Fig9Loops() {
+		for _, loop := range Fig9Loops() {
 			var sum float64
 			for trial := 0; trial < o.Trials; trial++ {
 				d := newTestbedDeployment(withSeed(o, int64(trial)))

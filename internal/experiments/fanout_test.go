@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+func TestRunFanoutSharesTreeAndCache(t *testing.T) {
+	o := DefaultOptions()
+	o.AnalysisScale = 1 // RageSpec is analyzed at 1/8 scale internally
+	o.BlockEdge = 4
+	o.Seed = 5
+
+	rows, err := RunFanout(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	const eps = 1e-9
+	for _, r := range rows {
+		if r.K != len(r.Viewers) {
+			t.Fatalf("K=%d but %d viewers", r.K, len(r.Viewers))
+		}
+		// Every viewer consults once: the first misses, the rest hit the
+		// destination-set cache key.
+		if r.CacheMisses != 1 || r.CacheHits != uint64(r.K-1) {
+			t.Fatalf("K=%d: cache misses=%d hits=%d, want 1/%d",
+				r.K, r.CacheMisses, r.CacheHits, r.K-1)
+		}
+		// Sharing a prefix cannot beat any viewer's independent optimum.
+		if r.TreeDelay+eps < r.IndependentMax {
+			t.Fatalf("K=%d: tree slowest branch %.4f beats independent max %.4f",
+				r.K, r.TreeDelay, r.IndependentMax)
+		}
+		if r.TreeSum+eps < r.IndependentSum {
+			t.Fatalf("K=%d: tree sum %.4f beats independent sum %.4f",
+				r.K, r.TreeSum, r.IndependentSum)
+		}
+		// The aggregate work is the sum of branch delays with the shared
+		// prefix counted once instead of K times.
+		wantWork := r.TreeSum - float64(r.K-1)*r.TreeSharedDelay
+		if d := r.TreeWork - wantWork; d > eps || d < -eps {
+			t.Fatalf("K=%d: tree work %.4f, want %.4f", r.K, r.TreeWork, wantWork)
+		}
+		// For K > 1 the saving the tree exists for must be visible: its
+		// aggregate work undercuts re-paying the prefix per viewer.
+		if r.K > 1 && r.TreeWork >= r.IndependentSum {
+			t.Fatalf("K=%d: tree work %.4f shows no saving over independent sum %.4f",
+				r.K, r.TreeWork, r.IndependentSum)
+		}
+		if r.TreeSharedDelay > r.TreeDelay+eps {
+			t.Fatalf("K=%d: shared prefix %.4f exceeds slowest branch %.4f",
+				r.K, r.TreeSharedDelay, r.TreeDelay)
+		}
+		if len(r.SharedPath) == 0 || r.SharedPath[0] != "GaTech" {
+			t.Fatalf("K=%d: shared path %v does not start at the source", r.K, r.SharedPath)
+		}
+		if len(r.BranchSummary) != r.K {
+			t.Fatalf("K=%d: %d branches", r.K, len(r.BranchSummary))
+		}
+	}
+	// K=1 degenerates to the single optimized path.
+	if d := rows[0].TreeDelay - rows[0].IndependentMax; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("K=1 tree delay %.4f != path delay %.4f",
+			rows[0].TreeDelay, rows[0].IndependentMax)
+	}
+}

@@ -1,11 +1,13 @@
-package steering
+package experiments
 
 import "ricsa/internal/netsim"
 
 // Loop is one of the paper's Fig. 9 visualization loops: a control route
 // from the client to the data source and a fixed placement of the
 // four-module isosurface pipeline (Filter, IsosurfaceExtract, Render,
-// Deliver).
+// Deliver). These are evaluation fixtures — the paper's published
+// comparison loops on the named testbed hosts — so they live with the
+// experiments; live sessions take their endpoints from the Request.
 type Loop struct {
 	Name      string
 	Source    string   // data source node

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"container/list"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -140,10 +141,35 @@ func (v *VRT) Clone() *VRT {
 	return out
 }
 
-// CacheKey identifies one optimization instance.
+// CacheKey identifies one optimization instance. Single-destination
+// instances key on Dst; multi-destination (tree) instances key on Dsts, an
+// order-insensitive fingerprint of the destination set, with Dst = -1 so
+// the two families can never collide.
 type CacheKey struct {
 	Graph, Pipe uint64
 	Src, Dst    int
+	Dsts        uint64
+}
+
+// dstSetFingerprint digests a destination set order-insensitively: two
+// viewer sets with the same hosts in different join orders share one cached
+// tree.
+func dstSetFingerprint(dsts []int) uint64 {
+	sorted := append([]int(nil), dsts...)
+	sort.Ints(sorted)
+	h := uint64(fpOffset)
+	prev := -1
+	n := 0
+	for _, d := range sorted {
+		if d == prev {
+			continue // duplicates do not change the tree
+		}
+		prev = d
+		h = fpMix(h, uint64(d))
+		n++
+	}
+	h = fpMix(h, uint64(n))
+	return fpFinal(h)
 }
 
 // CacheStats is a snapshot of cache effectiveness counters. A Hit includes
@@ -155,15 +181,17 @@ type CacheStats struct {
 }
 
 type cacheEntry struct {
-	key CacheKey
-	vrt *VRT
-	err error
+	key  CacheKey
+	vrt  *VRT
+	tree *VRTree
+	err  error
 }
 
 // inflightCall coalesces concurrent misses on the same key.
 type inflightCall struct {
 	done chan struct{}
 	vrt  *VRT
+	tree *VRTree
 	err  error
 }
 
@@ -211,33 +239,59 @@ func (c *Cache) Optimize(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
 // The returned VRT is a private copy the caller may retain and mutate.
 func (c *Cache) OptimizeWith(g *Graph, p *Pipeline, src, dst int, opt OptimizeOptions) (*VRT, error) {
 	key := CacheKey{Graph: g.Fingerprint(), Pipe: p.Fingerprint(), Src: src, Dst: dst}
+	vrt, _, err := c.memoize(key, func() (*VRT, *VRTree, error) {
+		vrt, err := OptimizeWith(g, p, src, dst, opt)
+		return vrt, nil, err
+	})
+	return vrt, err
+}
 
+// OptimizeMulti is the memoized equivalent of the package-level
+// OptimizeMulti: one solved tree per (graph, pipeline, source,
+// destination-set) instance, so every viewer of a fan-out session after the
+// first consults the cache instead of re-running the tree DP. Concurrent
+// misses on the same key are single-flight. The returned tree is a private
+// copy the caller may retain and mutate.
+func (c *Cache) OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) {
+	key := CacheKey{Graph: g.Fingerprint(), Pipe: p.Fingerprint(), Src: src, Dst: -1,
+		Dsts: dstSetFingerprint(dsts)}
+	_, tree, err := c.memoize(key, func() (*VRT, *VRTree, error) {
+		tree, err := OptimizeMulti(g, p, src, dsts)
+		return nil, tree, err
+	})
+	return tree, err
+}
+
+// memoize is the LRU-hit / single-flight / store-and-evict skeleton shared
+// by both optimizer families; compute runs exactly once per missed key.
+// Returned values are private clones.
+func (c *Cache) memoize(key CacheKey, compute func() (*VRT, *VRTree, error)) (*VRT, *VRTree, error) {
 	c.mu.Lock()
 	if el, ok := c.index[key]; ok {
 		c.lru.MoveToFront(el)
 		ent := el.Value.(*cacheEntry)
 		c.hits++
 		c.mu.Unlock()
-		return ent.vrt.Clone(), ent.err
+		return ent.vrt.Clone(), ent.tree.Clone(), ent.err
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		<-call.done
-		return call.vrt.Clone(), call.err
+		return call.vrt.Clone(), call.tree.Clone(), call.err
 	}
 	c.misses++
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call
 	c.mu.Unlock()
 
-	vrt, err := OptimizeWith(g, p, src, dst, opt)
+	vrt, tree, err := compute()
 
 	c.mu.Lock()
-	call.vrt, call.err = vrt, err
+	call.vrt, call.tree, call.err = vrt, tree, err
 	close(call.done)
 	delete(c.inflight, key)
-	el := c.lru.PushFront(&cacheEntry{key: key, vrt: vrt, err: err})
+	el := c.lru.PushFront(&cacheEntry{key: key, vrt: vrt, tree: tree, err: err})
 	c.index[key] = el
 	for c.lru.Len() > c.capacity {
 		oldest := c.lru.Back()
@@ -245,7 +299,7 @@ func (c *Cache) OptimizeWith(g *Graph, p *Pipeline, src, dst int, opt OptimizeOp
 		delete(c.index, oldest.Value.(*cacheEntry).key)
 	}
 	c.mu.Unlock()
-	return vrt.Clone(), err
+	return vrt.Clone(), tree.Clone(), err
 }
 
 // Stats snapshots the effectiveness counters.

@@ -1,0 +1,372 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file grows the optimizer from paths to shared trees: one data source
+// fanning out to several viewer hosts. The pipeline prefix up to and
+// including the render stage is executed once, at one shared terminal node;
+// each destination then receives its own tail (delivery) branch. The result
+// is a visualization routing *tree* instead of a table row per viewer: the
+// simulation and rendering cost is paid once, and only the per-destination
+// branches differ.
+//
+// The optimization is exact for this tree shape: a forward dynamic program
+// (the Eq. 9-10 recursion) prices every candidate shared terminal, a
+// backward dynamic program per destination prices every tail from every
+// candidate terminal, and the terminal minimizing the *slowest* branch —
+// the delay that gates the monitoring loop when every viewer must receive
+// the frame — is selected. With a single destination the minimax objective
+// degenerates to the plain shortest loop, so OptimizeMulti(g, p, src, {d})
+// returns the same delay as Optimize(g, p, src, d).
+
+// VRTBranch is one per-destination delivery branch of a VRTree.
+type VRTBranch struct {
+	// Dst names the viewer host this branch delivers to.
+	Dst string
+	// Groups are the tail module groups, in order from the shared terminal
+	// to the destination. The first group may be co-located with the shared
+	// terminal (no transfer before it).
+	Groups []Assignment
+	// Delay is the end-to-end delay src -> this destination (seconds):
+	// shared prefix plus this branch's tail.
+	Delay float64
+}
+
+// VRTree is the visualization routing tree for a multi-viewer session: the
+// shared prefix mapping (source + groups up to the render stage, executed
+// once) and one delivery branch per destination.
+type VRTree struct {
+	// Shared is the source group followed by the shared prefix groups; its
+	// last group's node is the shared terminal every branch starts from.
+	Shared []Assignment
+	// Branches holds one tail per requested destination, in request order.
+	Branches []VRTBranch
+	// SharedDelay is the delay through the shared prefix alone (seconds).
+	SharedDelay float64
+	// Delay is the slowest branch's end-to-end delay — the frame period a
+	// session must charge when every viewer has to receive the image.
+	Delay float64
+}
+
+// SharedPath returns the node sequence of the shared prefix.
+func (t *VRTree) SharedPath() []string {
+	out := make([]string, len(t.Shared))
+	for i, g := range t.Shared {
+		out[i] = g.Node
+	}
+	return out
+}
+
+// BranchPath returns the full node sequence src -> destination for branch i:
+// the shared path followed by the branch's own groups (deduplicating the
+// shared terminal when the first tail group is co-located with it).
+func (t *VRTree) BranchPath(i int) []string {
+	out := t.SharedPath()
+	for _, g := range t.Branches[i].Groups {
+		if len(out) == 0 || out[len(out)-1] != g.Node {
+			out = append(out, g.Node)
+		}
+	}
+	return out
+}
+
+// BranchPlacement returns the per-module node names of branch i — the
+// shared prefix modules followed by the tail modules — in the shape
+// EvaluatePlacement expects, so the monitor half of the control loop can
+// re-price every branch under the current graph.
+func (t *VRTree) BranchPlacement(i int) []string {
+	var out []string
+	for gi, g := range t.Shared {
+		for mi := range g.Modules {
+			if gi == 0 && mi == 0 {
+				continue // the "Source" marker is not a pipeline module
+			}
+			out = append(out, g.Node)
+		}
+	}
+	for _, g := range t.Branches[i].Groups {
+		for range g.Modules {
+			out = append(out, g.Node)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies a VRTree so cached results can be handed to concurrent
+// callers without aliasing.
+func (t *VRTree) Clone() *VRTree {
+	if t == nil {
+		return nil
+	}
+	out := &VRTree{SharedDelay: t.SharedDelay, Delay: t.Delay}
+	out.Shared = cloneGroups(t.Shared)
+	out.Branches = make([]VRTBranch, len(t.Branches))
+	for i, b := range t.Branches {
+		out.Branches[i] = VRTBranch{Dst: b.Dst, Groups: cloneGroups(b.Groups), Delay: b.Delay}
+	}
+	return out
+}
+
+func cloneGroups(gs []Assignment) []Assignment {
+	out := make([]Assignment, len(gs))
+	for i, g := range gs {
+		out[i] = Assignment{Node: g.Node, Modules: append([]string(nil), g.Modules...)}
+	}
+	return out
+}
+
+func (t *VRTree) String() string {
+	s := ""
+	for i, g := range t.Shared {
+		if i > 0 {
+			s += " -> "
+		}
+		s += g.Node
+	}
+	s += " => {"
+	for i, b := range t.Branches {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s (%.3fs)", b.Dst, b.Delay)
+	}
+	return s + fmt.Sprintf("} (slowest %.3fs)", t.Delay)
+}
+
+// RenderSplit returns the index of the first per-destination tail module:
+// everything before it is the shared prefix a multi-viewer tree executes
+// once. The split falls just after the last render-class (NeedsGPU) module;
+// a pipeline with no such module shares everything but its final (delivery)
+// module. The result is in [0, len(Modules)-1], so at least the last module
+// is always per-destination.
+func RenderSplit(p *Pipeline) int {
+	split := len(p.Modules) - 1
+	for k := len(p.Modules) - 1; k >= 0; k-- {
+		if p.Modules[k].NeedsGPU {
+			if k+1 < split {
+				split = k + 1
+			}
+			break
+		}
+	}
+	if split < 0 {
+		split = 0
+	}
+	return split
+}
+
+// OptimizeMulti computes the optimal visualization routing tree from src to
+// the destination set: the shared prefix (modules before RenderSplit) is
+// mapped once, and each destination gets its own tail branch relaxed from
+// the shared terminal's DP column. The shared terminal is chosen to
+// minimize the slowest branch's end-to-end delay. Destinations are
+// deduplicated; branch order follows the deduplicated request order.
+func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) {
+	nNodes := len(g.Nodes)
+	n := len(p.Modules)
+	if src < 0 || src >= nNodes || len(dsts) == 0 {
+		return nil, ErrBadEndpoints
+	}
+	seen := make(map[int]bool, len(dsts))
+	uniq := make([]int, 0, len(dsts))
+	for _, d := range dsts {
+		if d < 0 || d >= nNodes {
+			return nil, ErrBadEndpoints
+		}
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("pipeline: empty module list")
+	}
+	split := RenderSplit(p)
+
+	// Forward prefix DP: P[v] is the minimal delay of mapping the shared
+	// prefix (modules [0, split)) onto a path from src ending at v, with
+	// full backtrack choices. For split == 0 the "prefix" is just the raw
+	// dataset sitting at the source.
+	P := make([]float64, nNodes)
+	choice := make([][]int32, split)
+	for v := range P {
+		P[v] = math.Inf(1)
+	}
+	if split == 0 {
+		P[src] = 0
+	} else {
+		in := inEdgeIndex(g)
+		choice[0] = make([]int32, nNodes)
+		for v := range choice[0] {
+			choice[0][v] = -1
+		}
+		if ct := computeTime(g, p, 0, src); !math.IsInf(ct, 1) {
+			P[src] = ct
+			choice[0][src] = int32(src)
+		}
+		for _, e := range g.Adj[src] {
+			cand := computeTime(g, p, 0, e.To) + transferTime(p, 0, e)
+			if cand < P[e.To] {
+				P[e.To] = cand
+				choice[0][e.To] = int32(src)
+			}
+		}
+		T := make([]float64, nNodes)
+		for j := 1; j < split; j++ {
+			choice[j] = make([]int32, nNodes)
+			for v := 0; v < nNodes; v++ {
+				T[v] = math.Inf(1)
+				choice[j][v] = -1
+				ct := computeTime(g, p, j, v)
+				if math.IsInf(ct, 1) {
+					continue
+				}
+				if best := P[v] + ct; best < T[v] {
+					T[v] = best
+					choice[j][v] = int32(v)
+				}
+				for _, ie := range in[v] {
+					u := int(ie.From)
+					if u == v || math.IsInf(P[u], 1) {
+						continue
+					}
+					if cand := P[u] + ct + transferTime(p, j, ie.E); cand < T[v] {
+						T[v] = cand
+						choice[j][v] = ie.From
+					}
+				}
+			}
+			P, T = T, P
+		}
+	}
+
+	// Backward tail DP per destination: B[v] is the minimal delay of
+	// mapping the tail modules [split, n) given their input resides at v,
+	// ending with the last module at the destination. The recursion mirrors
+	// the forward one exactly (at most one edge crossing per module), so a
+	// tree over one destination prices identically to Optimize.
+	tails := make([][]float64, len(uniq))      // B at column split, per dst
+	tailChoice := make([][][]int32, len(uniq)) // where module j runs, given its input at v
+	for di, d := range uniq {
+		B := make([]float64, nNodes)
+		next := make([]float64, nNodes)
+		ch := make([][]int32, n-split)
+		for v := range next {
+			next[v] = math.Inf(1)
+		}
+		next[d] = 0
+		for j := n - 1; j >= split; j-- {
+			cj := make([]int32, nNodes)
+			for v := 0; v < nNodes; v++ {
+				B[v] = math.Inf(1)
+				cj[v] = -1
+				// Run module j here.
+				if ct := computeTime(g, p, j, v); !math.IsInf(ct, 1) && !math.IsInf(next[v], 1) {
+					B[v] = ct + next[v]
+					cj[v] = int32(v)
+				}
+				// Or ship its input over one edge and run it there.
+				for _, e := range g.Adj[v] {
+					u := e.To
+					ct := computeTime(g, p, j, u)
+					if math.IsInf(ct, 1) || math.IsInf(next[u], 1) {
+						continue
+					}
+					if cand := transferTime(p, j, e) + ct + next[u]; cand < B[v] {
+						B[v] = cand
+						cj[v] = int32(u)
+					}
+				}
+			}
+			ch[j-split] = cj
+			B, next = next, B
+		}
+		tails[di] = append([]float64(nil), next...)
+		tailChoice[di] = ch
+	}
+
+	// Shared terminal: the node minimizing the slowest branch.
+	vstar, best := -1, math.Inf(1)
+	for v := 0; v < nNodes; v++ {
+		if math.IsInf(P[v], 1) {
+			continue
+		}
+		worst := 0.0
+		feasible := true
+		for di := range uniq {
+			if math.IsInf(tails[di][v], 1) {
+				feasible = false
+				break
+			}
+			if tot := P[v] + tails[di][v]; tot > worst {
+				worst = tot
+			}
+		}
+		if feasible && worst < best {
+			best = worst
+			vstar = v
+		}
+	}
+	if vstar < 0 {
+		return nil, ErrNoFeasibleMapping
+	}
+
+	tree := &VRTree{SharedDelay: P[vstar]}
+
+	// Shared groups: backtrack the prefix path ending at vstar.
+	prefixNodes := make([]int, split)
+	cur := vstar
+	for j := split - 1; j >= 0; j-- {
+		prev := int(choice[j][cur])
+		if prev < 0 {
+			return nil, fmt.Errorf("pipeline: broken tree backtrack at module %d", j)
+		}
+		prefixNodes[j] = cur
+		cur = prev
+	}
+	if cur != src {
+		return nil, fmt.Errorf("pipeline: tree backtrack ended at %s, want source %s",
+			g.Nodes[cur].Name, g.Nodes[src].Name)
+	}
+	tree.Shared = append(tree.Shared, Assignment{Node: g.Nodes[src].Name, Modules: []string{"Source"}})
+	cur = src
+	for k, v := range prefixNodes {
+		if v != cur {
+			tree.Shared = append(tree.Shared, Assignment{Node: g.Nodes[v].Name})
+			cur = v
+		}
+		last := &tree.Shared[len(tree.Shared)-1]
+		last.Modules = append(last.Modules, p.Modules[k].Name)
+	}
+
+	// Branches: replay each destination's tail decisions from vstar.
+	for di, d := range uniq {
+		br := VRTBranch{Dst: g.Nodes[d].Name, Delay: P[vstar] + tails[di][vstar]}
+		at := vstar
+		var groups []Assignment
+		for j := split; j < n; j++ {
+			w := int(tailChoice[di][j-split][at])
+			if w < 0 {
+				return nil, fmt.Errorf("pipeline: broken branch backtrack at module %d", j)
+			}
+			if len(groups) == 0 || groups[len(groups)-1].Node != g.Nodes[w].Name {
+				groups = append(groups, Assignment{Node: g.Nodes[w].Name})
+			}
+			last := &groups[len(groups)-1]
+			last.Modules = append(last.Modules, p.Modules[j].Name)
+			at = w
+		}
+		if at != d {
+			return nil, fmt.Errorf("pipeline: branch for %s ended at %s", g.Nodes[d].Name, g.Nodes[at].Name)
+		}
+		br.Groups = groups
+		if br.Delay > tree.Delay {
+			tree.Delay = br.Delay
+		}
+		tree.Branches = append(tree.Branches, br)
+	}
+	return tree, nil
+}

@@ -14,6 +14,7 @@ import (
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 	"ricsa/internal/simengine"
+	"ricsa/internal/viz"
 )
 
 // This file is the multi-session deployment service: SessionManager owns N
@@ -77,6 +78,12 @@ type SessionManager struct {
 	cfg ManagerConfig
 	cm  *cm.Manager
 
+	// optFn/optMultiFn are the CM consultation entry points, split out as
+	// fields so tests can inject optimizer failures; they default to the
+	// shared cm.Manager's memoized optimizers.
+	optFn      func(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error)
+	optMultiFn func(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error)
+
 	mu       sync.Mutex
 	sessions map[string]*ManagedSession
 	nextID   uint64
@@ -115,6 +122,8 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 		DeviationWindow:    cfg.AdaptWindow,
 		CacheCapacity:      cfg.CacheCapacity,
 	})
+	m.optFn = m.cm.Optimize
+	m.optMultiFn = m.cm.OptimizeMulti
 	m.cm.Start()
 	return m
 }
@@ -151,11 +160,20 @@ func (m *SessionManager) Graph() *pipeline.Graph { return m.cm.Graph() }
 // CacheStats reports the shared optimizer cache counters.
 func (m *SessionManager) CacheStats() pipeline.CacheStats { return m.cm.CacheStats() }
 
-// optimize is the CM entry point sessions call: memoized DP over the
-// current graph from the named data source to the named client.
+// optimize is the CM entry point single-viewer sessions call: memoized DP
+// over the current graph from the named data source to the named client.
 func (m *SessionManager) optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error) {
-	return m.cm.Optimize(p, srcName, dstName)
+	return m.optFn(p, srcName, dstName)
 }
+
+// optimizeMulti is the fan-out entry point: one shared tree from the data
+// source to every viewer host of a multi-viewer session.
+func (m *SessionManager) optimizeMulti(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error) {
+	return m.optMultiFn(p, srcName, dstNames)
+}
+
+// NodeNames returns the measured hosts a Request may name as endpoints.
+func (m *SessionManager) NodeNames() []string { return m.cm.NodeNames() }
 
 // Create starts a new live session for the request and returns it. The
 // session's lifecycle goroutine runs until Destroy or Shutdown.
@@ -289,20 +307,32 @@ type ManagedSession struct {
 	Width       int
 	Height      int
 
-	mu        sync.Mutex
-	req       Request
-	seq       uint64
-	png       []byte
-	notify    chan struct{}
-	viewers   int
-	vrt       *pipeline.VRT
-	optErr    error
-	renderErr error
-	reopts    int    // CM consultations performed
-	adapts    int    // Adapter-forced consultations among them
-	sinceOpt  int    // frames since the last consultation
-	pipeKey   uint64 // fingerprint of the pipeline last sent to the CM
-	pipe      *pipeline.Pipeline
+	mu      sync.Mutex
+	req     Request
+	seq     uint64 // frames produced (monotone, rendered or not)
+	png     []byte // last rendered frame
+	pngSeq  uint64 // the frame seq png corresponds to
+	renders int    // RenderDataset invocations (lazy rendering skips idle frames)
+	// latest is the newest unrendered dataset snapshot (with the request it
+	// was produced under), kept so a viewer arriving after idle frames can
+	// have the current frame rendered on demand. lazyTarget is the frame
+	// seq a WaitFrame caller is currently rendering (0 = none): on-demand
+	// rendering is single-flight, so a poll burst against an idle session
+	// pays one render, not one per waiter.
+	latest     *grid.ScalarField
+	latestReq  Request
+	lazyTarget uint64
+	notify     chan struct{}
+	viewers    int
+	vrt        *pipeline.VRT    // installed mapping (single-viewer mode)
+	tree       *pipeline.VRTree // installed routing tree (multi-viewer mode)
+	optErr     error
+	renderErr  error
+	reopts     int    // successful CM consultations
+	adapts     int    // Adapter-forced consultations among them
+	sinceOpt   int    // frames since the last successful consultation
+	pipeKey    uint64 // fingerprint of the pipeline last sent to the CM
+	pipe       *pipeline.Pipeline
 	// pipeGen counts cost-model invalidations (isovalue steers). A CM
 	// consultation snapshots it and discards its result if an
 	// invalidation landed while the optimizer ran unlocked, so a stale
@@ -314,13 +344,25 @@ type ManagedSession struct {
 	done chan struct{}
 }
 
-// newManagedSession validates the request and instantiates the simulator;
-// the caller registers the session and starts its goroutine.
+// newManagedSession validates the request — including its endpoints, which
+// must name hosts of the CM's measured graph — and instantiates the
+// simulator; the caller registers the session and starts its goroutine.
 func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) {
 	switch req.Method {
 	case "isosurface", "raycast", "streamline", "":
 	default:
 		return nil, fmt.Errorf("steering: unknown method %q", req.Method)
+	}
+	g := m.cm.Graph()
+	if g.NodeIndex(req.SourceNode) < 0 {
+		return nil, fmt.Errorf("steering: unknown source node %q (measured hosts: %v)",
+			req.SourceNode, m.cm.NodeNames())
+	}
+	for _, dst := range req.Destinations() {
+		if g.NodeIndex(dst) < 0 {
+			return nil, fmt.Errorf("steering: unknown client node %q (measured hosts: %v)",
+				dst, m.cm.NodeNames())
+		}
 	}
 	var sim *simengine.Sim
 	switch req.Simulator {
@@ -356,27 +398,45 @@ func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) 
 // standing in for physical transfer.
 func (s *ManagedSession) run() {
 	defer close(s.done)
+	start := time.Now()
 	s.produce()
-	timer := time.NewTimer(s.period())
+	timer := time.NewTimer(s.nextDelay(time.Since(start)))
 	defer timer.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-timer.C:
+			start = time.Now()
 			s.produce()
-			timer.Reset(s.period())
+			timer.Reset(s.nextDelay(time.Since(start)))
 		}
 	}
 }
 
+// nextDelay converts the effective frame period into the timer delay for
+// the next frame, discounting the wall time produce itself consumed — the
+// loop's cadence is the period, not period plus sim/render time.
+func (s *ManagedSession) nextDelay(elapsed time.Duration) time.Duration {
+	d := s.period() - elapsed
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // period is the effective frame period: the base pacing plus the installed
-// mapping's predicted delivery delay.
+// mapping's predicted delivery delay — in multi-viewer mode the tree's
+// slowest branch, since the loop must not advance before every viewer has
+// the previous image.
 func (s *ManagedSession) period() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.FramePeriod
-	if s.vrt != nil && s.vrt.Delay > 0 {
+	switch {
+	case s.tree != nil && s.tree.Delay > 0:
+		p += time.Duration(s.tree.Delay * float64(time.Second))
+	case s.vrt != nil && s.vrt.Delay > 0:
 		p += time.Duration(s.vrt.Delay * float64(time.Second))
 	}
 	return p
@@ -401,12 +461,15 @@ func (s *ManagedSession) snapshot(req Request) *grid.ScalarField {
 
 // produce advances the simulation one frame, consults the CM when due (on
 // schedule, or early when the Adapter reports the installed mapping has
-// drifted), and publishes the rendered image.
+// drifted), and publishes the frame. Rendering is lazy: with no attached
+// viewer the render/PNG-encode step — the hot path at -max-sessions scale —
+// is skipped, the sequence number still advances, and the dataset snapshot
+// is kept so WaitFrame can render the current frame on demand.
 func (s *ManagedSession) produce() {
 	s.mu.Lock()
 	req := s.req
 	due := s.pipe == nil || s.sinceOpt >= s.mgr.cfg.ReoptimizeEvery
-	pipe, vrt := s.pipe, s.vrt
+	pipe, vrt, tree := s.pipe, s.vrt, s.tree
 	s.mu.Unlock()
 
 	for i := 0; i < req.StepsPerFrame; i++ {
@@ -414,24 +477,45 @@ func (s *ManagedSession) produce() {
 	}
 	field := s.snapshot(req)
 
-	if !due && pipe != nil && vrt != nil && s.monitor(pipe, vrt) {
+	if !due && pipe != nil && (vrt != nil || tree != nil) && s.monitor(pipe, vrt, tree) {
 		due = true
 	}
 	if due {
 		s.consultCM(field, req)
 	}
 
-	img, err := RenderDataset(field, req, s.Width, s.Height)
+	s.mu.Lock()
+	wantRender := s.viewers > 0
+	s.mu.Unlock()
+
 	var png []byte
-	if err == nil {
-		png, err = img.PNG()
+	var err error
+	if wantRender {
+		var img *viz.Image
+		img, err = RenderDataset(field, req, s.Width, s.Height)
+		if err == nil {
+			png, err = img.PNG()
+		}
 	}
+
 	s.mu.Lock()
 	s.sinceOpt++
 	s.renderErr = err
-	if err == nil {
+	switch {
+	case !wantRender:
+		// Idle frame: advance the sequence and stash the snapshot for
+		// on-demand rendering, but do no pixel work.
+		s.seq++
+		s.latest = field
+		s.latestReq = req
+		close(s.notify)
+		s.notify = make(chan struct{})
+	case err == nil:
 		s.seq++
 		s.png = png
+		s.pngSeq = s.seq
+		s.renders++
+		s.latest = nil
 		close(s.notify)
 		s.notify = make(chan struct{})
 	}
@@ -440,17 +524,36 @@ func (s *ManagedSession) produce() {
 
 // monitor is the session's monitor→adapt step: it re-evaluates the
 // installed placement under the CM's *current* graph (which the Prober
-// keeps fresh) and feeds the result to the Adapter. A placement whose
-// re-predicted delay deviates from its at-install prediction for
-// AdaptWindow consecutive frames forces an early consultation.
-func (s *ManagedSession) monitor(pipe *pipeline.Pipeline, vrt *pipeline.VRT) bool {
-	observed, err := s.mgr.cm.PredictPlacement(pipe, netsim.GaTech, PlacementFromVRT(vrt))
-	if err != nil {
-		// The placement no longer evaluates (a topology change): treat as
-		// an unbounded deviation so the window logic still applies.
-		observed = math.Inf(1)
+// keeps fresh) and feeds the result to the Adapter. In multi-viewer mode
+// every branch of the tree is re-priced and the slowest governs, matching
+// what period charges. A placement whose re-predicted delay deviates from
+// its at-install prediction for AdaptWindow consecutive frames forces an
+// early consultation.
+func (s *ManagedSession) monitor(pipe *pipeline.Pipeline, vrt *pipeline.VRT, tree *pipeline.VRTree) bool {
+	src := s.Request().SourceNode
+	var observed, predicted float64
+	if tree != nil {
+		predicted = tree.Delay
+		for i := range tree.Branches {
+			d, err := s.mgr.cm.PredictPlacement(pipe, src, tree.BranchPlacement(i))
+			if err != nil {
+				d = math.Inf(1)
+			}
+			if d > observed {
+				observed = d
+			}
+		}
+	} else {
+		predicted = vrt.Delay
+		var err error
+		observed, err = s.mgr.cm.PredictPlacement(pipe, src, PlacementFromVRT(vrt))
+		if err != nil {
+			// The placement no longer evaluates (a topology change): treat
+			// as an unbounded deviation so the window logic still applies.
+			observed = math.Inf(1)
+		}
 	}
-	if !s.adapter.Observe(observed, vrt.Delay) {
+	if !s.adapter.Observe(observed, predicted) {
 		return false
 	}
 	s.mu.Lock()
@@ -460,10 +563,12 @@ func (s *ManagedSession) monitor(pipe *pipeline.Pipeline, vrt *pipeline.VRT) boo
 }
 
 // consultCM rebuilds the session's pipeline model when its cost inputs
-// changed (a new isovalue) and asks the CM for a mapping. The paper's roles
-// map onto the testbed: the data source runs at GaTech, the client/front
-// end at ORNL. Unchanged (graph, pipeline) instances are answered from the
-// shared cache.
+// changed (a new isovalue) and asks the CM for a mapping between the
+// request's endpoints: a path to the single ClientNode, or a shared
+// routing tree over ClientNodes in multi-viewer mode. Unchanged (graph,
+// pipeline, endpoints) instances are answered from the shared cache. A
+// failed consultation keeps the session past due so the next frame retries
+// immediately, and does not count as a re-optimization.
 func (s *ManagedSession) consultCM(field *grid.ScalarField, req Request) {
 	s.mu.Lock()
 	pipe := s.pipe
@@ -474,7 +579,14 @@ func (s *ManagedSession) consultCM(field *grid.ScalarField, req Request) {
 		st := AnalyzeDataset(field, req.Simulator, req.BlockEdge, req.Isovalue)
 		pipe = BuildIsoPipeline(st)
 	}
-	vrt, err := s.mgr.optimize(pipe, netsim.GaTech, netsim.ORNL)
+	var vrt *pipeline.VRT
+	var tree *pipeline.VRTree
+	var err error
+	if len(req.ClientNodes) > 0 {
+		tree, err = s.mgr.optimizeMulti(pipe, req.SourceNode, req.ClientNodes)
+	} else {
+		vrt, err = s.mgr.optimize(pipe, req.SourceNode, req.ClientNode)
+	}
 
 	s.mu.Lock()
 	if s.pipeGen != gen {
@@ -487,7 +599,16 @@ func (s *ManagedSession) consultCM(field *grid.ScalarField, req Request) {
 	}
 	s.pipe = pipe
 	s.pipeKey = pipe.Fingerprint()
-	s.vrt, s.optErr = vrt, err
+	s.optErr = err
+	if err != nil {
+		// Keep the prior mapping and stay past due: the next frame retries
+		// instead of waiting out a full ReoptimizeEvery schedule, and the
+		// failure is not a re-optimization.
+		s.sinceOpt = s.mgr.cfg.ReoptimizeEvery
+		s.mu.Unlock()
+		return
+	}
+	s.vrt, s.tree = vrt, tree
 	s.reopts++
 	s.sinceOpt = 0
 	s.mu.Unlock()
@@ -511,14 +632,59 @@ func (s *ManagedSession) Attach() (detach func()) {
 }
 
 // WaitFrame blocks until a frame with sequence > since exists (or ctx
-// ends). Any number of viewers may wait concurrently.
+// ends). Any number of viewers may wait concurrently. If the newest frame
+// was produced while no viewer was attached (lazy rendering skipped it),
+// WaitFrame renders it on demand from the stashed dataset snapshot.
 func (s *ManagedSession) WaitFrame(ctx context.Context, since uint64) (uint64, []byte, error) {
 	for {
 		s.mu.Lock()
-		if s.seq > since && s.png != nil {
-			seq, png := s.seq, s.png
+		if s.pngSeq > since && s.png != nil {
+			seq, png := s.pngSeq, s.png
 			s.mu.Unlock()
 			return seq, png, nil
+		}
+		if s.seq > since && s.latest != nil && s.lazyTarget != s.seq {
+			// Lazy render: the loop produced frames while idle. Claim the
+			// current frame (single-flight: concurrent waiters see the
+			// claim and wait on notify instead of rendering redundantly)
+			// and render outside the lock; a racing producer may publish a
+			// newer frame meanwhile, in which case this result is simply
+			// superseded.
+			field, req := s.latest, s.latestReq
+			target := s.seq
+			s.lazyTarget = target
+			w, h := s.Width, s.Height
+			s.mu.Unlock()
+			img, err := RenderDataset(field, req, w, h)
+			var png []byte
+			if err == nil {
+				png, err = img.PNG()
+			}
+			s.mu.Lock()
+			if s.lazyTarget == target {
+				s.lazyTarget = 0
+			}
+			if err != nil {
+				s.renderErr = err
+				// Release the herd so another waiter may retry.
+				close(s.notify)
+				s.notify = make(chan struct{})
+				s.mu.Unlock()
+				return 0, nil, err
+			}
+			if target > s.pngSeq {
+				s.png = png
+				s.pngSeq = target
+				s.renders++
+				if s.seq == target {
+					s.latest = nil
+				}
+			}
+			// Wake waiters blocked behind the single-flight claim.
+			close(s.notify)
+			s.notify = make(chan struct{})
+			s.mu.Unlock()
+			continue
 		}
 		ch := s.notify
 		s.mu.Unlock()
@@ -602,17 +768,31 @@ func (s *ManagedSession) Status() map[string]any {
 		"simulator":       s.req.Simulator,
 		"variable":        s.req.Variable,
 		"method":          s.req.Method,
+		"source_node":     s.req.SourceNode,
+		"client_nodes":    s.req.Destinations(),
 		"cycle":           s.sim.Cycle(),
 		"sim_time":        s.sim.Time(),
 		"frame_seq":       s.seq,
 		"viewers":         s.viewers,
+		"renders":         s.renders,
 		"isovalue":        s.req.Isovalue,
 		"left_pressure":   p.LeftPressure,
 		"left_density":    p.LeftDensity,
 		"reoptimizations": s.reopts,
 		"adaptations":     s.adapts,
 	}
-	if s.vrt != nil {
+	if s.tree != nil {
+		st["vrt_path"] = s.tree.SharedPath()
+		st["vrt_delay_s"] = s.tree.Delay
+		st["tree_shared_delay_s"] = s.tree.SharedDelay
+		branches := make([]map[string]any, len(s.tree.Branches))
+		for i, b := range s.tree.Branches {
+			branches[i] = map[string]any{
+				"dst": b.Dst, "path": s.tree.BranchPath(i), "delay_s": b.Delay,
+			}
+		}
+		st["tree_branches"] = branches
+	} else if s.vrt != nil {
 		st["vrt_path"] = s.vrt.Path()
 		st["vrt_delay_s"] = s.vrt.Delay
 	}
@@ -633,11 +813,27 @@ func (s *ManagedSession) Request() Request {
 }
 
 // VRT returns the session's current mapping (may be nil before the first
-// CM consultation completes).
+// CM consultation completes, and always nil in multi-viewer mode).
 func (s *ManagedSession) VRT() *pipeline.VRT {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.vrt.Clone()
+}
+
+// Tree returns the session's current routing tree (nil before the first CM
+// consultation completes, and always nil in single-viewer mode).
+func (s *ManagedSession) Tree() *pipeline.VRTree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Clone()
+}
+
+// Renders reports how many frames were actually rendered; with lazy
+// rendering this lags the frame sequence whenever no viewer is attached.
+func (s *ManagedSession) Renders() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.renders
 }
 
 // Reoptimizations reports how many times the session consulted the CM.

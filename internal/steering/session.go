@@ -21,6 +21,17 @@ type Request struct {
 	Isovalue  float32
 	Camera    viz.Camera
 	BlockEdge int
+	// SourceNode names the host running the data source (the simulation)
+	// and ClientNode the viewer host frames are delivered to. Both must
+	// name nodes of the Central Manager's measured graph; the session's
+	// every CM consultation optimizes between exactly these endpoints.
+	SourceNode string
+	ClientNode string
+	// ClientNodes, when non-empty, selects the multi-viewer mode instead
+	// of ClientNode: one shared simulate/render mapping fans out to every
+	// named host over a visualization routing tree, and frame pacing
+	// charges the slowest branch.
+	ClientNodes []string
 	// Octant selects one of the eight octree subsets of the dataset
 	// (0-7), or the entire dataset when negative — the paper's GUI exposes
 	// exactly this choice (Section 5.1).
@@ -31,13 +42,28 @@ type Request struct {
 	StepsPerFrame int
 }
 
-// DefaultRequest returns a Sod shock tube monitoring request.
+// Destinations returns the viewer hosts the request names: ClientNodes in
+// multi-viewer mode, else the single ClientNode.
+func (r Request) Destinations() []string {
+	if len(r.ClientNodes) > 0 {
+		return r.ClientNodes
+	}
+	return []string{r.ClientNode}
+}
+
+// DefaultRequest returns a Sod shock tube monitoring request. The default
+// endpoints reproduce the paper's testbed roles — the data source at the
+// GaTech host, the client front end at ORNL — but they are plain request
+// fields validated against the measured graph, not baked-in placement: any
+// measured host may be named instead.
 func DefaultRequest() Request {
 	return Request{
-		Simulator: "sod",
-		Variable:  "density",
-		Method:    "isosurface",
-		Isovalue:  0.5,
+		Simulator:  "sod",
+		Variable:   "density",
+		Method:     "isosurface",
+		Isovalue:   0.5,
+		SourceNode: "GaTech",
+		ClientNode: "ORNL",
 		// Oblique view so the tube's planar waves are visible rather than
 		// edge-on.
 		Camera:    viz.Camera{Yaw: 0.9, Pitch: 0.35, Zoom: 1},

@@ -150,12 +150,40 @@ func TestRunFrameRejectsInfeasiblePlacement(t *testing.T) {
 	}
 }
 
+// fig9TestLoop is a local copy of the experiments' Fig. 9 loop shape so the
+// executor tests stay independent of the experiments package (which imports
+// steering).
+type fig9TestLoop struct {
+	Name      string
+	Source    string
+	Placement []string
+}
+
+// fig9TestLoops mirrors experiments.Fig9Loops: the paper's six fixed
+// comparison loops on the six-site testbed.
+func fig9TestLoops() []fig9TestLoop {
+	return []fig9TestLoop{
+		{"Loop1 ORNL-LSU-GaTech-UT-ORNL", netsim.GaTech,
+			[]string{netsim.GaTech, netsim.UT, netsim.UT, netsim.ORNL}},
+		{"Loop2 ORNL-LSU-GaTech-NCState-ORNL", netsim.GaTech,
+			[]string{netsim.GaTech, netsim.NCState, netsim.NCState, netsim.ORNL}},
+		{"Loop3 ORNL-LSU-OSU-NCState-ORNL", netsim.OSU,
+			[]string{netsim.OSU, netsim.NCState, netsim.NCState, netsim.ORNL}},
+		{"Loop4 ORNL-LSU-OSU-UT-ORNL", netsim.OSU,
+			[]string{netsim.OSU, netsim.UT, netsim.UT, netsim.ORNL}},
+		{"Loop5 ORNL-GaTech-ORNL (PC-PC)", netsim.GaTech,
+			[]string{netsim.GaTech, netsim.GaTech, netsim.ORNL, netsim.ORNL}},
+		{"Loop6 ORNL-OSU-ORNL (PC-PC)", netsim.OSU,
+			[]string{netsim.OSU, netsim.OSU, netsim.ORNL, netsim.ORNL}},
+	}
+}
+
 func TestFig9LoopsAllExecutable(t *testing.T) {
 	d := measuredTestbed(t, 6)
 	st := AnalyzeSpec(dataset.JetSpec.Scaled(8), 4)
 	st.RawBytes = dataset.JetSpec.SizeBytes()
 	p := BuildIsoPipeline(st)
-	for _, loop := range Fig9Loops() {
+	for _, loop := range fig9TestLoops() {
 		res, err := d.RunFrameSync(p, loop.Source, loop.Placement)
 		if err != nil {
 			t.Fatalf("%s: %v", loop.Name, err)
@@ -181,7 +209,7 @@ func TestOptimalLoopBeatsAllFixedLoops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, loop := range Fig9Loops() {
+	for _, loop := range fig9TestLoops() {
 		if loop.Source != netsim.GaTech {
 			continue // different data copy; compared in the full experiment
 		}

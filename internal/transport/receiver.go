@@ -19,6 +19,11 @@ type Receiver struct {
 	pending map[uint64]bool
 	maxSeen uint64
 	haveAny bool
+	// scanFrom is the NACK scan cursor: missing resumes each ack tick where
+	// the previous one stopped instead of rescanning the whole
+	// [cumAck, maxSeen] gap, so sustained loss costs O(reported) per ack
+	// rather than O(gap).
+	scanFrom uint64
 
 	deliveredPkts uint64 // unique packets delivered (goodput numerator)
 	dupPkts       uint64
@@ -128,17 +133,33 @@ func (r *Receiver) emitAck() {
 }
 
 // missing returns up to max sequence numbers in the reordering gap
-// [cumAck, maxSeen] that have not arrived.
+// [cumAck, maxSeen] that have not arrived. The head-of-line hole (cumAck
+// itself — the packet gating in-order delivery) is re-reported on every
+// call, so a lost retransmission of it is recovered within one ack
+// interval; the rest of the gap is scanned from the cursor the previous
+// call left (wrapping at the end of the gap), so every other hole is still
+// reported within a bounded number of ack ticks but one tick never rescans
+// what an earlier tick already covered.
 func (r *Receiver) missing(max int) []uint64 {
-	if !r.haveAny || r.maxSeen < r.cumAck {
+	if !r.haveAny || r.maxSeen < r.cumAck || max <= 0 {
 		return nil
 	}
-	var out []uint64
-	for seq := r.cumAck; seq <= r.maxSeen && len(out) < max; seq++ {
+	out := []uint64{r.cumAck}
+	if r.scanFrom <= r.cumAck || r.scanFrom > r.maxSeen {
+		r.scanFrom = r.cumAck + 1
+	}
+	span := r.maxSeen - r.cumAck // size of the tail gap (cumAck, maxSeen]
+	seq := r.scanFrom
+	for scanned := uint64(0); scanned < span && len(out) < max; scanned++ {
 		if !r.pending[seq] {
 			out = append(out, seq)
 		}
+		seq++
+		if seq > r.maxSeen {
+			seq = r.cumAck + 1
+		}
 	}
+	r.scanFrom = seq
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"testing"
+
+	"ricsa/internal/netsim"
+)
+
+// gapReceiver builds a receiver that has seen 0,1 in order and then a
+// sparse tail, leaving the reordering gap [2, 10] with holes at
+// 2,3,5,7,9.
+func gapReceiver(t *testing.T) *Receiver {
+	t.Helper()
+	n := netsim.New(1)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e9})
+	cfg := DefaultConfig(1e6)
+	r := NewReceiver(n, l.BA, cfg)
+	r.Bind(l.AB)
+	for _, s := range []uint64{0, 1, 4, 6, 8, 10} {
+		l.AB.Send(netsim.Packet{Size: cfg.PacketSize, Payload: dataMsg{Seq: s}})
+	}
+	n.Run()
+	return r
+}
+
+// TestMissingScanResumesAtCursor: successive capped scans cover successive
+// parts of the gap instead of re-reporting the head every tick, and the
+// cursor wraps so every hole is eventually reported again.
+func TestMissingScanResumesAtCursor(t *testing.T) {
+	r := gapReceiver(t)
+	if r.cumAck != 2 || r.maxSeen != 10 {
+		t.Fatalf("gap [%d, %d], want [2, 10]", r.cumAck, r.maxSeen)
+	}
+	check := func(got, want []uint64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("missing = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("missing = %v, want %v", got, want)
+			}
+		}
+	}
+	// The head-of-line hole (2) is re-reported every call — it gates
+	// cumAck, so a lost retransmission must be recovered within one ack
+	// interval; the tail scan resumes where the previous call stopped.
+	check(r.missing(2), []uint64{2, 3})
+	check(r.missing(2), []uint64{2, 5}) // tail resumes after 3, not at 3 again
+	check(r.missing(3), []uint64{2, 7, 9})
+	// A full-width request reports every hole exactly once.
+	check(r.missing(100), []uint64{2, 3, 5, 7, 9})
+}
+
+// TestMissingCursorFollowsFrontier: when retransmissions advance cumAck
+// past the cursor, the scan clamps forward instead of reporting sequences
+// that are already delivered.
+func TestMissingCursorFollowsFrontier(t *testing.T) {
+	n := netsim.New(1)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e9})
+	cfg := DefaultConfig(1e6)
+	r := NewReceiver(n, l.BA, cfg)
+	r.Bind(l.AB)
+
+	send := func(seqs ...uint64) {
+		for _, s := range seqs {
+			l.AB.Send(netsim.Packet{Size: cfg.PacketSize, Payload: dataMsg{Seq: s}})
+		}
+		n.Run()
+	}
+	send(0, 3, 5)
+	if got := r.missing(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("missing = %v, want [1]", got)
+	}
+	// Retransmissions fill the head: cumAck jumps to 4.
+	send(1, 2)
+	if r.cumAck != 4 {
+		t.Fatalf("cumAck %d, want 4", r.cumAck)
+	}
+	if got := r.missing(4); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("missing after frontier advance = %v, want [4]", got)
+	}
+}

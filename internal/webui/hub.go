@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"ricsa/internal/steering"
@@ -69,6 +70,13 @@ type CreateRequest struct {
 	StepsPerFrame int     `json:"steps_per_frame"`
 	// FramePeriodMS paces the session's frame loop (default 200).
 	FramePeriodMS int `json:"frame_period_ms"`
+	// SourceNode and ClientNode place the session's data source and viewer
+	// host on the measured testbed (defaults: the paper's GaTech -> ORNL
+	// roles). ClientNodes instead requests a multi-viewer session: one
+	// shared simulate/render mapping fanning out to every named host.
+	SourceNode  string   `json:"source_node"`
+	ClientNode  string   `json:"client_node"`
+	ClientNodes []string `json:"client_nodes"`
 }
 
 func (cr CreateRequest) toRequest() steering.Request {
@@ -96,6 +104,15 @@ func (cr CreateRequest) toRequest() steering.Request {
 	}
 	if cr.StepsPerFrame > 0 {
 		req.StepsPerFrame = cr.StepsPerFrame
+	}
+	if cr.SourceNode != "" {
+		req.SourceNode = cr.SourceNode
+	}
+	if cr.ClientNode != "" {
+		req.ClientNode = cr.ClientNode
+	}
+	if len(cr.ClientNodes) > 0 {
+		req.ClientNodes = cr.ClientNodes
 	}
 	return req
 }
@@ -170,8 +187,10 @@ func (h *Hub) handleViewer(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
+	req := s.Request()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, clientPage("/sessions/"+s.ID, "RICSA session "+s.ID))
+	fmt.Fprint(w, clientPage("/sessions/"+s.ID, fmt.Sprintf("RICSA session %s — %s → %s",
+		s.ID, req.SourceNode, strings.Join(req.Destinations(), ", "))))
 }
 
 func (h *Hub) handleFrame(w http.ResponseWriter, r *http.Request) {
@@ -239,7 +258,7 @@ const hubHTML = `<!DOCTYPE html>
 </head>
 <body>
 <h2>RICSA sessions</h2>
-<table id="sessions"><tr><th>id</th><th>simulator</th><th>frame</th>
+<table id="sessions"><tr><th>id</th><th>simulator</th><th>endpoints</th><th>frame</th>
 <th>viewers</th><th>mapping</th><th></th></tr></table>
 <div id="cache"></div>
 <div id="cm"></div>
@@ -252,16 +271,33 @@ const hubHTML = `<!DOCTYPE html>
     <option value="raycast">raycast</option>
     <option value="streamline">streamline</option>
   </select></label>
+  <label>Source <select name="source_node" id="source_node"></select></label>
+  <label>Client <select name="client_node" id="client_node"></select></label>
+  <label>Fan-out <input name="client_nodes" placeholder="UT,NCState,..." title="comma-separated viewer hosts; overrides Client with a shared routing tree"></label>
   <button type="submit">New session</button>
 </form>
 <script>
+function fillNodeSelects(names) {
+  for (const [id, def] of [['source_node', 'GaTech'], ['client_node', 'ORNL']]) {
+    const sel = document.getElementById(id);
+    if (sel.options.length) continue;
+    for (const n of names) {
+      const o = document.createElement('option');
+      o.value = o.textContent = n;
+      if (n === def) o.selected = true;
+      sel.appendChild(o);
+    }
+  }
+}
 async function refresh() {
-  const rows = [['id','simulator','frame','viewers','mapping','']];
+  const rows = [['id','simulator','endpoints','frame','viewers','mapping','']];
   try {
     const sessions = await (await fetch('/api/sessions')).json();
     for (const s of sessions) {
       rows.push(['<a href="/sessions/' + s.id + '">' + s.id + '</a>',
-                 s.simulator, s.frame_seq, s.viewers,
+                 s.simulator,
+                 s.source_node + ' → ' + (s.client_nodes || []).join(','),
+                 s.frame_seq, s.viewers,
                  (s.vrt_path || []).join(' → '),
                  '<button data-id="' + s.id + '">destroy</button>']);
     }
@@ -270,6 +306,7 @@ async function refresh() {
       'optimizer cache: ' + cache.hits + ' hits / ' + cache.misses +
       ' misses / ' + cache.entries + ' entries';
     const cm = await (await fetch('/api/cm')).json();
+    fillNodeSelects(cm.node_names || []);
     document.getElementById('cm').textContent =
       'control plane: probe epoch ' + cm.probe_epoch + ' / ' +
       cm.restamps + ' restamps / ' + cm.adaptations + ' adaptations';
@@ -286,7 +323,8 @@ document.getElementById('sessions').addEventListener('click', async (ev) => {
 document.getElementById('create').addEventListener('submit', async (ev) => {
   ev.preventDefault();
   const body = {};
-  for (const el of ev.target.elements) if (el.name) body[el.name] = el.value;
+  for (const el of ev.target.elements) if (el.name && el.value) body[el.name] = el.value;
+  if (body.client_nodes) body.client_nodes = body.client_nodes.split(',').map(s => s.trim()).filter(Boolean);
   await fetch('/api/sessions', {method: 'POST', body: JSON.stringify(body)});
   refresh();
 });
