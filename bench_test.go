@@ -19,6 +19,7 @@ import (
 	"ricsa/internal/simengine"
 	"ricsa/internal/steering"
 	"ricsa/internal/transport"
+	"ricsa/internal/viz"
 	"ricsa/internal/viz/marchingcubes"
 	"ricsa/internal/viz/raycast"
 	"ricsa/internal/viz/render"
@@ -301,6 +302,127 @@ func BenchmarkSodStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// --- Frame-stage benchmarks ---
+//
+// The live service's per-frame data plane at N sessions x K viewers:
+// sim step, isosurface extraction, rasterization, PNG encode, and the
+// composed frame. All report allocs/op — the steady state must stay
+// allocation-flat (guarded by the AllocsPerRun regression tests), and
+// `ricsa-bench -bench-json` mirrors these ops into BENCH_pipeline.json so
+// CI diffs them across PRs.
+
+// frameBenchSim is the frame-stage workload: the default live-session Sod
+// grid, run with serial sweeps so allocs/op reflects the data plane rather
+// than goroutine spawns.
+func frameBenchSim() *simengine.Sim {
+	s := simengine.NewSod(64, 32, 32, simengine.DefaultSodParams())
+	s.SetWorkers(1)
+	return s
+}
+
+// BenchmarkFrameSimStep is one solver cycle with reused sweep scratch.
+func BenchmarkFrameSimStep(b *testing.B) {
+	s := frameBenchSim()
+	s.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkMCubesExtract extracts the monitored isosurface into a reused
+// mesh arena.
+func BenchmarkMCubesExtract(b *testing.B) {
+	s := frameBenchSim()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	f := s.Density()
+	var m viz.Mesh
+	marchingcubes.ExtractInto(&m, f, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		marchingcubes.ExtractInto(&m, f, 0.5)
+	}
+}
+
+// BenchmarkRenderRaster rasterizes the extracted surface into reused
+// framebuffer/z-buffer/projection scratch at the live session's 512x512.
+func BenchmarkRenderRaster(b *testing.B) {
+	s := frameBenchSim()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	f := s.Density()
+	var sc viz.FrameScratch
+	marchingcubes.ExtractInto(&sc.Mesh, f, 0.5)
+	opt := render.DefaultOptions()
+	opt.Width, opt.Height = 512, 512
+	opt.Workers = 1
+	render.RenderWith(&sc, &sc.Mesh, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.RenderWith(&sc, &sc.Mesh, opt)
+	}
+}
+
+// BenchmarkPNGEncode encodes the framebuffer into a reused buffer with the
+// pooled encoder — no framebuffer copy, no fresh output slice.
+func BenchmarkPNGEncode(b *testing.B) {
+	s := frameBenchSim()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	img, err := steering.RenderDataset(s.Density(), steering.DefaultRequest(), 512, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sc viz.FrameScratch
+	if err := img.EncodePNG(&sc.Enc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Enc.Reset()
+		if err := img.EncodePNG(&sc.Enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameProduceTotal is the composed steady-state frame: solver
+// step, snapshot into a reused field, extract+render through shared scratch,
+// and PNG-encode into the reused buffer — the warm path a live session's
+// producer goroutine runs every FramePeriod.
+func BenchmarkFrameProduceTotal(b *testing.B) {
+	s := frameBenchSim()
+	req := steering.DefaultRequest()
+	var sc viz.FrameScratch
+	var field *grid.ScalarField
+	frame := func() {
+		s.Step()
+		field = s.DensityInto(field)
+		img, err := steering.RenderDatasetInto(&sc, field, req, 512, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Enc.Reset()
+		if err := img.EncodePNG(&sc.Enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	frame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame()
 	}
 }
 

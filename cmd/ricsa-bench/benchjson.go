@@ -7,13 +7,23 @@ import (
 	"os"
 	"testing"
 
+	"ricsa/internal/grid"
 	"ricsa/internal/pipeline"
+	"ricsa/internal/simengine"
+	"ricsa/internal/steering"
+	"ricsa/internal/viz"
+	"ricsa/internal/viz/marchingcubes"
+	"ricsa/internal/viz/render"
 )
 
 // This file is the machine-readable perf artifact: -bench-json runs the
-// pipeline-optimizer micro-benchmarks under testing.Benchmark and writes
-// BENCH_pipeline.json, so the repo's perf trajectory is a diffable file
-// across PRs instead of living only in `go test -bench` terminal output.
+// control-plane (pipeline optimizer) and data-plane (frame stage)
+// micro-benchmarks under testing.Benchmark and writes BENCH_pipeline.json,
+// so the repo's perf trajectory is a diffable file across PRs instead of
+// living only in `go test -bench` terminal output. The frame stages measure
+// the steady-state reuse paths — warm scratch, pooled encoder — because that
+// is what a live session pays per frame; allocs/op is the regression signal
+// there as much as ns/op.
 
 // BenchRecord is one micro-benchmark row.
 type BenchRecord struct {
@@ -22,6 +32,12 @@ type BenchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+}
+
+// benchRow pairs an op name with its benchmark body.
+type benchRow struct {
+	op string
+	fn func(b *testing.B)
 }
 
 // benchInstance builds the 64-node optimization instance shared by the
@@ -34,6 +50,78 @@ func benchInstance() (*pipeline.Graph, *pipeline.Pipeline) {
 	return g, p
 }
 
+// frameBenches is the data-plane half of the artifact: the per-frame stages
+// of a live monitoring session (sim step, isosurface extraction,
+// rasterization, PNG encode, and the composed frame), all on warm reused
+// scratch with serial solver sweeps so allocs/op reflects the data plane.
+func frameBenches() []benchRow {
+	sim := simengine.NewSod(64, 32, 32, simengine.DefaultSodParams())
+	sim.SetWorkers(1)
+	for i := 0; i < 8; i++ {
+		sim.Step()
+	}
+	field := sim.Density()
+	req := steering.DefaultRequest()
+
+	var extractMesh viz.Mesh
+	marchingcubes.ExtractInto(&extractMesh, field, req.Isovalue)
+
+	var renderSc viz.FrameScratch
+	marchingcubes.ExtractInto(&renderSc.Mesh, field, req.Isovalue)
+	ropt := render.DefaultOptions()
+	ropt.Width, ropt.Height = 512, 512
+	ropt.Workers = 1
+	img := render.RenderWith(&renderSc, &renderSc.Mesh, ropt)
+
+	var encSc viz.FrameScratch
+	if err := img.EncodePNG(&encSc.Enc); err != nil {
+		panic(fmt.Sprintf("bench warm-up encode: %v", err))
+	}
+
+	var produceSc viz.FrameScratch
+	var produceField *grid.ScalarField
+
+	return []benchRow{
+		{"frame_sim_step", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+			}
+		}},
+		{"mcubes_extract", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				marchingcubes.ExtractInto(&extractMesh, field, req.Isovalue)
+			}
+		}},
+		{"render_raster", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				render.RenderWith(&renderSc, &renderSc.Mesh, ropt)
+			}
+		}},
+		{"png_encode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				encSc.Enc.Reset()
+				if err := img.EncodePNG(&encSc.Enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"frame_produce_total", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+				produceField = sim.DensityInto(produceField)
+				out, err := steering.RenderDatasetInto(&produceSc, produceField, req, 512, 512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				produceSc.Enc.Reset()
+				if err := out.EncodePNG(&produceSc.Enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
 func writeBenchJSON(path string) error {
 	g, p := benchInstance()
 	cache := pipeline.NewCache(0)
@@ -42,10 +130,7 @@ func writeBenchJSON(path string) error {
 	}
 	ups := []pipeline.EdgeUpdate{{From: 0, To: g.Adj[0][0].To, Bandwidth: 5e6, Delay: 0.01}}
 
-	benches := []struct {
-		op string
-		fn func(b *testing.B)
-	}{
+	benches := []benchRow{
 		{"optimize_dp_64node", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := pipeline.Optimize(g, p, 0, 63); err != nil {
@@ -76,6 +161,7 @@ func writeBenchJSON(path string) error {
 			}
 		}},
 	}
+	benches = append(benches, frameBenches()...)
 
 	records := make([]BenchRecord, 0, len(benches))
 	for _, bench := range benches {

@@ -11,7 +11,9 @@
 //	ricsa-bench -exp fanout         # K viewers: independent paths vs tree
 //	ricsa-bench -exp fig9 -scale 4  # reduced-scale quick run
 //	ricsa-bench -bench-json BENCH_pipeline.json  # machine-readable
-//	                                  pipeline micro-benchmarks, then exit
+//	                                  control+data-plane micro-benchmarks
+//	ricsa-bench -bench-diff BENCH_pipeline.new.json  # flag >20% regressions
+//	                                  vs the committed baseline, then exit
 package main
 
 import (
@@ -31,12 +33,23 @@ func main() {
 	trials := flag.Int("trials", 3, "trials per measurement")
 	seed := flag.Int64("seed", 1, "random seed")
 	benchJSON := flag.String("bench-json", "",
-		"write pipeline micro-benchmarks (op, ns/op, allocs) as JSON to this path and exit")
+		"write control- and data-plane micro-benchmarks (op, ns/op, allocs) as JSON to this path and exit")
+	benchDiff := flag.String("bench-diff", "",
+		"compare this freshly generated bench JSON against -bench-baseline, print a markdown summary flagging >20% regressions, and exit (always zero for regressions)")
+	benchBaseline := flag.String("bench-baseline", "BENCH_pipeline.json",
+		"committed baseline artifact -bench-diff compares against")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "ricsa-bench bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchDiff != "" {
+		if _, err := diffBenchJSON(*benchBaseline, *benchDiff); err != nil {
+			fmt.Fprintf(os.Stderr, "ricsa-bench bench-diff: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -86,6 +86,9 @@ type Sim struct {
 	cycle int
 	dx    float64
 	nWork int
+	// scratch caches per-worker pencil buffers, reused across sweeps and
+	// steps so the steady-state solver loop performs no allocation.
+	scratch []*sweepScratch
 	// pending holds a steering update applied at the next step boundary.
 	pending *Params
 }
@@ -215,6 +218,17 @@ func (s *Sim) Cycle() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cycle
+}
+
+// SetWorkers bounds the sweep parallelism (<= 0 restores GOMAXPROCS). With
+// exactly one worker, sweeps run inline with zero per-step goroutine spawns
+// — the allocation-flat mode the frame-stage benchmarks measure. Call it
+// between Steps, not concurrently with one.
+func (s *Sim) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.nWork = n
 }
 
 // Step advances one cycle (sweepx, sweepy, sweepz) and returns the dt used.

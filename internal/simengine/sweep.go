@@ -29,6 +29,16 @@ func (s *Sim) sweep(axis int, dt float64, par Params) {
 	if workers < 1 {
 		workers = 1
 	}
+	scratch := s.ensureScratch(workers)
+	if workers == 1 {
+		// Serial fast path: no goroutine spawn, so a steady-state step is
+		// allocation-free (the frame benchmarks run the solver this way).
+		ws := scratch[0]
+		for p := 0; p < nPencil; p++ {
+			s.sweepPencil(axis, p, dt, par, ws)
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	chunk := (nPencil + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -41,19 +51,40 @@ func (s *Sim) sweep(axis int, dt float64, par Params) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			ws := newSweepScratch(pLen)
+			ws := scratch[w]
 			for p := lo; p < hi; p++ {
 				s.sweepPencil(axis, p, dt, par, ws)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
 
-// sweepScratch holds per-worker pencil buffers (2 ghost cells per side).
+// ensureScratch returns per-worker pencil scratch sized for the longest
+// axis, growing the cached set on first use (or after SetWorkers) and
+// reusing it on every subsequent sweep. Only the sweep path touches the
+// cache, and workers never share an entry, so no locking is needed.
+func (s *Sim) ensureScratch(workers int) []*sweepScratch {
+	need := max(s.NX, s.NY, s.NZ)
+	if len(s.scratch) < workers {
+		old := s.scratch
+		s.scratch = make([]*sweepScratch, workers)
+		copy(s.scratch, old)
+	}
+	for i := 0; i < workers; i++ {
+		if s.scratch[i] == nil || s.scratch[i].n < need {
+			s.scratch[i] = newSweepScratch(need)
+		}
+	}
+	return s.scratch
+}
+
+// sweepScratch holds per-worker pencil buffers (2 ghost cells per side),
+// sized for pencils up to n cells and reused across sweeps and steps.
 type sweepScratch struct {
+	n                       int       // pencil capacity
 	rho, un, ut1, ut2, pr   []float64 // primitives with ghosts
 	fR, fMn, fMt1, fMt2, fE []float64 // interface fluxes
 	solid                   []bool
@@ -64,6 +95,7 @@ const ghosts = 2
 func newSweepScratch(n int) *sweepScratch {
 	g := n + 2*ghosts
 	return &sweepScratch{
+		n:   n,
 		rho: make([]float64, g), un: make([]float64, g),
 		ut1: make([]float64, g), ut2: make([]float64, g), pr: make([]float64, g),
 		fR: make([]float64, n+1), fMn: make([]float64, n+1),

@@ -339,6 +339,23 @@ type ManagedSession struct {
 	// pipeline can never be installed over a fresher reset.
 	pipeGen uint64
 	adapter *cm.Adapter
+	// place/places cache the installed mapping's placement node names
+	// (single-viewer path, or one per tree branch) so the per-frame monitor
+	// re-pricing does not rebuild them from the VRT every frame.
+	place  []string
+	places [][]string
+
+	// scratch is the producer-owned frame data plane: mesh arena,
+	// framebuffer, z-buffer, projection buffer, and PNG encode buffer, all
+	// reused across frames. Only produce touches it (lazy renders in
+	// WaitFrame run concurrently with the producer, so they allocate their
+	// own buffers); published PNG bytes are always copied out of it.
+	scratch viz.FrameScratch
+	// fieldScratch is the producer-owned dataset snapshot buffer. Ownership
+	// transfers to `latest` when an idle frame stashes the snapshot for
+	// on-demand rendering, and is reclaimed when a snapshot is superseded
+	// with no lazy render in flight.
+	fieldScratch *grid.ScalarField
 
 	stop chan struct{}
 	done chan struct{}
@@ -453,10 +470,14 @@ func (s *ManagedSession) halt() {
 }
 
 func (s *ManagedSession) snapshot(req Request) *grid.ScalarField {
+	return s.snapshotInto(nil, req)
+}
+
+func (s *ManagedSession) snapshotInto(dst *grid.ScalarField, req Request) *grid.ScalarField {
 	if req.Variable == "pressure" {
-		return s.sim.Pressure()
+		return s.sim.PressureInto(dst)
 	}
-	return s.sim.Density()
+	return s.sim.DensityInto(dst)
 }
 
 // produce advances the simulation one frame, consults the CM when due (on
@@ -470,12 +491,16 @@ func (s *ManagedSession) produce() {
 	req := s.req
 	due := s.pipe == nil || s.sinceOpt >= s.mgr.cfg.ReoptimizeEvery
 	pipe, vrt, tree := s.pipe, s.vrt, s.tree
+	// Take the producer's snapshot buffer (nil when the previous frame's
+	// snapshot is stashed in latest and may still be read by a lazy render).
+	field := s.fieldScratch
+	s.fieldScratch = nil
 	s.mu.Unlock()
 
 	for i := 0; i < req.StepsPerFrame; i++ {
 		s.sim.Step()
 	}
-	field := s.snapshot(req)
+	field = s.snapshotInto(field, req)
 
 	if !due && pipe != nil && (vrt != nil || tree != nil) && s.monitor(pipe, vrt, tree) {
 		due = true
@@ -492,9 +517,15 @@ func (s *ManagedSession) produce() {
 	var err error
 	if wantRender {
 		var img *viz.Image
-		img, err = RenderDataset(field, req, s.Width, s.Height)
+		img, err = RenderDatasetInto(&s.scratch, field, req, s.Width, s.Height)
 		if err == nil {
-			png, err = img.PNG()
+			// Encode into the reusable scratch buffer, then copy the bytes
+			// out: published frames must be immutable, so only the encode
+			// buffer is pooled, never the slice viewers hold.
+			s.scratch.Enc.Reset()
+			if err = img.EncodePNG(&s.scratch.Enc); err == nil {
+				png = append([]byte(nil), s.scratch.Enc.Bytes()...)
+			}
 		}
 	}
 
@@ -504,8 +535,12 @@ func (s *ManagedSession) produce() {
 	switch {
 	case !wantRender:
 		// Idle frame: advance the sequence and stash the snapshot for
-		// on-demand rendering, but do no pixel work.
+		// on-demand rendering, but do no pixel work. If this supersedes a
+		// stashed snapshot no lazy render holds, recycle its buffer.
 		s.seq++
+		if s.latest != nil && s.lazyTarget == 0 {
+			s.fieldScratch = s.latest
+		}
 		s.latest = field
 		s.latestReq = req
 		close(s.notify)
@@ -516,8 +551,13 @@ func (s *ManagedSession) produce() {
 		s.pngSeq = s.seq
 		s.renders++
 		s.latest = nil
+		// The render consumed the snapshot synchronously; reclaim it.
+		s.fieldScratch = field
 		close(s.notify)
 		s.notify = make(chan struct{})
+	default:
+		// Render failed: the snapshot is unpublished, so reclaim it.
+		s.fieldScratch = field
 	}
 	s.mu.Unlock()
 }
@@ -530,12 +570,17 @@ func (s *ManagedSession) produce() {
 // its at-install prediction for AdaptWindow consecutive frames forces an
 // early consultation.
 func (s *ManagedSession) monitor(pipe *pipeline.Pipeline, vrt *pipeline.VRT, tree *pipeline.VRTree) bool {
-	src := s.Request().SourceNode
+	s.mu.Lock()
+	src := s.req.SourceNode
+	// Placements are cached at install time so this per-frame re-pricing
+	// does not rebuild node-name slices from the VRT every frame.
+	place, places := s.place, s.places
+	s.mu.Unlock()
 	var observed, predicted float64
 	if tree != nil {
 		predicted = tree.Delay
-		for i := range tree.Branches {
-			d, err := s.mgr.cm.PredictPlacement(pipe, src, tree.BranchPlacement(i))
+		for _, pl := range places {
+			d, err := s.mgr.cm.PredictPlacement(pipe, src, pl)
 			if err != nil {
 				d = math.Inf(1)
 			}
@@ -546,7 +591,7 @@ func (s *ManagedSession) monitor(pipe *pipeline.Pipeline, vrt *pipeline.VRT, tre
 	} else {
 		predicted = vrt.Delay
 		var err error
-		observed, err = s.mgr.cm.PredictPlacement(pipe, src, PlacementFromVRT(vrt))
+		observed, err = s.mgr.cm.PredictPlacement(pipe, src, place)
 		if err != nil {
 			// The placement no longer evaluates (a topology change): treat
 			// as an unbounded deviation so the window logic still applies.
@@ -609,6 +654,15 @@ func (s *ManagedSession) consultCM(field *grid.ScalarField, req Request) {
 		return
 	}
 	s.vrt, s.tree = vrt, tree
+	s.place, s.places = nil, nil
+	if tree != nil {
+		s.places = make([][]string, len(tree.Branches))
+		for i := range tree.Branches {
+			s.places[i] = tree.BranchPlacement(i)
+		}
+	} else {
+		s.place = PlacementFromVRT(vrt)
+	}
 	s.reopts++
 	s.sinceOpt = 0
 	s.mu.Unlock()

@@ -17,6 +17,19 @@ import (
 // pipeline's Extract/Render modules perform. A non-negative Octant
 // restricts processing to one octree subset of the dataset.
 func RenderDataset(f *grid.ScalarField, req Request, width, height int) (*viz.Image, error) {
+	return RenderDatasetInto(nil, f, req, width, height)
+}
+
+// RenderDatasetInto is RenderDataset with caller-owned scratch: the mesh
+// arena, framebuffer, z-buffer, and projection buffers live in sc and are
+// reused across calls, so a steady-state frame loop renders without
+// per-frame allocation. The returned image is backed by sc — consume it
+// (encode or copy) before the next call with the same scratch. A nil sc
+// allocates fresh buffers, matching RenderDataset.
+func RenderDatasetInto(sc *viz.FrameScratch, f *grid.ScalarField, req Request, width, height int) (*viz.Image, error) {
+	if sc == nil {
+		sc = &viz.FrameScratch{}
+	}
 	if req.Octant >= 0 && req.Octant < 8 {
 		oct := grid.Octants(f)[req.Octant]
 		if oct.Cells() == 0 {
@@ -25,26 +38,28 @@ func RenderDataset(f *grid.ScalarField, req Request, width, height int) (*viz.Im
 		}
 		f = grid.SubField(f, oct)
 	}
+	// Frame the dataset domain, not the surface, so monitored motion stays
+	// visible frame to frame. The box lives in the scratch so the option
+	// pointer doesn't force a per-frame allocation.
+	sc.Bounds = [2]viz.Vec3{
+		{0, 0, 0},
+		{float32(f.NX - 1), float32(f.NY - 1), float32(f.NZ - 1)},
+	}
 	switch req.Method {
 	case "isosurface", "":
-		mesh := marchingcubes.Extract(f, req.Isovalue)
+		marchingcubes.ExtractInto(&sc.Mesh, f, req.Isovalue)
 		opt := render.DefaultOptions()
 		opt.Width, opt.Height = width, height
 		opt.Camera = req.Camera
-		// Frame the dataset domain, not the surface, so monitored motion
-		// stays visible frame to frame.
-		opt.FixedBounds = &[2]viz.Vec3{
-			{0, 0, 0},
-			{float32(f.NX - 1), float32(f.NY - 1), float32(f.NZ - 1)},
-		}
-		return render.Render(mesh, opt), nil
+		opt.FixedBounds = &sc.Bounds
+		return render.RenderWith(sc, &sc.Mesh, opt), nil
 	case "raycast":
 		opt := raycast.DefaultOptions()
 		opt.Width, opt.Height = width, height
 		opt.Camera = req.Camera
 		mn, mx := f.MinMax()
 		opt.Transfer = raycast.HotIron(float64(mn), float64(mx), 0.15)
-		return raycast.Render(f, opt), nil
+		return raycast.RenderWith(sc, f, opt), nil
 	case "streamline":
 		vf := dataset.VelocityFromScalar(f)
 		seeds := streamline.SeedGrid(vf, 6, 6, 6)
@@ -58,11 +73,8 @@ func RenderDataset(f *grid.ScalarField, req Request, width, height int) (*viz.Im
 		ropt := render.DefaultOptions()
 		ropt.Width, ropt.Height = width, height
 		ropt.Camera = req.Camera
-		ropt.FixedBounds = &[2]viz.Vec3{
-			{0, 0, 0},
-			{float32(f.NX - 1), float32(f.NY - 1), float32(f.NZ - 1)},
-		}
-		return render.RenderLines(pts, ropt), nil
+		ropt.FixedBounds = &sc.Bounds
+		return render.RenderLinesWith(sc, pts, ropt), nil
 	default:
 		return nil, fmt.Errorf("steering: unknown method %q", req.Method)
 	}

@@ -115,6 +115,13 @@ type Session struct {
 	Frames      []FrameResult
 	ControlLats []netsim.Time
 	SetupLat    netsim.Time
+
+	// scratch and fieldScratch are the session's reusable frame data plane:
+	// snapshots and renders reuse them, so repeated RenderFrame calls are
+	// allocation-flat. The session is single-threaded (it owns the virtual
+	// clock), so producer-style ownership is trivial.
+	scratch      viz.FrameScratch
+	fieldScratch *grid.ScalarField
 }
 
 // NewSession wires a session: the request travels client -> front end ->
@@ -171,10 +178,11 @@ func NewSession(d *Deployment, client, frontEnd, cm, ds string, req Request) (*S
 func (s *Session) snapshot() *grid.ScalarField {
 	switch s.Req.Variable {
 	case "pressure":
-		return s.Sim.Pressure()
+		s.fieldScratch = s.Sim.PressureInto(s.fieldScratch)
 	default:
-		return s.Sim.Density()
+		s.fieldScratch = s.Sim.DensityInto(s.fieldScratch)
 	}
+	return s.fieldScratch
 }
 
 // RunFrames advances n monitored frames sequentially on the virtual clock.
@@ -267,9 +275,11 @@ func (s *Session) maybeReconfigure() error {
 
 // RenderFrame produces an actual image of the current simulation state via
 // the requested method — the pixels a browser client would receive. It runs
-// outside the virtual clock (wall time is not charged).
+// outside the virtual clock (wall time is not charged). The image is backed
+// by the session's reusable scratch: it is valid until the next RenderFrame
+// call on the same session, so copy or encode it before re-rendering.
 func (s *Session) RenderFrame(width, height int) (*viz.Image, error) {
-	return RenderDataset(s.snapshot(), s.Req, width, height)
+	return RenderDatasetInto(&s.scratch, s.snapshot(), s.Req, width, height)
 }
 
 // MeanFrameDelay averages the end-to-end delays of completed frames.

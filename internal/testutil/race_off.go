@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds tiny helpers shared by tests, notably race-detector
+// detection: allocation-regression tests assert exact per-op allocation
+// bounds that race instrumentation inflates, so they skip under -race (the
+// non-race CI job still enforces them).
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = false

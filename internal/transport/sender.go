@@ -129,13 +129,27 @@ func (s *Sender) pickSeq() (uint64, bool) {
 
 func (s *Sender) onAck(ack ackMsg) {
 	if ack.CumAck > s.cumAck {
-		// Drop bookkeeping for everything now cumulatively acknowledged.
+		// Drop bookkeeping for everything now cumulatively acknowledged —
+		// lastSent, the retransmit queue, and its membership map — so a
+		// long-lived sender's state stays O(flight window) instead of
+		// accreting entries that pickSeq would only shed lazily.
+		s.cumAck = ack.CumAck
 		for seq := range s.lastSent {
-			if seq < ack.CumAck {
+			if seq < s.cumAck {
 				delete(s.lastSent, seq)
 			}
 		}
-		s.cumAck = ack.CumAck
+		if len(s.retransmit) > 0 {
+			keep := s.retransmit[:0]
+			for _, seq := range s.retransmit {
+				if seq >= s.cumAck {
+					keep = append(keep, seq)
+				} else {
+					delete(s.inRetrans, seq)
+				}
+			}
+			s.retransmit = keep
+		}
 	}
 	if !s.gInit {
 		s.gEst = ack.Goodput

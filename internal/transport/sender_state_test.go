@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"ricsa/internal/netsim"
+)
+
+// TestSenderRetransStateBounded drives a long lossy flow and asserts the
+// sender's retransmission bookkeeping stays O(flight window): cumulative
+// acknowledgment must delete lastSent/inRetrans entries and drop queued
+// retransmissions, so a long-lived sender never grows these structures with
+// connection lifetime.
+func TestSenderRetransStateBounded(t *testing.T) {
+	target := 800.0 * 1024
+	lossy := netsim.LinkConfig{Bandwidth: 4 * netsim.MB, Delay: 15 * time.Millisecond,
+		Loss: 0.05, Jitter: 2 * time.Millisecond, QueueLimit: 256}
+	n, fwd, rev := pair(11, lossy, cleanLink(4*netsim.MB))
+
+	cfg := DefaultConfig(target)
+	cfg.fillDefaults()
+	snd := NewSender(n, fwd, cfg)
+	rcv := NewReceiver(n, rev, cfg)
+	rcv.Bind(fwd)
+	snd.Bind(rev)
+	rcv.Start()
+	snd.Start()
+
+	// Sample the map sizes repeatedly mid-flow: the bound must hold
+	// throughout, not just after a final drain.
+	bound := cfg.MaxFlight + cfg.Window
+	for i := 0; i < 40; i++ {
+		n.RunFor(time.Second)
+		if len(snd.lastSent) > bound {
+			t.Fatalf("after %ds: lastSent has %d entries, want <= %d",
+				i+1, len(snd.lastSent), bound)
+		}
+		if len(snd.inRetrans) > bound {
+			t.Fatalf("after %ds: inRetrans has %d entries, want <= %d",
+				i+1, len(snd.inRetrans), bound)
+		}
+		if len(snd.retransmit) > bound {
+			t.Fatalf("after %ds: retransmit queue has %d entries, want <= %d",
+				i+1, len(snd.retransmit), bound)
+		}
+		// Everything still tracked must be unacknowledged.
+		for seq := range snd.lastSent {
+			if seq < snd.cumAck {
+				t.Fatalf("lastSent retains acked seq %d (cumAck %d)", seq, snd.cumAck)
+			}
+		}
+		for seq := range snd.inRetrans {
+			if seq < snd.cumAck {
+				t.Fatalf("inRetrans retains acked seq %d (cumAck %d)", seq, snd.cumAck)
+			}
+		}
+	}
+	snd.Stop()
+	rcv.Stop()
+	if snd.cumAck == 0 {
+		t.Fatal("flow made no progress; bound check vacuous")
+	}
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"ricsa/internal/testutil"
+)
+
+// noiseImage builds a deterministic non-trivial framebuffer so PNG encoding
+// does real filtering/compression work.
+func noiseImage(w, h int) *Image {
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, uint8(x*7+y), uint8(x^y), uint8(x*3), 0xff)
+		}
+	}
+	return im
+}
+
+// TestEncodePNGMatchesPNG checks the zero-copy encode path produces exactly
+// the bytes PNG() publishes, and that the encoded image round-trips.
+func TestEncodePNGMatchesPNG(t *testing.T) {
+	im := noiseImage(64, 48)
+	var buf bytes.Buffer
+	if err := im.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	published, err := im.PNG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), published) {
+		t.Fatal("EncodePNG and PNG produced different bytes")
+	}
+	decoded, err := png.Decode(bytes.NewReader(published))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b, _ := decoded.At(10, 20).RGBA()
+	wr, wg, wb, _ := im.At(10, 20)
+	if uint8(r>>8) != wr || uint8(g>>8) != wg || uint8(b>>8) != wb {
+		t.Fatalf("decoded pixel (10,20) = (%d,%d,%d), want (%d,%d,%d)",
+			r>>8, g>>8, b>>8, wr, wg, wb)
+	}
+}
+
+// TestPNGImmutableAcrossFrames checks published bytes never alias the encode
+// scratch: re-encoding a changed framebuffer must not disturb a previously
+// returned slice.
+func TestPNGImmutableAcrossFrames(t *testing.T) {
+	im := noiseImage(32, 32)
+	first, err := im.PNG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), first...)
+	im.Clear()
+	if _, err := im.PNG(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, snapshot) {
+		t.Fatal("previously published PNG bytes changed after a later encode")
+	}
+}
+
+// TestEncodePNGAllocationFlat asserts the steady-state encode path — reused
+// destination buffer, pooled encoder state, no framebuffer copy — stays
+// under a small fixed allocation bound per frame.
+func TestEncodePNGAllocationFlat(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	im := noiseImage(128, 128)
+	var buf bytes.Buffer
+	// Warm the pools and grow the destination buffer.
+	for i := 0; i < 3; i++ {
+		buf.Reset()
+		if err := im.EncodePNG(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		buf.Reset()
+		if err := im.EncodePNG(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("EncodePNG allocs/op: %.1f", allocs)
+	if allocs > 4 {
+		t.Fatalf("warm EncodePNG allocates %.1f objects/op, want <= 4", allocs)
+	}
+}
+
+// TestReuseImageAllocationFlat asserts the scratch framebuffer is reused
+// once grown.
+func TestReuseImageAllocationFlat(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	var sc FrameScratch
+	sc.ReuseImage(64, 64)
+	allocs := testing.AllocsPerRun(10, func() {
+		img := sc.ReuseImage(64, 64)
+		if img.NonBlackPixels() != 0 {
+			t.Fatal("ReuseImage did not clear to black")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm ReuseImage allocates %.1f objects/op, want 0", allocs)
+	}
+}

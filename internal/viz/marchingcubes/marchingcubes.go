@@ -168,8 +168,19 @@ var kuhnTets = [6][4]int{
 
 // Extract returns the isosurface of the whole field at the isovalue.
 func Extract(f *grid.ScalarField, iso float32) *viz.Mesh {
+	m := &viz.Mesh{}
+	ExtractInto(m, f, iso)
+	return m
+}
+
+// ExtractInto extracts the whole field's isosurface into m, truncating it
+// first. The mesh's vertex arena is reused across calls, so a frame loop
+// that extracts into the same mesh every frame stops allocating once the
+// arena has grown to the working-set size.
+func ExtractInto(m *viz.Mesh, f *grid.ScalarField, iso float32) {
+	m.Reset()
 	b := grid.Block{NX: f.NX - 1, NY: f.NY - 1, NZ: f.NZ - 1}
-	return ExtractBlock(f, b, iso)
+	ExtractBlockInto(m, f, b, iso)
 }
 
 // ExtractBlock extracts the isosurface restricted to the cells of block b.
@@ -199,10 +210,26 @@ func ExtractBlockInto(m *viz.Mesh, f *grid.ScalarField, b grid.Block, iso float3
 	}
 }
 
+// meshPool recycles per-block scratch meshes across ExtractBlocks calls —
+// the arena the parallel extraction workers fill and the concatenation
+// drains. Backing arrays persist across frames, so a steady-state monitoring
+// loop extracts without re-growing per-block buffers.
+var meshPool = sync.Pool{New: func() any { return new(viz.Mesh) }}
+
 // ExtractBlocks extracts active blocks in parallel with the given worker
 // count and concatenates the per-block meshes deterministically. This is
 // the in-process analogue of the paper's MPI-based cluster modules.
 func ExtractBlocks(f *grid.ScalarField, blocks []grid.Block, iso float32, workers int) *viz.Mesh {
+	out := &viz.Mesh{}
+	ExtractBlocksInto(out, f, blocks, iso, workers)
+	return out
+}
+
+// ExtractBlocksInto is ExtractBlocks with a caller-owned output mesh: out is
+// truncated and refilled, and the per-block scratch meshes come from a pool,
+// so repeated block extraction reuses both arenas.
+func ExtractBlocksInto(out *viz.Mesh, f *grid.ScalarField, blocks []grid.Block, iso float32, workers int) {
+	out.Reset()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -215,16 +242,19 @@ func ExtractBlocks(f *grid.ScalarField, blocks []grid.Block, iso float32, worker
 		go func(i int, b grid.Block) {
 			defer wg.Done()
 			sem <- struct{}{}
-			parts[i] = ExtractBlock(f, b, iso)
+			m := meshPool.Get().(*viz.Mesh)
+			m.Reset()
+			ExtractBlockInto(m, f, b, iso)
+			parts[i] = m
 			<-sem
 		}(i, b)
 	}
 	wg.Wait()
-	out := &viz.Mesh{}
 	for _, p := range parts {
 		out.Append(p)
+		p.Reset()
+		meshPool.Put(p)
 	}
-	return out
 }
 
 // marchCell triangulates one cell via the six-tetrahedron decomposition.
@@ -260,7 +290,8 @@ func marchTet(m *viz.Mesh, p0, p1, p2, p3 viz.Vec3, v0, v1, v2, v3, iso float32)
 	case 0, 4:
 		return
 	case 1, 3:
-		// Single corner isolated: one triangle.
+		// Single corner isolated: one triangle. Fixed-size index buffers
+		// keep this per-cell hot path allocation-free.
 		iso1 := -1
 		for i := 0; i < 4; i++ {
 			if above[i] == (n == 1) {
@@ -268,22 +299,27 @@ func marchTet(m *viz.Mesh, p0, p1, p2, p3 viz.Vec3, v0, v1, v2, v3, iso float32)
 				break
 			}
 		}
-		others := make([]int, 0, 3)
+		var others [3]int
+		no := 0
 		for i := 0; i < 4; i++ {
 			if i != iso1 {
-				others = append(others, i)
+				others[no] = i
+				no++
 			}
 		}
 		m.Vertices = append(m.Vertices,
 			edge(iso1, others[0]), edge(iso1, others[1]), edge(iso1, others[2]))
 	case 2:
 		// Two above / two below: quad split into two triangles.
-		var hi, lo []int
+		var hi, lo [2]int
+		nh, nl := 0, 0
 		for i := 0; i < 4; i++ {
 			if above[i] {
-				hi = append(hi, i)
+				hi[nh] = i
+				nh++
 			} else {
-				lo = append(lo, i)
+				lo[nl] = i
+				nl++
 			}
 		}
 		a := edge(hi[0], lo[0])

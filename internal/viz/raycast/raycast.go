@@ -96,6 +96,16 @@ func SamplesPerRay(f *grid.ScalarField, step float64) int {
 
 // Render casts one ray per pixel through the volume.
 func Render(f *grid.ScalarField, opt Options) *viz.Image {
+	return RenderWith(nil, f, opt)
+}
+
+// RenderWith is Render reusing the scratch framebuffer (nil sc allocates a
+// fresh one). The returned image is sc.Img — valid until the next render
+// into the same scratch.
+func RenderWith(sc *viz.FrameScratch, f *grid.ScalarField, opt Options) *viz.Image {
+	if sc == nil {
+		sc = &viz.FrameScratch{}
+	}
 	if opt.Width <= 0 {
 		opt.Width = 512
 	}
@@ -111,7 +121,7 @@ func Render(f *grid.ScalarField, opt Options) *viz.Image {
 	if opt.Camera.Zoom <= 0 {
 		opt.Camera.Zoom = 1
 	}
-	img := viz.NewImage(opt.Width, opt.Height)
+	img := sc.ReuseImage(opt.Width, opt.Height)
 
 	// View basis: rays travel along dir; right/up span the image plane.
 	// Rotate the canonical basis by the inverse camera rotation.

@@ -11,6 +11,16 @@ import (
 // rendering, with z-buffered depth and a simple depth-cue shade (nearer
 // segments brighter). Lines are passed as point sequences.
 func RenderLines(lines [][]viz.Vec3, opt Options) *viz.Image {
+	return RenderLinesWith(nil, lines, opt)
+}
+
+// RenderLinesWith is RenderLines reusing the scratch framebuffer and
+// z-buffer (nil sc allocates fresh buffers). The returned image is sc.Img —
+// valid until the next render into the same scratch.
+func RenderLinesWith(sc *viz.FrameScratch, lines [][]viz.Vec3, opt Options) *viz.Image {
+	if sc == nil {
+		sc = &viz.FrameScratch{}
+	}
 	if opt.Width <= 0 {
 		opt.Width = 512
 	}
@@ -20,7 +30,7 @@ func RenderLines(lines [][]viz.Vec3, opt Options) *viz.Image {
 	if opt.Camera.Zoom <= 0 {
 		opt.Camera.Zoom = 1
 	}
-	img := viz.NewImage(opt.Width, opt.Height)
+	img := sc.ReuseImage(opt.Width, opt.Height)
 
 	// Bounds over all points (or the fixed framing box).
 	var lo, hi viz.Vec3
@@ -56,7 +66,7 @@ func RenderLines(lines [][]viz.Vec3, opt Options) *viz.Image {
 	}
 	scale := float32(opt.Camera.Zoom) * float32(minInt(opt.Width, opt.Height)) / extent
 
-	zbuf := make([]float32, opt.Width*opt.Height)
+	zbuf := sc.ReuseZBuf(opt.Width * opt.Height)
 	for i := range zbuf {
 		zbuf[i] = float32(math.Inf(-1))
 	}

@@ -41,8 +41,20 @@ func DefaultOptions() Options {
 	}
 }
 
-// Render rasterizes the mesh with a z-buffer.
+// Render rasterizes the mesh with a z-buffer into fresh buffers.
 func Render(m *viz.Mesh, opt Options) *viz.Image {
+	return RenderWith(nil, m, opt)
+}
+
+// RenderWith is Render with caller-owned scratch: the framebuffer, z-buffer,
+// and projection buffer are reused from sc (grown on first use), so a frame
+// loop rendering through the same scratch every frame performs no
+// steady-state allocation. The returned image is sc.Img — valid until the
+// next render into the same scratch. A nil sc renders into fresh buffers.
+func RenderWith(sc *viz.FrameScratch, m *viz.Mesh, opt Options) *viz.Image {
+	if sc == nil {
+		sc = &viz.FrameScratch{}
+	}
 	if opt.Width <= 0 {
 		opt.Width = 512
 	}
@@ -52,7 +64,7 @@ func Render(m *viz.Mesh, opt Options) *viz.Image {
 	if opt.Camera.Zoom <= 0 {
 		opt.Camera.Zoom = 1
 	}
-	img := viz.NewImage(opt.Width, opt.Height)
+	img := sc.ReuseImage(opt.Width, opt.Height)
 	lo, hi, ok := m.Bounds()
 	if !ok {
 		return img
@@ -72,13 +84,13 @@ func Render(m *viz.Mesh, opt Options) *viz.Image {
 	scale := float32(opt.Camera.Zoom) * float32(minInt(opt.Width, opt.Height)) / extent
 
 	light := opt.Light.Normalize()
-	zbuf := make([]float32, opt.Width*opt.Height)
+	zbuf := sc.ReuseZBuf(opt.Width * opt.Height)
 	for i := range zbuf {
 		zbuf[i] = float32(math.Inf(-1))
 	}
 
 	// Project all vertices once.
-	proj := make([]viz.Vec3, len(m.Vertices))
+	proj := sc.ReuseProj(len(m.Vertices))
 	halfW, halfH := float32(opt.Width)/2, float32(opt.Height)/2
 	for i, v := range m.Vertices {
 		p := opt.Camera.Rotate(v.Sub(center)).Scale(scale)
@@ -164,6 +176,7 @@ func rasterTriangle(img *viz.Image, zbuf []float32, a, b, c viz.Vec3, light viz.
 	g := uint8(float64(opt.BaseG) * shade)
 	bl := uint8(float64(opt.BaseB) * shade)
 
+	pix := img.Pix
 	for y := minY; y <= maxY; y++ {
 		for x := minX; x <= maxX; x++ {
 			px, py := float64(x)+0.5, float64(y)+0.5
@@ -179,7 +192,10 @@ func rasterTriangle(img *viz.Image, zbuf []float32, a, b, c viz.Vec3, light viz.
 				continue
 			}
 			zbuf[i] = z
-			img.Set(x, y, r, g, bl, 0xff)
+			// The bounding box is clamped to the image, so write the pixel
+			// directly instead of re-bounds-checking through Set.
+			o := 4 * i
+			pix[o], pix[o+1], pix[o+2], pix[o+3] = r, g, bl, 0xff
 		}
 	}
 }

@@ -8,7 +8,6 @@ package viz
 import (
 	"bytes"
 	"image"
-	"image/png"
 	"math"
 )
 
@@ -162,23 +161,38 @@ func (im *Image) At(x, y int) (r, g, b, a uint8) {
 // crosses a link (the paper ships fixed-size image files to the browser).
 func (im *Image) SizeBytes() int { return len(im.Pix) }
 
-// PNG encodes the framebuffer as a PNG file.
+// EncodePNG encodes the framebuffer into buf, wrapping Pix in an image.RGBA
+// directly — no intermediate framebuffer copy — and drawing the encoder's
+// internal buffers from a pool. Callers that publish the encoded bytes to
+// other goroutines must copy them out of buf (the frame loop reuses buf
+// every frame); PNG() is the convenience wrapper that does exactly that.
+func (im *Image) EncodePNG(buf *bytes.Buffer) error {
+	rgba := image.RGBA{Pix: im.Pix, Stride: 4 * im.W, Rect: image.Rect(0, 0, im.W, im.H)}
+	return pngEncoder.Encode(buf, &rgba)
+}
+
+// PNG encodes the framebuffer as a PNG file. The returned slice is a fresh
+// copy safe to publish and retain; the encode buffer itself is pooled.
 func (im *Image) PNG() ([]byte, error) {
-	rgba := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
-	copy(rgba.Pix, im.Pix)
-	var buf bytes.Buffer
-	if err := png.Encode(&buf, rgba); err != nil {
+	buf := pngBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := im.EncodePNG(buf); err != nil {
+		pngBufPool.Put(buf)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	pngBufPool.Put(buf)
+	return out, nil
 }
 
 // NonBlackPixels counts pixels that differ from pure black, a cheap
-// "did anything render" probe for tests.
+// "did anything render" probe for tests. The scan walks four-byte pixel
+// windows so the compiler hoists the bounds checks out of the loop.
 func (im *Image) NonBlackPixels() int {
 	n := 0
-	for i := 0; i < len(im.Pix); i += 4 {
-		if im.Pix[i] != 0 || im.Pix[i+1] != 0 || im.Pix[i+2] != 0 {
+	for p := im.Pix; len(p) >= 4; p = p[4:] {
+		if p[0]|p[1]|p[2] != 0 {
 			n++
 		}
 	}
@@ -189,8 +203,8 @@ func (im *Image) NonBlackPixels() int {
 // that parameter changes visibly alter subsequent frames.
 func (im *Image) Gray() float64 {
 	var sum float64
-	for i := 0; i < len(im.Pix); i += 4 {
-		sum += 0.299*float64(im.Pix[i]) + 0.587*float64(im.Pix[i+1]) + 0.114*float64(im.Pix[i+2])
+	for p := im.Pix; len(p) >= 4; p = p[4:] {
+		sum += 0.299*float64(p[0]) + 0.587*float64(p[1]) + 0.114*float64(p[2])
 	}
 	return sum / (255 * float64(im.W*im.H))
 }

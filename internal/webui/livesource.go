@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"ricsa/internal/grid"
 	"ricsa/internal/simengine"
 	"ricsa/internal/steering"
+	"ricsa/internal/viz"
 )
 
 // LiveSource runs a simulation and renders its frames in real time (wall
@@ -28,6 +30,12 @@ type LiveSource struct {
 	FramePeriod time.Duration
 	Width       int
 	Height      int
+
+	// scratch and fieldScratch are the producer loop's reusable frame data
+	// plane (only the produce goroutine touches them); published PNG bytes
+	// are fresh copies, so viewers never see them change.
+	scratch      viz.FrameScratch
+	fieldScratch *grid.ScalarField
 }
 
 // NewLiveSource builds a live source for the request. Call Start to begin.
@@ -92,11 +100,12 @@ func (l *LiveSource) produce() {
 	for i := 0; i < req.StepsPerFrame; i++ {
 		l.sim.Step()
 	}
-	var field = l.sim.Density()
 	if req.Variable == "pressure" {
-		field = l.sim.Pressure()
+		l.fieldScratch = l.sim.PressureInto(l.fieldScratch)
+	} else {
+		l.fieldScratch = l.sim.DensityInto(l.fieldScratch)
 	}
-	img, err := steering.RenderDataset(field, req, l.Width, l.Height)
+	img, err := steering.RenderDatasetInto(&l.scratch, l.fieldScratch, req, l.Width, l.Height)
 	if err != nil {
 		return
 	}
