@@ -17,6 +17,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +25,14 @@ import (
 	"time"
 
 	"ricsa/internal/experiments"
+	"ricsa/internal/scenario"
 )
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig9, fig10, transport, dp, cost, gain, predict, adapt, fanout, all")
+		"experiment: fig9, fig10, transport, dp, cost, gain, predict, adapt, fanout, scenario, all")
+	soak := flag.Int("soak", 4,
+		"virtual-duration multiplier for -exp scenario (1 = the go test scale)")
 	scale := flag.Int("scale", 1, "dataset analysis scale divisor (1 = full size)")
 	trials := flag.Int("trials", 3, "trials per measurement")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -79,6 +83,63 @@ func main() {
 	run("predict", func() error { return runPredict(opt) })
 	run("adapt", func() error { return runAdapt(opt) })
 	run("fanout", func() error { return runFanout(opt) })
+	run("scenario", func() error { return runScenario(*soak) })
+}
+
+// runScenario soaks the deterministic WAN scenario suite: every canned
+// scenario at a multiple of its go-test virtual duration, with its Verify
+// judgement and the log checksum that makes a run comparable across
+// machines (same seed => same checksum, by the engine's determinism
+// contract — at soak x1; longer soaks extend the sampled tail).
+func runScenario(soak int) error {
+	if soak < 1 {
+		soak = 1
+	}
+	fmt.Printf("== Deterministic WAN scenario suite (soak x%d) ==\n", soak)
+	fmt.Printf("%-24s %8s %9s %8s %7s %7s %9s %7s %10s  %s\n",
+		"scenario", "virtual", "wall", "frames", "reopts", "adapts", "restamps", "cache", "log", "verdict")
+	var failed []string
+	for _, sc := range scenario.All() {
+		sc.Duration *= time.Duration(soak)
+		start := time.Now()
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		wall := time.Since(start).Round(time.Millisecond)
+		var frames uint64
+		var reopts, adapts int
+		for _, v := range res.Frames {
+			frames += v
+		}
+		for _, v := range res.Reopts {
+			reopts += v
+		}
+		for _, v := range res.Adapts {
+			adapts += v
+		}
+		verdict := "ok"
+		if len(res.Violations) > 0 {
+			verdict = fmt.Sprintf("VIOLATIONS=%d", len(res.Violations))
+			failed = append(failed, sc.Name)
+		}
+		if sc.Verify != nil {
+			if err := sc.Verify(res); err != nil {
+				verdict = "FAIL: " + err.Error()
+				failed = append(failed, sc.Name)
+			}
+		}
+		sum := sha256.Sum256(res.Log)
+		fmt.Printf("%-24s %8s %9s %8d %7d %7d %9d %4d/%-3d %10x  %s\n",
+			sc.Name, sc.Duration, wall, frames, reopts, adapts,
+			res.Restamps, res.CacheStats.Hits, res.CacheStats.Misses, sum[:4], verdict)
+	}
+	fmt.Println()
+	if len(failed) > 0 {
+		return fmt.Errorf("%d scenario(s) failed verification: %s",
+			len(failed), strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 func runFanout(opt experiments.Options) error {

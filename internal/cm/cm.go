@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/cost"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
@@ -45,8 +46,8 @@ type Config struct {
 	// cost.DefaultProbeSizes) and ProbeRepeats the per-size averaging.
 	ProbeSizes   []int
 	ProbeRepeats int
-	// ProbeInterval is the wall-clock cadence of the background Prober
-	// started by Start. <= 0 disables it.
+	// ProbeInterval is the cadence of the background Prober started by
+	// Start, measured on Clock. <= 0 disables it.
 	ProbeInterval time.Duration
 	// ProbeLinksPerTick is how many directed edges one ProbeTick re-probes,
 	// round-robin over the edge set (<= 0 selects 2).
@@ -77,6 +78,18 @@ type Config struct {
 	// CacheCapacity bounds the optimizer cache (<= 0 selects the pipeline
 	// default).
 	CacheCapacity int
+	// ProbeBudget bounds each probe transfer in *virtual* time: a transfer
+	// that has not completed within it (the link is dark or collapsed)
+	// aborts the sweep and the edge's estimates adopt the collapse the
+	// timeout implies. <= 0 selects 60s — generous enough that no healthy
+	// testbed probe ever hits it, so existing runs are unchanged; scenario
+	// runs with dark links configure a tighter budget.
+	ProbeBudget time.Duration
+	// Clock is the timing source of the background Prober. nil selects the
+	// wall clock; the scenario engine and deterministic tests inject a
+	// clock.Virtual. (This only paces the Prober's ticks — probe transfers
+	// themselves always run on the emulated network's own virtual clock.)
+	Clock clock.Clock
 }
 
 func (c *Config) fill() {
@@ -100,6 +113,12 @@ func (c *Config) fill() {
 	}
 	if c.DeviationWindow <= 0 {
 		c.DeviationWindow = 2
+	}
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = 60 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Wall()
 	}
 }
 
@@ -242,9 +261,11 @@ func (m *Manager) MeasureAllWith(sizes []int, repeats int) {
 func (m *Manager) measureAllLocked(sizes []int, repeats int) {
 	m.epoch++
 	for _, st := range m.edges {
-		est := cost.MeasureEPB(st.ch, sizes, repeats)
+		est := cost.MeasureEPBBounded(st.ch, sizes, repeats, m.cfg.ProbeBudget)
 		// Full sweeps are authoritative: adopt raw values so a genuinely
 		// changed network converges in one sweep instead of EWMA steps.
+		// (TimedOut estimates carry the collapse bound in EPB/MinDelay, so
+		// adopting them raw marks a dark edge repulsive immediately.)
 		st.bw = est.EPB
 		st.delay = est.MinDelay.Seconds()
 		st.confidence = est.Confidence
@@ -273,7 +294,19 @@ func (m *Manager) ProbeTick() bool {
 	for i := 0; i < k; i++ {
 		st := m.edges[m.cursor]
 		m.cursor = (m.cursor + 1) % len(m.edges)
-		est := cost.MeasureEPB(st.ch, m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+		est := cost.MeasureEPBBounded(st.ch, m.cfg.ProbeSizes, m.cfg.ProbeRepeats, m.cfg.ProbeBudget)
+		if est.TimedOut {
+			// The probe never completed: the link is dark or collapsed.
+			// Adopt the timeout's collapse bound raw — a dead edge must be
+			// repulsive after its first re-probe, not after an EWMA glide.
+			st.bw = est.EPB
+			st.delay = est.MinDelay.Seconds()
+			st.confidence = 0
+			st.r2 = 0
+			st.lastProbeEpoch = m.epoch
+			st.everProbed = true
+			continue
+		}
 		if est.EPB <= 0 || est.Confidence <= 0 {
 			continue // degenerate fit: keep the prior estimate
 		}
@@ -448,9 +481,9 @@ func (m *Manager) noteAdaptation() {
 	m.mu.Unlock()
 }
 
-// Start launches the background Prober: one ProbeTick per ProbeInterval of
-// wall time, until Stop. It is a no-op when ProbeInterval <= 0 or a prober
-// is already running.
+// Start launches the background Prober: one ProbeTick per ProbeInterval on
+// the configured Clock (wall by default), until Stop. It is a no-op when
+// ProbeInterval <= 0 or a prober is already running.
 func (m *Manager) Start() {
 	m.mu.Lock()
 	if m.cfg.ProbeInterval <= 0 || m.proberStop != nil {
@@ -463,16 +496,21 @@ func (m *Manager) Start() {
 	interval := m.cfg.ProbeInterval
 	m.mu.Unlock()
 
+	clk := m.cfg.Clock
 	go func() {
 		defer close(done)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		// A timer re-armed after each tick, not a ticker: the re-arm is the
+		// "work finished" edge the virtual clock's deterministic rendezvous
+		// needs (see the clock package contract).
+		timer := clk.NewTimer(interval)
+		defer timer.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C:
+			case <-timer.C():
 				m.ProbeTick()
+				timer.Reset(interval)
 			}
 		}
 	}()

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 )
@@ -204,6 +205,42 @@ func TestProbeTickRoundRobinCoversEdges(t *testing.T) {
 	}
 }
 
+// TestProbeTickMarksDarkLinkDead pins the probe-budget path: probing a dark
+// link times out instead of hanging, and the edge's estimate adopts the
+// collapse bound raw so the optimizer avoids it immediately.
+func TestProbeTickMarksDarkLinkDead(t *testing.T) {
+	cfg := testConfig()
+	cfg.ProbeBudget = time.Second
+	m := New(quietTestbed(7), cfg)
+	l := m.Network().FindLink(netsim.GaTech, netsim.UT)
+	l.SetDown(true)
+
+	restamped := false
+	for i := 0; i < len(m.Estimates()); i++ {
+		if m.ProbeTick() {
+			restamped = true
+		}
+	}
+	if !restamped {
+		t.Fatal("dark link never re-stamped the graph")
+	}
+	est := m.Estimates()[netsim.GaTech+"->"+netsim.UT]
+	// 1 MiB probe over the 1s budget bounds the estimate at ~1 MiB/s —
+	// far below the healthy 12 MB/s.
+	if est.EPB > float64(2<<20) {
+		t.Fatalf("dark edge still estimated at %.0f B/s", est.EPB)
+	}
+	vrt, err := m.Optimize(testPipeline(), netsim.GaTech, netsim.ORNL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range vrt.Path() {
+		if node == netsim.UT {
+			t.Fatalf("optimizer still routes via the dark link: %v", vrt.Path())
+		}
+	}
+}
+
 func TestAdapterWindow(t *testing.T) {
 	m := New(quietTestbed(1), testConfig())
 	a := m.NewAdapterTuned(0.5, 2)
@@ -236,20 +273,26 @@ func TestAdapterWindow(t *testing.T) {
 	}
 }
 
+// TestBackgroundProberTicks drives the background Prober on a virtual
+// clock: four interval boundaries yield exactly four ticks, with no sleeps
+// and no deadline polling.
 func TestBackgroundProberTicks(t *testing.T) {
 	cfg := testConfig()
-	cfg.ProbeInterval = 2 * time.Millisecond
+	cfg.ProbeInterval = 100 * time.Millisecond
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	cfg.Clock = clk
 	m := New(quietTestbed(5), cfg)
 	m.Start()
 	defer m.Stop()
-	deadline := time.Now().Add(5 * time.Second)
-	for m.ProbeEpoch() < 4 && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
-	}
-	if m.ProbeEpoch() < 4 {
-		t.Fatalf("prober advanced epoch only to %d", m.ProbeEpoch())
+	clk.AwaitArmed(1) // the prober's timer is parked
+	clk.Advance(450 * time.Millisecond)
+	if got := m.ProbeEpoch(); got != 5 {
+		t.Fatalf("epoch %d after initial sweep + 4 ticks, want 5", got)
 	}
 	m.Stop() // idempotent
+	if clk.Armed() != 0 {
+		t.Fatalf("%d timers still armed after Stop", clk.Armed())
+	}
 }
 
 func TestStatusShape(t *testing.T) {

@@ -20,6 +20,12 @@ type PathEstimate struct {
 	// EWMA step by it so a probe perturbed by a cross-traffic burst nudges
 	// the edge estimate less than a clean one.
 	Confidence float64
+	// TimedOut marks a bounded probe whose transfer never completed (a dark
+	// or collapsed link). EPB then holds the upper bound the timeout
+	// implies — probe bytes over the budget — and MinDelay the budget
+	// itself; consumers should adopt these raw rather than EWMA-smooth
+	// them, since a dead link must be noticed on its first re-probe.
+	TimedOut bool
 }
 
 // TransferTime predicts the delay of moving size bytes over the path using
@@ -47,6 +53,15 @@ func DefaultProbeSizes() []int {
 // other traffic on the channel during measurement). Each size is probed
 // repeats times and delays averaged, smoothing cross-traffic noise.
 func MeasureEPB(ch *netsim.Channel, sizes []int, repeats int) PathEstimate {
+	return MeasureEPBBounded(ch, sizes, repeats, 0)
+}
+
+// MeasureEPBBounded is MeasureEPB with a per-transfer virtual-time budget
+// (<= 0 means unbounded). The first transfer that fails to complete within
+// the budget aborts the sweep and returns a TimedOut estimate: a dark link
+// would otherwise stall the prober forever. Completed sweeps produce event
+// sequences identical to the unbounded path.
+func MeasureEPBBounded(ch *netsim.Channel, sizes []int, repeats int, budget time.Duration) PathEstimate {
 	if len(sizes) == 0 {
 		sizes = DefaultProbeSizes()
 	}
@@ -58,7 +73,15 @@ func MeasureEPB(ch *netsim.Channel, sizes []int, repeats int) PathEstimate {
 	for _, r := range sizes {
 		var total time.Duration
 		for k := 0; k < repeats; k++ {
-			total += netsim.MeasureBulk(ch, r)
+			el, ok := netsim.MeasureBulkWithin(ch, r, budget)
+			if !ok {
+				return PathEstimate{
+					EPB:      float64(r) / budget.Seconds(),
+					MinDelay: budget,
+					TimedOut: true,
+				}
+			}
+			total += el
 		}
 		xs = append(xs, float64(r))
 		ys = append(ys, (total / time.Duration(repeats)).Seconds())

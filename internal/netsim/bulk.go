@@ -5,6 +5,14 @@ package netsim
 // enough for end-to-end delay experiments.
 const BulkChunk = 64 << 10
 
+// bulkChunk is a bulk flow's datagram payload: the chunk index plus the
+// owning flow's identity, so arrivals from a cancelled flow are never
+// confused with a later flow's chunks on the same channel.
+type bulkChunk struct {
+	flow *int
+	idx  int
+}
+
 // BulkTransfer streams size bytes over the channel as a reliable,
 // full-throttle flow: chunks are serialized back to back, chunks destroyed by
 // random loss are retransmitted (consuming capacity again), and done fires at
@@ -15,9 +23,18 @@ const BulkChunk = 64 << 10
 // The callback receives the completion time measured from the call to
 // BulkTransfer.
 func BulkTransfer(c *Channel, size int, done func(elapsed Time)) {
+	StartBulkTransfer(c, size, done)
+}
+
+// StartBulkTransfer is BulkTransfer returning a cancel function. Cancelling
+// restores the channel handler and stops the flow's retransmission sweep, so
+// a transfer over a dead link (which would otherwise resend forever) can be
+// abandoned; done is never called after cancel. Cancel is idempotent and a
+// no-op once the transfer completed.
+func StartBulkTransfer(c *Channel, size int, done func(elapsed Time)) (cancel func()) {
 	if size <= 0 {
 		c.net.Schedule(0, func() { done(0) })
-		return
+		return func() {}
 	}
 	start := c.net.Now()
 	nChunks := (size + BulkChunk - 1) / BulkChunk
@@ -26,6 +43,15 @@ func BulkTransfer(c *Channel, size int, done func(elapsed Time)) {
 	pending := nChunks
 	var sendChunk func(idx int)
 	prevHandler := c.handler
+
+	canceled := false
+	cancel = func() {
+		if canceled || pending == 0 {
+			return
+		}
+		canceled = true
+		c.handler = prevHandler
+	}
 
 	finish := func() {
 		c.handler = prevHandler
@@ -40,11 +66,21 @@ func BulkTransfer(c *Channel, size int, done func(elapsed Time)) {
 	// Send returns true for both delivered and randomly lost packets, so
 	// loss is detected through per-chunk delivery flags plus a timeout-based
 	// resend sweep below.
+	//
+	// Chunks are tagged with this flow's identity: a cancelled transfer's
+	// in-flight chunks keep their arrival schedule, and without the tag a
+	// stale arrival firing after a LATER flow installed its handler would be
+	// mistaken for one of the new flow's chunks (out-of-range index, or a
+	// collapsed link's probe falsely completing).
+	flow := new(int)
 	delivered := make([]bool, nChunks)
 	c.handler = func(p Packet) {
-		idx := p.Payload.(int)
-		if !delivered[idx] {
-			delivered[idx] = true
+		ck, ok := p.Payload.(bulkChunk)
+		if !ok || ck.flow != flow {
+			return // a stale chunk from an earlier, cancelled flow
+		}
+		if !delivered[ck.idx] {
+			delivered[ck.idx] = true
 			pending--
 		}
 		if pending == 0 {
@@ -53,11 +89,14 @@ func BulkTransfer(c *Channel, size int, done func(elapsed Time)) {
 	}
 
 	sendChunk = func(idx int) {
+		if canceled {
+			return
+		}
 		sz := BulkChunk
 		if idx == nChunks-1 {
 			sz = lastSize
 		}
-		if !c.Send(Packet{From: c.From.Name, To: c.To.Name, Size: sz, Payload: idx}) {
+		if !c.Send(Packet{From: c.From.Name, To: c.To.Name, Size: sz, Payload: bulkChunk{flow: flow, idx: idx}}) {
 			// Tail drop: retry once the queue drains a little.
 			c.net.Schedule(c.cfg.Delay/2+1, func() { sendChunk(idx) })
 		}
@@ -71,12 +110,20 @@ func BulkTransfer(c *Channel, size int, done func(elapsed Time)) {
 	// chunk not yet delivered. Repeats until everything lands.
 	var sweep func()
 	sweep = func() {
-		if pending == 0 {
+		if pending == 0 || canceled {
 			return
 		}
 		wait := c.busyUntil - c.net.Now() + c.cfg.Delay + c.cfg.Jitter + 1
+		// A dark channel black-holes sends without consuming capacity, so
+		// busyUntil stalls and the computed wait goes negative — which would
+		// pin the sweep to the current instant forever. Floor it at one
+		// propagation round so virtual time keeps moving; on live channels
+		// resends always push busyUntil past now and the floor never binds.
+		if min := c.cfg.Delay + c.cfg.Jitter + 1; wait < min {
+			wait = min
+		}
 		c.net.Schedule(wait, func() {
-			if pending == 0 {
+			if pending == 0 || canceled {
 				return
 			}
 			for i := 0; i < nChunks; i++ {
@@ -88,6 +135,7 @@ func BulkTransfer(c *Channel, size int, done func(elapsed Time)) {
 		})
 	}
 	sweep()
+	return cancel
 }
 
 // MeasureBulk synchronously measures the time to move size bytes over c by
@@ -102,4 +150,36 @@ func MeasureBulk(c *Channel, size int) Time {
 		c.net.step()
 	}
 	return elapsed
+}
+
+// MeasureBulkWithin is MeasureBulk bounded by a virtual-time budget: if the
+// transfer has not completed by start+budget (the channel is dark, or so
+// degraded the probe would stall the caller), the flow is cancelled and ok
+// is false with elapsed = budget. budget <= 0 means unbounded. The event
+// sequence of a transfer that completes in time is identical to
+// MeasureBulk's, so bounded probing does not perturb deterministic runs.
+func MeasureBulkWithin(c *Channel, size int, budget Time) (elapsed Time, ok bool) {
+	if budget <= 0 {
+		return MeasureBulk(c, size), true
+	}
+	deadline := c.net.Now() + budget
+	doneAt := Time(-1)
+	cancel := StartBulkTransfer(c, size, func(e Time) { elapsed = e; doneAt = c.net.Now() })
+	for doneAt < 0 {
+		at, any := c.net.NextEventAt()
+		if !any || at > deadline {
+			cancel()
+			// Drain the flow's already-scheduled events (cancelled sends and
+			// sweeps are no-ops) so they don't linger into later probes.
+			for c.net.Pending() > 0 {
+				if at, any := c.net.NextEventAt(); !any || at > deadline {
+					break
+				}
+				c.net.step()
+			}
+			return budget, false
+		}
+		c.net.step()
+	}
+	return elapsed, true
 }

@@ -30,6 +30,7 @@ type Channel struct {
 	cfg       LinkConfig
 	busyUntil Time
 	queued    int
+	down      bool
 	handler   func(Packet)
 	stats     ChannelStats
 }
@@ -56,6 +57,40 @@ func (c *Channel) SetBandwidth(bytesPerSec float64) {
 	c.cfg.Bandwidth = bytesPerSec
 }
 
+// SetDelay changes the fixed propagation delay at the current virtual time
+// (a re-routed path, a failing line card adding latency). In-flight packets
+// keep their old arrival schedule.
+func (c *Channel) SetDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.cfg.Delay = d
+}
+
+// SetLoss changes the independent per-packet drop probability.
+func (c *Channel) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 1
+	}
+	c.cfg.Loss = p
+}
+
+// SetCross installs (or, with nil, removes) a cross-traffic process,
+// emulating the onset or end of competing wide-area flows.
+func (c *Channel) SetCross(ct *CrossTraffic) { c.cfg.Cross = ct }
+
+// SetDown marks the channel dark: while down, Send accepts packets (the
+// sender cannot tell) but every one vanishes without consuming capacity —
+// a link flap or a failed node, as seen from this direction. In-flight
+// packets already serialized still arrive.
+func (c *Channel) SetDown(down bool) { c.down = down }
+
+// Down reports whether the channel is currently dark.
+func (c *Channel) Down() bool { return c.down }
+
 // Config returns the channel's configuration.
 func (c *Channel) Config() LinkConfig { return c.cfg }
 
@@ -68,6 +103,11 @@ func (c *Channel) Backlog() int { return c.queued }
 // Send enqueues p for transmission. It returns false if the packet was
 // tail-dropped because the serialization queue was full.
 func (c *Channel) Send(p Packet) bool {
+	if c.down {
+		c.stats.Sent++
+		c.stats.Lost++
+		return true // black-holed: consumed by the void, invisible to sender
+	}
 	if c.cfg.QueueLimit > 0 && c.queued >= c.cfg.QueueLimit {
 		c.stats.TailDrops++
 		return false

@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// twoNode builds a minimal a->b network for event-surface tests.
+func twoNode(seed int64, cfg LinkConfig) (*Network, *Link) {
+	n := New(seed)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	return n, n.Connect(a, b, cfg)
+}
+
+func TestDownChannelBlackholes(t *testing.T) {
+	n, l := twoNode(1, LinkConfig{Bandwidth: MB, Delay: time.Millisecond})
+	got := 0
+	l.AB.SetHandler(func(Packet) { got++ })
+
+	l.AB.SetDown(true)
+	if !l.AB.Send(Packet{Size: 100}) {
+		t.Fatal("down channel rejected a send; it must black-hole silently")
+	}
+	n.Run()
+	if got != 0 {
+		t.Fatalf("%d packets delivered over a dark channel", got)
+	}
+	st := l.AB.Stats()
+	if st.Sent != 1 || st.Lost != 1 {
+		t.Fatalf("stats %+v, want the black-holed packet counted sent+lost", st)
+	}
+
+	l.AB.SetDown(false)
+	l.AB.Send(Packet{Size: 100})
+	n.Run()
+	if got != 1 {
+		t.Fatalf("restored channel delivered %d packets, want 1", got)
+	}
+}
+
+func TestSetDelayAndLossSteps(t *testing.T) {
+	n, l := twoNode(1, LinkConfig{Bandwidth: 100 * MB, Delay: time.Millisecond})
+	var arrived []Time
+	l.AB.SetHandler(func(Packet) { arrived = append(arrived, n.Now()) })
+
+	l.AB.Send(Packet{Size: 1000})
+	l.AB.SetDelay(50 * time.Millisecond)
+	l.AB.Send(Packet{Size: 1000})
+	n.Run()
+	if len(arrived) != 2 {
+		t.Fatalf("%d arrivals, want 2", len(arrived))
+	}
+	if gap := arrived[1] - arrived[0]; gap < 45*time.Millisecond {
+		t.Fatalf("delay step not applied: arrival gap %v", gap)
+	}
+
+	l.AB.SetLoss(1) // clamped certain loss
+	l.AB.Send(Packet{Size: 1000})
+	n.Run()
+	if len(arrived) != 2 {
+		t.Fatal("loss=1 channel still delivered")
+	}
+	if l.AB.Config().Loss != 1 {
+		t.Fatalf("loss %v, want clamped 1", l.AB.Config().Loss)
+	}
+}
+
+func TestSetNodeDownDarkensAllTouchingLinks(t *testing.T) {
+	n := Testbed(1, TestbedConfig{})
+	n.SetNodeDown(UT, true)
+	for _, l := range n.Links() {
+		touching := l.A.Name == UT || l.B.Name == UT
+		if touching != l.AB.Down() || touching != l.BA.Down() {
+			t.Fatalf("link %s-%s down=%v/%v, want %v both ways",
+				l.A.Name, l.B.Name, l.AB.Down(), l.BA.Down(), touching)
+		}
+	}
+	n.SetNodeDown(UT, false)
+	for _, l := range n.Links() {
+		if l.AB.Down() || l.BA.Down() {
+			t.Fatalf("link %s-%s still down after recovery", l.A.Name, l.B.Name)
+		}
+	}
+}
+
+func TestMeasureBulkWithinCompletesLikeUnbounded(t *testing.T) {
+	cfg := LinkConfig{Bandwidth: MB, Delay: 5 * time.Millisecond, Loss: 0.01, Jitter: time.Millisecond}
+	nA, lA := twoNode(7, cfg)
+	nB, lB := twoNode(7, cfg)
+	_ = nA
+	_ = nB
+	want := MeasureBulk(lA.AB, 2*MB)
+	got, ok := MeasureBulkWithin(lB.AB, 2*MB, time.Hour)
+	if !ok || got != want {
+		t.Fatalf("bounded measure (%v, %v) diverged from unbounded %v", got, ok, want)
+	}
+}
+
+// TestTimedOutProbeDoesNotCorruptNextFlow pins the flow-identity tag: a
+// probe that times out on a slow (not dark) link leaves in-flight chunk
+// arrivals scheduled past its deadline, and those stale arrivals must not
+// be mistaken for a later flow's chunks on the same channel (an
+// out-of-range chunk index, or a falsely completed probe).
+func TestTimedOutProbeDoesNotCorruptNextFlow(t *testing.T) {
+	// 64 KB/s with a long delay: a 1 MB transfer books 16 chunk arrivals
+	// spread over ~16s, far past the 500ms budget.
+	_, l := twoNode(5, LinkConfig{Bandwidth: 64 << 10, Delay: 2 * time.Second})
+	if _, ok := MeasureBulkWithin(l.AB, 1*MB, 500*time.Millisecond); ok {
+		t.Fatal("1MB over 64KB/s finished within 500ms?")
+	}
+	// A fresh single-chunk probe on the same channel: stale arrivals from
+	// the cancelled flow fire while it runs, and with the identity tag they
+	// must be ignored — the measurement reflects the new flow alone.
+	el, ok := MeasureBulkWithin(l.AB, 32<<10, time.Minute)
+	if !ok {
+		t.Fatal("fresh probe after a timed-out flow did not complete")
+	}
+	// 32 KB at 64 KB/s plus 2s delay: at least 2.5s; a stale-chunk false
+	// completion would report near-instant delivery.
+	if el < 2*time.Second {
+		t.Fatalf("fresh probe finished impossibly fast (%v): stale chunks leaked in", el)
+	}
+}
+
+func TestMeasureBulkWithinTimesOutOnDarkLink(t *testing.T) {
+	n, l := twoNode(3, LinkConfig{Bandwidth: MB, Delay: 5 * time.Millisecond})
+	l.AB.SetDown(true)
+	elapsed, ok := MeasureBulkWithin(l.AB, 1*MB, 2*time.Second)
+	if ok {
+		t.Fatal("transfer over a dark link reported success")
+	}
+	if elapsed != 2*time.Second {
+		t.Fatalf("elapsed %v, want the 2s budget", elapsed)
+	}
+	// The cancelled flow must not leave a runaway resend loop behind: the
+	// event queue drains (cancelled sweeps are no-ops).
+	before := n.Pending()
+	n.Run()
+	if n.Pending() != 0 {
+		t.Fatalf("event queue still has %d events after Run (had %d)", n.Pending(), before)
+	}
+	// The channel is usable again once restored.
+	l.AB.SetDown(false)
+	if el, ok := MeasureBulkWithin(l.AB, 256<<10, time.Minute); !ok || el <= 0 {
+		t.Fatalf("restored link measure (%v, %v)", el, ok)
+	}
+}

@@ -126,6 +126,28 @@ func (n *Network) step() {
 // Pending reports the number of queued events (useful in tests).
 func (n *Network) Pending() int { return n.pq.Len() }
 
+// NextEventAt reports the timestamp of the earliest queued event. ok is
+// false when the queue is empty. Bounded drivers (MeasureBulkWithin) use it
+// to stop before processing events past their budget.
+func (n *Network) NextEventAt() (t Time, ok bool) {
+	if n.pq.Len() == 0 {
+		return 0, false
+	}
+	return n.pq.peek().at, true
+}
+
+// SetNodeDown marks every channel touching the named node dark (down=true)
+// or restores them (down=false) — a host failure or recovery as the rest of
+// the WAN observes it. Unknown names are a no-op.
+func (n *Network) SetNodeDown(name string, down bool) {
+	for _, l := range n.links {
+		if l.A.Name == name || l.B.Name == name {
+			l.AB.SetDown(down)
+			l.BA.SetDown(down)
+		}
+	}
+}
+
 // A Node is a compute host in the emulated WAN.
 //
 // Power is the normalized computing power p_i from the paper's analytical
@@ -188,6 +210,27 @@ type Link struct {
 	A, B *Node
 	AB   *Channel // A -> B
 	BA   *Channel // B -> A
+}
+
+// SetDown marks both directions of the link dark (or restores them) — the
+// scriptable link-flap event.
+func (l *Link) SetDown(down bool) {
+	l.AB.SetDown(down)
+	l.BA.SetDown(down)
+}
+
+// ScaleBandwidth multiplies both directions' current capacity by factor —
+// the scriptable bandwidth-step event (factor > 1 restores or upgrades).
+func (l *Link) ScaleBandwidth(factor float64) {
+	l.AB.SetBandwidth(l.AB.Config().Bandwidth * factor)
+	l.BA.SetBandwidth(l.BA.Config().Bandwidth * factor)
+}
+
+// SetDelay sets both directions' fixed propagation delay — the scriptable
+// delay-step event.
+func (l *Link) SetDelay(d time.Duration) {
+	l.AB.SetDelay(d)
+	l.BA.SetDelay(d)
 }
 
 // Connect joins nodes a and b with symmetric channel configuration.

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ricsa/internal/netsim"
+	"ricsa/internal/steering"
+)
+
+// Event constructors: each bakes its parameters into the Name so the
+// deterministic log reads as a replayable script.
+
+// StartSession starts a live session under alias with the given request.
+func StartSession(at time.Duration, alias string, req steering.Request) Event {
+	return Event{At: at,
+		Name:  fmt.Sprintf("start-session alias=%s src=%s dst=%v sim=%s", alias, req.SourceNode, req.Destinations(), req.Simulator),
+		Apply: func(e *Engine) error { return e.StartSession(alias, req) }}
+}
+
+// StopSession destroys the aliased session.
+func StopSession(at time.Duration, alias string) Event {
+	return Event{At: at, Name: "stop-session alias=" + alias,
+		Apply: func(e *Engine) error { return e.StopSession(alias) }}
+}
+
+// ViewersJoin attaches n web viewers to the aliased session.
+func ViewersJoin(at time.Duration, alias string, n int) Event {
+	return Event{At: at, Name: fmt.Sprintf("viewers-join alias=%s n=%d", alias, n),
+		Apply: func(e *Engine) error { return e.AttachViewers(alias, n) }}
+}
+
+// ViewersLeave detaches n web viewers from the aliased session.
+func ViewersLeave(at time.Duration, alias string, n int) Event {
+	return Event{At: at, Name: fmt.Sprintf("viewers-leave alias=%s n=%d", alias, n),
+		Apply: func(e *Engine) error { return e.DetachViewers(alias, n) }}
+}
+
+// Steer applies steering parameters to the aliased session.
+func Steer(at time.Duration, alias string, params map[string]float64) Event {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	name := "steer alias=" + alias
+	for _, k := range keys {
+		name += fmt.Sprintf(" %s=%g", k, params[k])
+	}
+	return Event{At: at, Name: name, Apply: func(e *Engine) error {
+		s, err := e.Session(alias)
+		if err != nil {
+			return err
+		}
+		return s.Steer(params)
+	}}
+}
+
+// ScaleLink multiplies both directions of a link's bandwidth by factor —
+// a congestion step (factor < 1) or recovery/upgrade (factor > 1).
+func ScaleLink(at time.Duration, a, b string, factor float64) Event {
+	return Event{At: at, Name: fmt.Sprintf("scale-link %s-%s x%g", a, b, factor),
+		Apply: func(e *Engine) error {
+			l, err := e.Link(a, b)
+			if err != nil {
+				return err
+			}
+			l.ScaleBandwidth(factor)
+			return nil
+		}}
+}
+
+// SetLinkDelay steps both directions of a link's propagation delay.
+func SetLinkDelay(at time.Duration, a, b string, d time.Duration) Event {
+	return Event{At: at, Name: fmt.Sprintf("set-link-delay %s-%s %s", a, b, fmtD(d)),
+		Apply: func(e *Engine) error {
+			l, err := e.Link(a, b)
+			if err != nil {
+				return err
+			}
+			l.SetDelay(d)
+			return nil
+		}}
+}
+
+// LinkDown marks both directions of a link dark (a flap's down edge).
+func LinkDown(at time.Duration, a, b string) Event {
+	return Event{At: at, Name: fmt.Sprintf("link-down %s-%s", a, b),
+		Apply: func(e *Engine) error {
+			l, err := e.Link(a, b)
+			if err != nil {
+				return err
+			}
+			l.SetDown(true)
+			return nil
+		}}
+}
+
+// LinkUp restores a dark link.
+func LinkUp(at time.Duration, a, b string) Event {
+	return Event{At: at, Name: fmt.Sprintf("link-up %s-%s", a, b),
+		Apply: func(e *Engine) error {
+			l, err := e.Link(a, b)
+			if err != nil {
+				return err
+			}
+			l.SetDown(false)
+			return nil
+		}}
+}
+
+// LinkFlaps appends count down/up pairs spaced period apart, starting at.
+func LinkFlaps(at time.Duration, a, b string, count int, period time.Duration) []Event {
+	var evs []Event
+	for i := 0; i < count; i++ {
+		down := at + time.Duration(i)*2*period
+		evs = append(evs, LinkDown(down, a, b), LinkUp(down+period, a, b))
+	}
+	return evs
+}
+
+// NodeDown fails the named host: every link touching it goes dark.
+func NodeDown(at time.Duration, node string) Event {
+	return Event{At: at, Name: "node-down " + node,
+		Apply: func(e *Engine) error { e.Network().SetNodeDown(node, true); return nil }}
+}
+
+// NodeUp recovers the named host.
+func NodeUp(at time.Duration, node string) Event {
+	return Event{At: at, Name: "node-up " + node,
+		Apply: func(e *Engine) error { e.Network().SetNodeDown(node, false); return nil }}
+}
+
+// CrossBurst replaces a link's cross-traffic process with a heavier one
+// leaving only mean availability (each direction gets its own process
+// state, as the testbed builder does).
+func CrossBurst(at time.Duration, a, b string, mean float64) Event {
+	return Event{At: at, Name: fmt.Sprintf("cross-burst %s-%s mean=%g", a, b, mean),
+		Apply: func(e *Engine) error {
+			l, err := e.Link(a, b)
+			if err != nil {
+				return err
+			}
+			l.AB.SetCross(netsim.DefaultCrossTraffic(mean))
+			l.BA.SetCross(netsim.DefaultCrossTraffic(mean))
+			return nil
+		}}
+}
+
+// Remeasure forces a full authoritative probing sweep — the operator's "the
+// estimates look stale" button, and the probe-starved scenarios' recovery.
+func Remeasure(at time.Duration) Event {
+	return Event{At: at, Name: "remeasure",
+		Apply: func(e *Engine) error { e.CM().MeasureAll(); return nil }}
+}

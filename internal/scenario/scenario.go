@@ -1,0 +1,491 @@
+// Package scenario is the deterministic WAN scenario engine: it runs the
+// repo's *live* stack — cm.Manager with its background Prober,
+// steering.SessionManager with real per-session lifecycle goroutines, and
+// the emulated netsim WAN they measure — entirely on a virtual clock, and
+// executes a declarative script of fault/churn events against it (link
+// degradation and flaps, node failure, cross-traffic bursts, session and
+// viewer churn) while checking invariants and writing a deterministic
+// event/metrics log. Running the same scenario twice produces byte-identical
+// logs, so "the CM kept frame delay bounded while the WAN misbehaved" is a
+// replayable regression test rather than a sleep-and-hope integration test.
+//
+// Determinism comes from three properties, each load-bearing:
+//
+//  1. every control loop (Prober ticks, frame pacing) runs on one
+//     clock.Virtual whose rendezvous fires exactly one goroutine at a time;
+//  2. the emulated network and every random process in it derive from the
+//     scenario seed;
+//  3. the engine applies script events and takes metric samples only at
+//     quiescence, so no sample ever races a control loop.
+//
+// Anything logged must be derived from those (virtual timestamps, counters,
+// deterministic floats) — never from wall time, map iteration order, or
+// global process state such as absolute graph revisions.
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ricsa/internal/clock"
+	"ricsa/internal/cm"
+	"ricsa/internal/netsim"
+	"ricsa/internal/pipeline"
+	"ricsa/internal/steering"
+)
+
+// Scenario is a declarative script: a seeded live-stack configuration, a
+// set of events at virtual timestamps, and a verdict function over the
+// collected result.
+type Scenario struct {
+	Name        string
+	Description string
+	// Seed drives the emulated testbed (loss, jitter, cross traffic).
+	Seed int64
+	// Duration is the virtual length of the run.
+	Duration time.Duration
+	// SampleEvery is the metrics sampling cadence (default 2s). Samples are
+	// part of the deterministic log.
+	SampleEvery time.Duration
+	// FramePeriod is the base pacing of every session the script starts
+	// (default 100ms); the installed mapping's predicted delay is charged
+	// on top, exactly as in production.
+	FramePeriod time.Duration
+	// Width/Height size rendered frames (default 48x48 — scenarios measure
+	// control behaviour, not pixels).
+	Width, Height int
+	// ProbeInterval is the background Prober cadence; 0 leaves the Prober
+	// off (the probe-starved scenarios).
+	ProbeInterval     time.Duration
+	ProbeLinksPerTick int
+	// ProbeBudget bounds each probe transfer in emulated time (default 2s)
+	// so probing a dark link times out instead of hanging the Prober.
+	ProbeBudget time.Duration
+	// ReoptimizeEvery / AdaptTolerance / AdaptWindow tune sessions as in
+	// steering.ManagerConfig.
+	ReoptimizeEvery int
+	AdaptTolerance  float64
+	AdaptWindow     int
+	// Events is the script, in any order; the engine sorts by At (ties keep
+	// authoring order, and run before the sample at the same instant).
+	Events []Event
+	// Verify, when set, judges the collected Result (go test asserts it).
+	Verify func(*Result) error
+}
+
+// Event is one scripted action. Name appears verbatim in the log, so
+// constructors bake their parameters into it.
+type Event struct {
+	At    time.Duration
+	Name  string
+	Apply func(*Engine) error
+}
+
+// SampleRow is one session's metrics at one sample instant.
+type SampleRow struct {
+	At      time.Duration
+	Alias   string
+	Seq     uint64
+	Renders int
+	Viewers int
+	Reopts  int
+	Adapts  int
+	// Predicted is the installed mapping's at-install delay; Estimated its
+	// re-priced delay under the CM's current measured graph; True its delay
+	// under the emulated network's ground-truth conditions. All -1 before
+	// the first consultation; Estimated/True are +Inf for a placement the
+	// graph can no longer route.
+	Predicted, Estimated, True float64
+	Path                       string
+}
+
+// Result is what a run produced.
+type Result struct {
+	Scenario string
+	// Log is the deterministic event/metrics log: same scenario, same seed,
+	// byte-identical bytes.
+	Log []byte
+	// Final per-session counters, keyed by alias (sessions destroyed by the
+	// script keep their last observed values).
+	Frames  map[string]uint64
+	Renders map[string]int
+	Reopts  map[string]int
+	Adapts  map[string]int
+	// Control-plane counters.
+	Restamps    uint64
+	Adaptations uint64
+	ProbeEpoch  uint64
+	CacheStats  pipeline.CacheStats
+	// Samples holds every SampleRow in order.
+	Samples []SampleRow
+	// Violations are engine-detected invariant breaches (non-monotone frame
+	// sequences, and anything events reported). Empty on a healthy run.
+	Violations []string
+}
+
+// Duration returns the virtual time of the last sample (the scenario end;
+// the engine always samples at Scenario.Duration).
+func (r *Result) Duration() time.Duration {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	return r.Samples[len(r.Samples)-1].At
+}
+
+// Engine is the run state passed to event Apply functions.
+type Engine struct {
+	sc    Scenario
+	epoch time.Time
+	clk   *clock.Virtual
+	mgr   *steering.SessionManager
+
+	waiters  int // control goroutines parked on the clock when quiescent
+	log      bytes.Buffer
+	aliases  []string
+	sessions map[string]*steering.ManagedSession
+	detach   map[string][]func()
+	lastSeq  map[string]uint64
+	res      *Result
+}
+
+// Mgr exposes the live service under test.
+func (e *Engine) Mgr() *steering.SessionManager { return e.mgr }
+
+// CM exposes the shared control loop.
+func (e *Engine) CM() *cm.Manager { return e.mgr.CM() }
+
+// Network exposes the emulated WAN the script perturbs.
+func (e *Engine) Network() *netsim.Network { return e.mgr.CM().Network() }
+
+// Link returns the link between the named testbed sites.
+func (e *Engine) Link(a, b string) (*netsim.Link, error) {
+	if l := e.Network().FindLink(a, b); l != nil {
+		return l, nil
+	}
+	return nil, fmt.Errorf("scenario: no link %s-%s", a, b)
+}
+
+// Session returns the aliased live session.
+func (e *Engine) Session(alias string) (*steering.ManagedSession, error) {
+	if s := e.sessions[alias]; s != nil {
+		return s, nil
+	}
+	return nil, fmt.Errorf("scenario: no session %q", alias)
+}
+
+// StartSession creates a live session under the scenario's pacing and
+// registers it under alias. Its lifecycle goroutine becomes part of the
+// deterministic schedule.
+func (e *Engine) StartSession(alias string, req steering.Request) error {
+	if _, dup := e.sessions[alias]; dup {
+		return fmt.Errorf("scenario: duplicate session alias %q", alias)
+	}
+	s, err := e.mgr.CreateTuned(req, e.sc.FramePeriod, e.sc.Width, e.sc.Height)
+	if err != nil {
+		return err
+	}
+	e.aliases = append(e.aliases, alias)
+	e.sessions[alias] = s
+	e.waiters++
+	return nil
+}
+
+// StopSession destroys the aliased session (its final counters are kept in
+// the Result).
+func (e *Engine) StopSession(alias string) error {
+	s, err := e.Session(alias)
+	if err != nil {
+		return err
+	}
+	e.recordFinal(alias, s)
+	for _, d := range e.detach[alias] {
+		d()
+	}
+	delete(e.detach, alias)
+	if err := e.mgr.Destroy(s.ID); err != nil {
+		return err
+	}
+	delete(e.sessions, alias)
+	e.waiters--
+	return nil
+}
+
+// AttachViewers registers n web viewers on the aliased session (rendering
+// switches from lazy to eager, as in production).
+func (e *Engine) AttachViewers(alias string, n int) error {
+	s, err := e.Session(alias)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		e.detach[alias] = append(e.detach[alias], s.Attach())
+	}
+	return nil
+}
+
+// DetachViewers removes up to n viewers from the aliased session.
+func (e *Engine) DetachViewers(alias string, n int) error {
+	if _, err := e.Session(alias); err != nil {
+		return err
+	}
+	ds := e.detach[alias]
+	for i := 0; i < n && len(ds) > 0; i++ {
+		ds[len(ds)-1]()
+		ds = ds[:len(ds)-1]
+	}
+	e.detach[alias] = ds
+	return nil
+}
+
+// Violate records an invariant breach detected by an event or check.
+func (e *Engine) Violate(format string, args ...any) {
+	e.res.Violations = append(e.res.Violations, fmt.Sprintf(format, args...))
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = 30 * time.Second
+	}
+	if sc.SampleEvery <= 0 {
+		sc.SampleEvery = 2 * time.Second
+	}
+	if sc.FramePeriod <= 0 {
+		sc.FramePeriod = 100 * time.Millisecond
+	}
+	if sc.Width <= 0 {
+		sc.Width = 48
+	}
+	if sc.Height <= 0 {
+		sc.Height = 48
+	}
+	if sc.ProbeBudget <= 0 {
+		sc.ProbeBudget = 2 * time.Second
+	}
+	return sc
+}
+
+// timelineItem interleaves script events (sample == nil semantics via ev)
+// with periodic samples.
+type timelineItem struct {
+	at  time.Duration
+	seq int // authoring order for stable ties; samples sort after events
+	ev  *Event
+}
+
+// Run executes the scenario and returns its Result. Structural failures
+// (an event erroring, an unknown alias) return an error; invariant breaches
+// are collected in Result.Violations for Verify to judge.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	e := &Engine{
+		sc:       sc,
+		epoch:    time.Unix(0, 0).UTC(),
+		sessions: make(map[string]*steering.ManagedSession),
+		detach:   make(map[string][]func()),
+		lastSeq:  make(map[string]uint64),
+		res: &Result{
+			Scenario: sc.Name,
+			Frames:   make(map[string]uint64),
+			Renders:  make(map[string]int),
+			Reopts:   make(map[string]int),
+			Adapts:   make(map[string]int),
+		},
+	}
+	e.clk = clock.NewVirtual(e.epoch)
+	e.clk.SetWatchdog(2 * time.Minute)
+	e.mgr = steering.NewSessionManager(steering.ManagerConfig{
+		MaxSessions:       64,
+		Seed:              sc.Seed,
+		Clock:             e.clk,
+		ProbeInterval:     sc.ProbeInterval,
+		ProbeLinksPerTick: sc.ProbeLinksPerTick,
+		ProbeBudget:       sc.ProbeBudget,
+		ReoptimizeEvery:   sc.ReoptimizeEvery,
+		AdaptTolerance:    sc.AdaptTolerance,
+		AdaptWindow:       sc.AdaptWindow,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = e.mgr.Shutdown(ctx)
+	}()
+	if sc.ProbeInterval > 0 {
+		e.waiters = 1 // the background Prober
+	}
+	e.clk.AwaitArmed(e.waiters)
+
+	fmt.Fprintf(&e.log, "scenario=%s seed=%d duration=%s frame=%s probe=%s\n",
+		sc.Name, sc.Seed, fmtD(sc.Duration), fmtD(sc.FramePeriod), fmtD(sc.ProbeInterval))
+
+	// Merge script events with the sampling schedule.
+	var items []timelineItem
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if ev.At < 0 || ev.At > sc.Duration {
+			return nil, fmt.Errorf("scenario %s: event %q at %s outside [0, %s]",
+				sc.Name, ev.Name, fmtD(ev.At), fmtD(sc.Duration))
+		}
+		items = append(items, timelineItem{at: ev.At, seq: i, ev: ev})
+	}
+	for at := sc.SampleEvery; at < sc.Duration; at += sc.SampleEvery {
+		items = append(items, timelineItem{at: at, seq: len(sc.Events)})
+	}
+	items = append(items, timelineItem{at: sc.Duration, seq: len(sc.Events)})
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].at != items[j].at {
+			return items[i].at < items[j].at
+		}
+		return items[i].seq < items[j].seq
+	})
+
+	for _, it := range items {
+		e.clk.AdvanceTo(e.epoch.Add(it.at))
+		if it.ev != nil {
+			fmt.Fprintf(&e.log, "t=%s ev=%s\n", fmtD(it.at), it.ev.Name)
+			if err := it.ev.Apply(e); err != nil {
+				return nil, fmt.Errorf("scenario %s: event %q at %s: %w",
+					sc.Name, it.ev.Name, fmtD(it.at), err)
+			}
+			// Population may have changed (session churn): rendezvous so the
+			// next advance sees every control goroutine parked.
+			e.clk.AwaitArmed(e.waiters)
+		} else {
+			e.sample(it.at)
+		}
+	}
+
+	for _, alias := range e.aliases {
+		if s := e.sessions[alias]; s != nil {
+			e.recordFinal(alias, s)
+		}
+	}
+	cmm := e.mgr.CM()
+	e.res.Restamps = cmm.Restamps()
+	e.res.Adaptations = cmm.Adaptations()
+	e.res.ProbeEpoch = cmm.ProbeEpoch()
+	e.res.CacheStats = cmm.CacheStats()
+	fmt.Fprintf(&e.log, "end restamps=%d adaptations=%d epoch=%d cache=%d/%d violations=%d\n",
+		e.res.Restamps, e.res.Adaptations, e.res.ProbeEpoch,
+		e.res.CacheStats.Hits, e.res.CacheStats.Misses, len(e.res.Violations))
+	for _, v := range e.res.Violations {
+		fmt.Fprintf(&e.log, "violation %s\n", v)
+	}
+	e.res.Log = e.log.Bytes()
+	return e.res, nil
+}
+
+// recordFinal captures a session's counters into the Result.
+func (e *Engine) recordFinal(alias string, s *steering.ManagedSession) {
+	st := s.Status()
+	e.res.Frames[alias] = st["frame_seq"].(uint64)
+	e.res.Renders[alias] = st["renders"].(int)
+	e.res.Reopts[alias] = st["reoptimizations"].(int)
+	e.res.Adapts[alias] = st["adaptations"].(int)
+}
+
+// sample logs one metrics row per live session (alias order) plus the
+// control-plane counters, checking the engine-level invariants.
+func (e *Engine) sample(at time.Duration) {
+	cmm := e.mgr.CM()
+	cs := cmm.CacheStats()
+	fmt.Fprintf(&e.log, "t=%s sample epoch=%d restamps=%d adaptations=%d cache=%d/%d sessions=%d\n",
+		fmtD(at), cmm.ProbeEpoch(), cmm.Restamps(), cmm.Adaptations(),
+		cs.Hits, cs.Misses, e.mgr.Len())
+	for _, alias := range e.aliases {
+		s := e.sessions[alias]
+		if s == nil {
+			continue
+		}
+		st := s.Status()
+		row := SampleRow{
+			At:      at,
+			Alias:   alias,
+			Seq:     st["frame_seq"].(uint64),
+			Renders: st["renders"].(int),
+			Viewers: st["viewers"].(int),
+			Reopts:  st["reoptimizations"].(int),
+			Adapts:  st["adaptations"].(int),
+		}
+		row.Predicted, row.Estimated, row.True = -1, -1, -1
+		if pipe, src, placements, predicted, ok := s.Mapping(); ok {
+			row.Predicted = predicted
+			row.Estimated = e.slowest(placements, func(pl []string) (float64, error) {
+				return cmm.PredictPlacement(pipe, src, pl)
+			})
+			tg := e.truthGraph()
+			row.True = e.slowest(placements, func(pl []string) (float64, error) {
+				return pipeline.EvaluatePlacement(tg, pipe, src, pl)
+			})
+		}
+		if p, ok := st["vrt_path"].([]string); ok {
+			row.Path = fmt.Sprintf("%v", p)
+		}
+		if last, seen := e.lastSeq[alias]; seen && row.Seq < last {
+			e.Violate("t=%s %s frame seq regressed %d -> %d", fmtD(at), alias, last, row.Seq)
+		}
+		e.lastSeq[alias] = row.Seq
+		e.res.Samples = append(e.res.Samples, row)
+		fmt.Fprintf(&e.log, "t=%s %s seq=%d renders=%d viewers=%d reopts=%d adapts=%d pred=%s est=%s true=%s path=%s\n",
+			fmtD(at), alias, row.Seq, row.Renders, row.Viewers, row.Reopts, row.Adapts,
+			fmtF(row.Predicted), fmtF(row.Estimated), fmtF(row.True), row.Path)
+	}
+}
+
+// slowest re-prices every branch placement and returns the governing
+// (maximum) delay, +Inf when any branch no longer evaluates.
+func (e *Engine) slowest(placements [][]string, price func([]string) (float64, error)) float64 {
+	worst := 0.0
+	for _, pl := range placements {
+		d, err := price(pl)
+		if err != nil {
+			return math.Inf(1)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// truthGraph prices the emulated network's *current* ground truth — each
+// channel's effective (cross-traffic-scaled) bandwidth and configured
+// delay — on the CM's node inventory. Dark channels get an epsilon
+// bandwidth so placements over them price as effectively unreachable
+// rather than dividing by zero.
+func (e *Engine) truthGraph() *pipeline.Graph {
+	g := e.mgr.Graph()
+	tg := pipeline.NewGraph(g.Nodes...)
+	for _, l := range e.Network().Links() {
+		for _, ch := range []*netsim.Channel{l.AB, l.BA} {
+			bw := ch.EffectiveBandwidth()
+			if ch.Down() {
+				bw = 1
+			}
+			tg.AddEdge(g.NodeIndex(ch.From.Name), g.NodeIndex(ch.To.Name),
+				bw, ch.Config().Delay.Seconds())
+		}
+	}
+	return tg
+}
+
+func fmtD(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }
+
+// fmtF renders a delay deterministically, including the sentinel and
+// unreachable cases.
+func fmtF(v float64) string {
+	switch {
+	case v < 0:
+		return "none"
+	case math.IsInf(v, 1):
+		return "inf"
+	default:
+		return fmt.Sprintf("%.4fs", v)
+	}
+}

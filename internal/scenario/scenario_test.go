@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"ricsa/internal/netsim"
+	"ricsa/internal/testutil"
+)
+
+// TestScenarioSuite is the acceptance gate for the canned suite: every
+// scenario runs twice, must satisfy its own Verify both times, and must
+// produce byte-identical logs — the engine's determinism contract. Runs are
+// parallel across scenarios (each owns its clock, manager, and network).
+// Under -race the determinism re-run is skipped (race instrumentation makes
+// the sim-stepping scenarios ~15x slower and the byte-compare adds nothing
+// the plain run doesn't already enforce — CI's no-race step runs this test
+// un-instrumented); the race job still executes every scenario once.
+func TestScenarioSuite(t *testing.T) {
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			first, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Verify == nil {
+				t.Fatal("canned scenario without a Verify")
+			}
+			if err := sc.Verify(first); err != nil {
+				t.Logf("log:\n%s", first.Log)
+				t.Fatalf("verify: %v", err)
+			}
+			if testutil.RaceEnabled {
+				return
+			}
+			second, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Verify(second); err != nil {
+				t.Fatalf("verify (second run): %v", err)
+			}
+			if !bytes.Equal(first.Log, second.Log) {
+				a, b := first.Log, second.Log
+				i := 0
+				for i < len(a) && i < len(b) && a[i] == b[i] {
+					i++
+				}
+				lo := i - 120
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("same seed, diverging logs at byte %d:\n run1: …%s\n run2: …%s",
+					i, a[lo:min(i+120, len(a))], b[lo:min(i+120, len(b))])
+			}
+		})
+	}
+}
+
+// TestScenarioNoGoroutineLeak runs the most churn-heavy scenario and checks
+// the process returns to its baseline goroutine population after Shutdown —
+// no leaked session loops, prober, or timers.
+func TestScenarioNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	if _, err := Run(FlashCrowd()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines %d > baseline %d after shutdown\n%s",
+				runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEngineEventErrors pins the structural-failure path: unknown aliases
+// and links fail the run instead of being silently skipped.
+func TestEngineEventErrors(t *testing.T) {
+	t.Parallel()
+	_, err := Run(Scenario{
+		Name:     "bad-alias",
+		Duration: time.Second,
+		Events:   []Event{ViewersJoin(0, "ghost", 1)},
+	})
+	if err == nil {
+		t.Fatal("unknown alias accepted")
+	}
+	_, err = Run(Scenario{
+		Name:     "bad-link",
+		Duration: time.Second,
+		Events:   []Event{LinkDown(0, netsim.ORNL, netsim.GaTech+"x")},
+	})
+	if err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	_, err = Run(Scenario{
+		Name:     "late-event",
+		Duration: time.Second,
+		Events:   []Event{Remeasure(2 * time.Second)},
+	})
+	if err == nil {
+		t.Fatal("event beyond Duration accepted")
+	}
+}
+
+// TestSessionChurnReleasesSlots pins that scripted session churn flows
+// through the live manager's slot accounting.
+func TestSessionChurnReleasesSlots(t *testing.T) {
+	t.Parallel()
+	var mid, end int
+	sc := Scenario{
+		Name:     "churn-accounting",
+		Seed:     3,
+		Duration: 4 * time.Second,
+		Events: []Event{
+			StartSession(0, "a", sessionRequest(netsim.GaTech, netsim.ORNL)),
+			StartSession(time.Second, "b", sessionRequest(netsim.OSU, netsim.ORNL)),
+			{At: 2 * time.Second, Name: "check-mid",
+				Apply: func(e *Engine) error { mid = e.Mgr().Len(); return nil }},
+			StopSession(3*time.Second, "b"),
+			{At: 3500 * time.Millisecond, Name: "check-end",
+				Apply: func(e *Engine) error { end = e.Mgr().Len(); return nil }},
+		},
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != 2 || end != 1 {
+		t.Fatalf("live sessions mid=%d end=%d, want 2 and 1", mid, end)
+	}
+	if r.Frames["b"] == 0 {
+		t.Fatal("stopped session lost its final counters")
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+}

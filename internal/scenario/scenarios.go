@@ -1,0 +1,327 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ricsa/internal/netsim"
+	"ricsa/internal/steering"
+)
+
+// The canned scenario suite: each maps a WAN misbehaviour class from the
+// paper's Section 5.3.2 adaptation story onto a deterministic script. All
+// run as plain `go test` cases (scenario_test.go) and, at longer soak
+// durations, via `ricsa-bench -exp scenario`.
+
+// sessionRequest is the suite's standard monitoring request: a small Sod
+// grid so per-frame work is control-dominated, endpoints per the caller.
+func sessionRequest(src string, dsts ...string) steering.Request {
+	req := steering.DefaultRequest()
+	req.SourceNode = src
+	if len(dsts) == 1 {
+		req.ClientNode = dsts[0]
+		req.ClientNodes = nil
+	} else {
+		req.ClientNode = ""
+		req.ClientNodes = dsts
+	}
+	req.NX, req.NY, req.NZ = 16, 8, 8
+	req.StepsPerFrame = 1
+	req.BlockEdge = 4
+	return req
+}
+
+// routedRequest is the fault scenarios' request: the paper's full-size grid,
+// large enough that transfer cost drives the optimizer through the UT/NCState
+// compute sites — the paths the scripts then degrade.
+func routedRequest(src string, dsts ...string) steering.Request {
+	req := sessionRequest(src, dsts...)
+	req.NX, req.NY, req.NZ = 48, 48, 48
+	req.BlockEdge = 8
+	return req
+}
+
+// row returns the last sample row for alias at or before at (nil if none).
+func row(r *Result, alias string, at time.Duration) *SampleRow {
+	var best *SampleRow
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		if s.Alias == alias && s.At <= at {
+			best = s
+		}
+	}
+	return best
+}
+
+// SteadyState: two sessions on a healthy WAN with the Prober running. The
+// baseline every fault scenario implicitly diffs against: pacing holds, the
+// tolerance gate absorbs cross-traffic wobble, and nothing adapts.
+func SteadyState() Scenario {
+	return Scenario{
+		Name:          "steady-state",
+		Description:   "healthy WAN, two sessions, prober on: frames flow, no adaptations",
+		Seed:          11,
+		Duration:      30 * time.Second,
+		ProbeInterval: 500 * time.Millisecond,
+		Events: []Event{
+			StartSession(0, "s1", sessionRequest(netsim.GaTech, netsim.ORNL)),
+			StartSession(500*time.Millisecond, "s2", sessionRequest(netsim.OSU, netsim.ORNL)),
+		},
+		Verify: func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			if r.Adaptations != 0 {
+				return fmt.Errorf("healthy run adapted %d times", r.Adaptations)
+			}
+			for _, a := range []string{"s1", "s2"} {
+				if r.Frames[a] < 30 {
+					return fmt.Errorf("%s produced only %d frames", a, r.Frames[a])
+				}
+				if r.Reopts[a] < 2 {
+					return fmt.Errorf("%s consulted the CM only %d times", a, r.Reopts[a])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// LinkDegradeAndAdapt: the session's fast path collapses to 2% capacity
+// mid-run; the Prober's EWMA walks the estimate down until the drift
+// re-stamps the graph and the Adapter forces a re-optimization off the
+// degraded path.
+func LinkDegradeAndAdapt() Scenario {
+	return Scenario{
+		Name:              "link-degrade-and-adapt",
+		Description:       "GaTech-UT collapses to 2%: prober detects, adapter re-optimizes",
+		Seed:              7,
+		Duration:          40 * time.Second,
+		ProbeInterval:     500 * time.Millisecond,
+		ProbeLinksPerTick: 4,
+		// Scheduled reopts off (first consult aside): reconfiguration must
+		// come from the Adapter noticing the drift, as in Section 5.3.2.
+		ReoptimizeEvery: 1 << 20,
+		Events: []Event{
+			StartSession(0, "s1", routedRequest(netsim.GaTech, netsim.ORNL)),
+			ScaleLink(8*time.Second, netsim.GaTech, netsim.UT, 0.02),
+		},
+		Verify: func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			if r.Restamps == 0 {
+				return fmt.Errorf("collapse never re-stamped the graph")
+			}
+			if r.Adapts["s1"] == 0 {
+				return fmt.Errorf("adapter never fired (reopts=%d restamps=%d)", r.Reopts["s1"], r.Restamps)
+			}
+			final := row(r, "s1", r.Samples[len(r.Samples)-1].At)
+			if final == nil || final.Estimated < 0 {
+				return fmt.Errorf("no final mapping estimate")
+			}
+			return nil
+		},
+	}
+}
+
+// LinkFlapStorm: the fast path flaps dark/up repeatedly. Probes into the
+// dark phases time out on the probe budget and mark the edge repulsive; the
+// stack must survive the storm with monotone frames and keep re-stamping.
+func LinkFlapStorm() Scenario {
+	events := []Event{
+		StartSession(0, "s1", routedRequest(netsim.GaTech, netsim.ORNL)),
+	}
+	events = append(events, LinkFlaps(6*time.Second, netsim.GaTech, netsim.UT, 3, 3*time.Second)...)
+	return Scenario{
+		Name:              "link-flap-storm",
+		Description:       "GaTech-UT flaps dark 3x: probe timeouts, restamps, no wedge",
+		Seed:              23,
+		Duration:          36 * time.Second,
+		ProbeInterval:     250 * time.Millisecond,
+		ProbeLinksPerTick: 4,
+		ProbeBudget:       time.Second,
+		Events:            events,
+		Verify: func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			if r.Restamps < 2 {
+				return fmt.Errorf("storm produced only %d restamps", r.Restamps)
+			}
+			if r.Frames["s1"] < 20 {
+				return fmt.Errorf("session starved during the storm: %d frames", r.Frames["s1"])
+			}
+			mid := row(r, "s1", 18*time.Second)
+			end := row(r, "s1", r.Duration())
+			if mid == nil || end == nil || end.Seq <= mid.Seq {
+				return fmt.Errorf("frames stopped advancing after the storm")
+			}
+			return nil
+		},
+	}
+}
+
+// FlashCrowd: session churn plus a 40-viewer crowd arriving on one session.
+// Lazy rendering must switch eager only while the crowd is present, and the
+// crowd must not perturb the other sessions' control behaviour.
+func FlashCrowd() Scenario {
+	return Scenario{
+		Name:          "flash-crowd",
+		Description:   "session churn + 40 viewers join one session, then leave",
+		Seed:          5,
+		Duration:      30 * time.Second,
+		ProbeInterval: 500 * time.Millisecond,
+		Events: []Event{
+			StartSession(0, "s1", sessionRequest(netsim.GaTech, netsim.ORNL)),
+			StartSession(4*time.Second, "s2", sessionRequest(netsim.OSU, netsim.ORNL)),
+			StartSession(5*time.Second, "s3", sessionRequest(netsim.GaTech, netsim.ORNL, netsim.UT)),
+			ViewersJoin(8*time.Second, "s1", 40),
+			ViewersLeave(16*time.Second, "s1", 40),
+			StopSession(20*time.Second, "s2"),
+			StopSession(22*time.Second, "s3"),
+		},
+		Verify: func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			before := row(r, "s1", 8*time.Second)
+			during := row(r, "s1", 16*time.Second)
+			after := row(r, "s1", r.Duration())
+			if before == nil || during == nil || after == nil {
+				return fmt.Errorf("missing samples")
+			}
+			if during.Renders <= before.Renders {
+				return fmt.Errorf("crowd did not trigger eager rendering: %d -> %d renders",
+					before.Renders, during.Renders)
+			}
+			// After the crowd leaves, rendering goes lazy again: at most one
+			// straggler render (a frame in flight at departure).
+			if after.Renders > during.Renders+1 {
+				return fmt.Errorf("lazy rendering did not resume: %d -> %d renders",
+					during.Renders, after.Renders)
+			}
+			if after.Seq <= during.Seq {
+				return fmt.Errorf("frames stopped after the crowd left")
+			}
+			if r.Frames["s2"] == 0 || r.Frames["s3"] == 0 {
+				return fmt.Errorf("churned sessions produced no frames")
+			}
+			return nil
+		},
+	}
+}
+
+// ProbeStarvedDrift: the Prober is off, so when the WAN quietly degrades
+// the CM's estimates go stale — predictions stay rosy while ground truth
+// drifts, and nothing adapts. A forced remeasure snaps the estimates back
+// and the Adapter fires. This is the scenario that justifies continuous
+// probing.
+func ProbeStarvedDrift() Scenario {
+	return Scenario{
+		Name:            "probe-starved-drift",
+		Description:     "prober off: truth drifts from stale estimates until a forced remeasure",
+		Seed:            13,
+		Duration:        34 * time.Second,
+		ReoptimizeEvery: 1 << 20, // adapter-only reconfiguration
+		Events: []Event{
+			StartSession(0, "s1", routedRequest(netsim.GaTech, netsim.ORNL)),
+			ScaleLink(6*time.Second, netsim.GaTech, netsim.UT, 0.1),
+			ScaleLink(6*time.Second, netsim.UT, netsim.ORNL, 0.1),
+			Remeasure(22 * time.Second),
+		},
+		Verify: func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			stale := row(r, "s1", 20*time.Second)
+			if stale == nil {
+				return fmt.Errorf("missing pre-remeasure sample")
+			}
+			if stale.Adapts != 0 {
+				return fmt.Errorf("adapter fired at %s with no probes to see the drift", fmtD(stale.At))
+			}
+			// The drift is invisible to the CM (estimate tracks prediction)
+			// but visible in ground truth.
+			if stale.Estimated > stale.Predicted*1.2 {
+				return fmt.Errorf("stale estimate moved without probes: pred=%g est=%g",
+					stale.Predicted, stale.Estimated)
+			}
+			if stale.True < stale.Estimated*1.5 {
+				return fmt.Errorf("ground truth did not drift: est=%g true=%g",
+					stale.Estimated, stale.True)
+			}
+			if r.Adapts["s1"] == 0 {
+				return fmt.Errorf("remeasure did not trigger adaptation")
+			}
+			if r.Restamps == 0 {
+				return fmt.Errorf("remeasure did not re-stamp the graph")
+			}
+			return nil
+		},
+	}
+}
+
+// NodeFailure: the UT compute site fails outright — every link touching it
+// goes dark — and later recovers. Probes time out, the optimizer routes
+// around the dead site, and the mapping must not name UT while it is down.
+func NodeFailure() Scenario {
+	return Scenario{
+		Name:              "node-failure",
+		Description:       "UT fails: probes time out, mapping re-routes around the dead site",
+		Seed:              31,
+		Duration:          38 * time.Second,
+		ProbeInterval:     400 * time.Millisecond,
+		ProbeLinksPerTick: 4,
+		ProbeBudget:       time.Second,
+		ReoptimizeEvery:   1 << 20, // adapter-only reconfiguration
+		Events: []Event{
+			StartSession(0, "s1", routedRequest(netsim.GaTech, netsim.ORNL)),
+			NodeDown(8*time.Second, netsim.UT),
+			NodeUp(26*time.Second, netsim.UT),
+		},
+		Verify: func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			if r.Adapts["s1"] == 0 {
+				return fmt.Errorf("node failure never forced an adaptation")
+			}
+			// By late in the outage the installed mapping must avoid UT.
+			late := row(r, "s1", 24*time.Second)
+			if late == nil {
+				return fmt.Errorf("missing outage sample")
+			}
+			if strings.Contains(late.Path, netsim.UT) {
+				return fmt.Errorf("mapping still routes via the dead site at %s: %s", fmtD(late.At), late.Path)
+			}
+			if end := row(r, "s1", r.Duration()); end == nil || end.Seq <= late.Seq {
+				return fmt.Errorf("frames stopped after recovery")
+			}
+			return nil
+		},
+	}
+}
+
+// All returns the canned suite in a stable order.
+func All() []Scenario {
+	return []Scenario{
+		SteadyState(),
+		LinkDegradeAndAdapt(),
+		LinkFlapStorm(),
+		FlashCrowd(),
+		ProbeStarvedDrift(),
+		NodeFailure(),
+	}
+}
+
+// ByName returns the named canned scenario.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}

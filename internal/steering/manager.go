@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/cm"
 	"ricsa/internal/grid"
 	"ricsa/internal/netsim"
@@ -68,6 +69,14 @@ type ManagerConfig struct {
 	// defaults).
 	AdaptTolerance float64
 	AdaptWindow    int
+	// ProbeBudget bounds each probe transfer in virtual time (<= 0 selects
+	// the cm default); scenario runs with dark links tighten it.
+	ProbeBudget time.Duration
+	// Clock paces every control loop of the service — the CM's background
+	// Prober and each session's frame loop. nil selects the wall clock;
+	// the scenario engine injects a clock.Virtual to run the whole live
+	// stack deterministically.
+	Clock clock.Clock
 }
 
 // SessionManager owns the live sessions of one RICSA service instance. The
@@ -77,6 +86,7 @@ type ManagerConfig struct {
 type SessionManager struct {
 	cfg ManagerConfig
 	cm  *cm.Manager
+	clk clock.Clock
 
 	// optFn/optMultiFn are the CM consultation entry points, split out as
 	// fields so tests can inject optimizer failures; they default to the
@@ -109,8 +119,12 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall()
+	}
 	m := &SessionManager{
 		cfg:      cfg,
+		clk:      cfg.Clock,
 		sessions: make(map[string]*ManagedSession),
 	}
 	m.cm = cm.New(managerTestbed(cfg.Seed), cm.Config{
@@ -121,6 +135,8 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 		DeviationTolerance: cfg.AdaptTolerance,
 		DeviationWindow:    cfg.AdaptWindow,
 		CacheCapacity:      cfg.CacheCapacity,
+		ProbeBudget:        cfg.ProbeBudget,
+		Clock:              cfg.Clock,
 	})
 	m.optFn = m.cm.Optimize
 	m.optMultiFn = m.cm.OptimizeMulti
@@ -415,18 +431,19 @@ func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) 
 // standing in for physical transfer.
 func (s *ManagedSession) run() {
 	defer close(s.done)
-	start := time.Now()
+	clk := s.mgr.clk
+	start := clk.Now()
 	s.produce()
-	timer := time.NewTimer(s.nextDelay(time.Since(start)))
+	timer := clk.NewTimer(s.nextDelay(clk.Since(start)))
 	defer timer.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-timer.C:
-			start = time.Now()
+		case <-timer.C():
+			start = clk.Now()
 			s.produce()
-			timer.Reset(s.nextDelay(time.Since(start)))
+			timer.Reset(s.nextDelay(clk.Since(start)))
 		}
 	}
 }
@@ -880,6 +897,29 @@ func (s *ManagedSession) Tree() *pipeline.VRTree {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tree.Clone()
+}
+
+// Mapping returns the installed mapping's cost inputs for external
+// re-pricing — the scenario engine's frame-delay-vs-prediction invariant
+// re-evaluates placements under both the CM's estimate graph and the
+// emulated network's ground truth. It reports the pipeline model, the
+// source node, one placement per delivery branch (a single-viewer session
+// has exactly one), and the at-install predicted delay. ok is false before
+// the first successful consultation. The returned pipeline and placements
+// are live references treated as immutable by all holders.
+func (s *ManagedSession) Mapping() (pipe *pipeline.Pipeline, src string, placements [][]string, predicted float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pipe == nil {
+		return nil, "", nil, 0, false
+	}
+	switch {
+	case s.tree != nil:
+		return s.pipe, s.req.SourceNode, s.places, s.tree.Delay, true
+	case s.vrt != nil:
+		return s.pipe, s.req.SourceNode, [][]string{s.place}, s.vrt.Delay, true
+	}
+	return nil, "", nil, 0, false
 }
 
 // Renders reports how many frames were actually rendered; with lazy

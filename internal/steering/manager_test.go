@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/netsim"
 )
 
@@ -242,42 +243,45 @@ func TestRemeasureNoopIsCacheHit(t *testing.T) {
 // TestPredictedDelayChargedToPacing verifies the live frame loop charges
 // the installed mapping's predicted delay: a session on a collapsed
 // network (whose VRT predicts a multi-second delivery) publishes far fewer
-// frames than an identical session on the healthy testbed.
+// frames than an identical session on the healthy testbed. The whole run is
+// on a virtual clock, so both frame counts are exact — no sleeps, no
+// tolerance for scheduler jitter.
 func TestPredictedDelayChargedToPacing(t *testing.T) {
 	req := smallRequest()
 	req.NX, req.NY, req.NZ = 64, 32, 32 // big enough that transfer delay dominates
 
-	frameRate := func(m *SessionManager) (frames uint64, predicted float64) {
+	frameRate := func(degrade bool) (frames uint64, predicted float64) {
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		m := NewSessionManager(ManagerConfig{
+			MaxSessions: 1, ReoptimizeEvery: 2, Seed: 42, Clock: clk,
+		})
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			m.Shutdown(ctx)
+		}()
+		if degrade {
+			for _, l := range m.CM().Network().Links() {
+				l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
+				l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
+			}
+			m.CM().MeasureAll()
+		}
 		s, err := m.CreateTuned(req, 3*time.Millisecond, 48, 48)
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitUntil(t, "first consultation", func() bool { return s.Reoptimizations() >= 1 })
+		clk.AwaitArmed(1) // first produce done (it consults: pipe == nil), timer parked
 		vrt := s.VRT()
 		if vrt == nil {
-			t.Fatal("no mapping installed")
+			t.Fatal("no mapping installed after the first frame")
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		start, _, err := s.WaitFrame(ctx, 0)
-		cancel()
-		if err != nil {
-			t.Fatal(err)
-		}
-		time.Sleep(700 * time.Millisecond)
-		st := s.Status()
-		return st["frame_seq"].(uint64) - start, vrt.Delay
+		clk.Advance(700 * time.Millisecond)
+		return s.Status()["frame_seq"].(uint64), vrt.Delay
 	}
 
-	healthy := testManager(t, 1)
-	fastFrames, fastDelay := frameRate(healthy)
-
-	degraded := testManager(t, 1)
-	for _, l := range degraded.CM().Network().Links() {
-		l.AB.SetBandwidth(l.AB.Config().Bandwidth * 0.02)
-		l.BA.SetBandwidth(l.BA.Config().Bandwidth * 0.02)
-	}
-	degraded.CM().MeasureAll()
-	slowFrames, slowDelay := frameRate(degraded)
+	fastFrames, fastDelay := frameRate(false)
+	slowFrames, slowDelay := frameRate(true)
 
 	if slowDelay <= fastDelay {
 		t.Fatalf("degraded VRT predicts %.3fs, not above healthy %.3fs", slowDelay, fastDelay)

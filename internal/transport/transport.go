@@ -19,6 +19,7 @@ package transport
 import (
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/netsim"
 )
 
@@ -67,6 +68,14 @@ type Config struct {
 	// channel through a Demux. Flows with different IDs ignore each
 	// other's datagrams and feedback.
 	FlowID int
+	// Seed drives the real-UDP endpoints' random processes (injected loss)
+	// so loopback runs are reproducible. 0 derives a seed from the clock —
+	// the historical unseeded behaviour.
+	Seed int64
+	// Clock paces the real-UDP endpoints' control loops (burst sleeps, ACK
+	// and Robbins-Monro steps). nil selects the wall clock. The virtual
+	// netsim transport ignores it: its clock is the emulated network's.
+	Clock clock.Clock
 }
 
 // DefaultConfig returns parameters suitable for control channels of a few
@@ -132,6 +141,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RetransHold <= 0 {
 		c.RetransHold = d.RetransHold
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Wall()
 	}
 }
 

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ricsa/internal/clock"
 )
 
 // This file runs the Section 3 protocol over real UDP sockets (the paper's
@@ -22,16 +23,11 @@ import (
 //	data: 'D' | seq uint64 | payload padding to Config.PacketSize
 //	ack:  'A' | cumAck uint64 | goodput float64 | n uint16 | n x seq uint64
 
-const (
-	magicData = 'D'
-	magicAck  = 'A'
-	dataHdr   = 9
-)
-
 // UDPReceiver is the receiving endpoint of the real-UDP transport.
 type UDPReceiver struct {
 	conn *net.UDPConn
 	cfg  Config
+	clk  clock.Clock
 
 	mu       sync.Mutex
 	peer     *net.UDPAddr
@@ -65,11 +61,16 @@ func ListenUDP(addr string, cfg Config) (*UDPReceiver, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.Clock.Now().UnixNano()
+	}
 	r := &UDPReceiver{
 		conn:    conn,
 		cfg:     cfg,
+		clk:     cfg.Clock,
 		pending: make(map[uint64]bool),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:     rand.New(rand.NewSource(seed)),
 		stop:    make(chan struct{}),
 	}
 	return r, nil
@@ -80,7 +81,7 @@ func (r *UDPReceiver) Addr() string { return r.conn.LocalAddr().String() }
 
 // Start launches the datagram reader and the periodic ACK clock.
 func (r *UDPReceiver) Start() {
-	r.lastTick = time.Now()
+	r.lastTick = r.clk.Now()
 	r.done.Add(2)
 	go r.readLoop()
 	go r.ackLoop()
@@ -119,10 +120,10 @@ func (r *UDPReceiver) readLoop() {
 		if err != nil {
 			return // closed
 		}
-		if n < dataHdr || buf[0] != magicData {
+		seq, ok := parseData(buf[:n])
+		if !ok {
 			continue
 		}
-		seq := binary.LittleEndian.Uint64(buf[1:9])
 		r.mu.Lock()
 		r.peer = addr
 		if r.InjectLoss > 0 && r.rng.Float64() < r.InjectLoss {
@@ -155,21 +156,24 @@ func (r *UDPReceiver) onData(seq uint64) {
 
 func (r *UDPReceiver) ackLoop() {
 	defer r.done.Done()
-	tick := time.NewTicker(r.cfg.AckInterval)
-	defer tick.Stop()
+	// Timer + Reset rather than a ticker: the re-arm is the quiescence edge
+	// a virtual clock's rendezvous observes (see package clock).
+	timer := r.clk.NewTimer(r.cfg.AckInterval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-r.stop:
 			return
-		case <-tick.C:
+		case <-timer.C():
 			r.emitAck()
+			timer.Reset(r.cfg.AckInterval)
 		}
 	}
 }
 
 func (r *UDPReceiver) emitAck() {
 	r.mu.Lock()
-	now := time.Now()
+	now := r.clk.Now()
 	dt := now.Sub(r.lastTick)
 	var g float64
 	if dt > 0 {
@@ -194,15 +198,7 @@ func (r *UDPReceiver) emitAck() {
 	if peer == nil {
 		return
 	}
-	pkt := make([]byte, 1+8+8+2+8*len(nacks))
-	pkt[0] = magicAck
-	binary.LittleEndian.PutUint64(pkt[1:], cum)
-	binary.LittleEndian.PutUint64(pkt[9:], math.Float64bits(g))
-	binary.LittleEndian.PutUint16(pkt[17:], uint16(len(nacks)))
-	for i, s := range nacks {
-		binary.LittleEndian.PutUint64(pkt[19+8*i:], s)
-	}
-	r.conn.WriteToUDP(pkt, peer)
+	r.conn.WriteToUDP(appendAck(nil, cum, g, nacks), peer)
 }
 
 // UDPSender is the transmitting endpoint: burst Wc datagrams, sleep Ts,
@@ -210,6 +206,7 @@ func (r *UDPReceiver) emitAck() {
 type UDPSender struct {
 	conn *net.UDPConn
 	cfg  Config
+	clk  clock.Clock
 
 	mu         sync.Mutex
 	sleep      time.Duration
@@ -242,6 +239,7 @@ func DialUDP(raddr string, cfg Config) (*UDPSender, error) {
 	return &UDPSender{
 		conn:      conn,
 		cfg:       cfg,
+		clk:       cfg.Clock,
 		sleep:     cfg.InitialSleep,
 		inRetrans: make(map[uint64]bool),
 		lastSent:  make(map[uint64]time.Time),
@@ -251,7 +249,7 @@ func DialUDP(raddr string, cfg Config) (*UDPSender, error) {
 
 // Start launches the burst loop, the ACK reader, and the update clock.
 func (s *UDPSender) Start() {
-	s.start = time.Now()
+	s.start = s.clk.Now()
 	s.done.Add(3)
 	go s.burstLoop()
 	go s.ackLoop()
@@ -286,7 +284,7 @@ func (s *UDPSender) Sleep() time.Duration {
 func (s *UDPSender) burstLoop() {
 	defer s.done.Done()
 	buf := make([]byte, s.cfg.PacketSize)
-	buf[0] = magicData
+	var timer clock.Timer
 	for {
 		select {
 		case <-s.stop:
@@ -307,23 +305,27 @@ func (s *UDPSender) burstLoop() {
 		s.mu.Unlock()
 
 		for _, seq := range seqs {
-			binary.LittleEndian.PutUint64(buf[1:], seq)
+			putDataHeader(buf, seq)
 			if _, err := s.conn.Write(buf); err != nil {
 				return
 			}
 		}
-		timer := time.NewTimer(sleep)
+		if timer == nil {
+			timer = s.clk.NewTimer(sleep)
+			defer timer.Stop()
+		} else {
+			timer.Reset(sleep)
+		}
 		select {
 		case <-s.stop:
-			timer.Stop()
 			return
-		case <-timer.C:
+		case <-timer.C():
 		}
 	}
 }
 
 func (s *UDPSender) pickSeqLocked() (uint64, bool) {
-	now := time.Now()
+	now := s.clk.Now()
 	for len(s.retransmit) > 0 {
 		seq := s.retransmit[0]
 		s.retransmit = s.retransmit[1:]
@@ -351,16 +353,11 @@ func (s *UDPSender) ackLoop() {
 		if err != nil {
 			return
 		}
-		if n < 19 || buf[0] != magicAck {
+		cum, g, nacks, ok := parseAck(buf[:n])
+		if !ok {
 			continue
 		}
-		cum := binary.LittleEndian.Uint64(buf[1:])
-		g := math.Float64frombits(binary.LittleEndian.Uint64(buf[9:]))
-		cnt := int(binary.LittleEndian.Uint16(buf[17:]))
-		if 19+8*cnt > n {
-			continue
-		}
-		now := time.Now()
+		now := s.clk.Now()
 		s.mu.Lock()
 		if cum > s.cumAck {
 			for seq := range s.lastSent {
@@ -375,8 +372,7 @@ func (s *UDPSender) ackLoop() {
 		} else {
 			s.gEst += s.cfg.Smoothing * (g - s.gEst)
 		}
-		for i := 0; i < cnt; i++ {
-			seq := binary.LittleEndian.Uint64(buf[19+8*i:])
+		for _, seq := range nacks {
 			if seq < s.cumAck || s.inRetrans[seq] {
 				continue
 			}
@@ -392,14 +388,15 @@ func (s *UDPSender) ackLoop() {
 
 func (s *UDPSender) updateLoop() {
 	defer s.done.Done()
-	tick := time.NewTicker(s.cfg.UpdateInterval)
-	defer tick.Stop()
+	timer := s.clk.NewTimer(s.cfg.UpdateInterval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-tick.C:
+		case <-timer.C():
 			s.update()
+			timer.Reset(s.cfg.UpdateInterval)
 		}
 	}
 }
@@ -429,7 +426,7 @@ func (s *UDPSender) update() {
 	}
 	s.sleep = newSleep
 	s.trace = append(s.trace, Sample{
-		At:      time.Since(s.start),
+		At:      s.clk.Since(s.start),
 		Goodput: s.gEst,
 		Sleep:   s.sleep,
 		Window:  s.cfg.Window,
@@ -457,7 +454,7 @@ func RunStabilizedUDP(cfg Config, dur time.Duration, injectLoss float64) ([]Samp
 		return nil, err
 	}
 	snd.Start()
-	time.Sleep(dur)
+	snd.clk.Sleep(dur)
 	snd.Stop()
 
 	tr := snd.Trace()

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file is the real-UDP transport's wire codec, split out of the socket
+// loops so the datagram formats are fuzzable in isolation. Layout (little
+// endian), as documented in udp.go:
+//
+//	data: 'D' | seq uint64 | payload padding to Config.PacketSize
+//	ack:  'A' | cumAck uint64 | goodput float64 | n uint16 | n x seq uint64
+
+const (
+	magicData = 'D'
+	magicAck  = 'A'
+	dataHdr   = 1 + 8
+	ackHdr    = 1 + 8 + 8 + 2
+)
+
+// maxAckNacks is the decoder's hard bound on the NACK list length, over any
+// configured MaxNacksPerAck: a 16-bit count field could otherwise promise
+// 64k entries and trick the decoder into reading past a truncated packet's
+// length check via overflow-adjacent arithmetic. 64 KiB datagrams cap real
+// lists far below this.
+const maxAckNacks = 8 << 10
+
+// putDataHeader stamps a data datagram's header into buf (len >= dataHdr);
+// the rest of buf is payload padding.
+func putDataHeader(buf []byte, seq uint64) {
+	buf[0] = magicData
+	binary.LittleEndian.PutUint64(buf[1:], seq)
+}
+
+// parseData extracts the sequence number of a data datagram. ok is false
+// for truncated or foreign packets.
+func parseData(pkt []byte) (seq uint64, ok bool) {
+	if len(pkt) < dataHdr || pkt[0] != magicData {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(pkt[1:9]), true
+}
+
+// appendAck encodes a feedback packet: cumulative ACK, receiver-measured
+// goodput, and the NACK list (truncated to maxAckNacks).
+func appendAck(dst []byte, cum uint64, goodput float64, nacks []uint64) []byte {
+	if len(nacks) > maxAckNacks {
+		nacks = nacks[:maxAckNacks]
+	}
+	n := len(dst)
+	dst = append(dst, make([]byte, ackHdr+8*len(nacks))...)
+	pkt := dst[n:]
+	pkt[0] = magicAck
+	binary.LittleEndian.PutUint64(pkt[1:], cum)
+	binary.LittleEndian.PutUint64(pkt[9:], math.Float64bits(goodput))
+	binary.LittleEndian.PutUint16(pkt[17:], uint16(len(nacks)))
+	for i, s := range nacks {
+		binary.LittleEndian.PutUint64(pkt[ackHdr+8*i:], s)
+	}
+	return dst
+}
+
+// parseAck decodes a feedback packet. ok is false for truncated, foreign,
+// or internally inconsistent packets (a count promising more NACKs than the
+// datagram carries); trailing garbage after a consistent packet is
+// tolerated, matching the historical reader. The returned NACK slice aliases
+// pkt only through fresh storage — callers may retain it.
+func parseAck(pkt []byte) (cum uint64, goodput float64, nacks []uint64, ok bool) {
+	if len(pkt) < ackHdr || pkt[0] != magicAck {
+		return 0, 0, nil, false
+	}
+	cum = binary.LittleEndian.Uint64(pkt[1:9])
+	goodput = math.Float64frombits(binary.LittleEndian.Uint64(pkt[9:17]))
+	cnt := int(binary.LittleEndian.Uint16(pkt[17:19]))
+	if cnt > maxAckNacks || ackHdr+8*cnt > len(pkt) {
+		return 0, 0, nil, false
+	}
+	if cnt > 0 {
+		nacks = make([]uint64, cnt)
+		for i := range nacks {
+			nacks[i] = binary.LittleEndian.Uint64(pkt[ackHdr+8*i:])
+		}
+	}
+	return cum, goodput, nacks, true
+}

@@ -153,13 +153,23 @@ func TestCollabAnonymousClientsShareDefaultView(t *testing.T) {
 	src := newCollab(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	seq, png1, err := src.WaitFrame(ctx, 0)
+	// Wait for a first dataset, then freeze the producer: comparing two
+	// fetches against a live 5ms loop races the next advance (the second
+	// fetch may legitimately render a newer dataset and differ).
+	if _, _, err := src.WaitFrame(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	src.Stop()
+	seq1, png1, err := src.WaitFrame(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, png2, err := src.WaitFrame(ctx, seq-1)
+	seq2, png2, err := src.WaitFrame(ctx, seq1-1)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if seq1 != seq2 {
+		t.Fatalf("frozen source advanced: %d -> %d", seq1, seq2)
 	}
 	if !bytes.Equal(png1, png2) {
 		t.Fatal("anonymous clients should share the default view")
