@@ -18,6 +18,7 @@ import (
 	"ricsa/internal/pipeline"
 	"ricsa/internal/simengine"
 	"ricsa/internal/steering"
+	"ricsa/internal/telemetry"
 	"ricsa/internal/transport"
 	"ricsa/internal/viz"
 	"ricsa/internal/viz/marchingcubes"
@@ -423,6 +424,26 @@ func BenchmarkFrameProduceTotal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		frame()
+	}
+}
+
+// BenchmarkTelemetryRecord is the per-frame observability overhead: one
+// fully populated FrameRecord through counters + batching, with a sink
+// that retains nothing (the production shape — drop, never buffer). Must
+// stay 0 allocs/op warm; `ricsa-bench -bench-diff` gates the ns/op.
+func BenchmarkTelemetryRecord(b *testing.B) {
+	col := telemetry.NewCollector(telemetry.SinkFunc(func([]telemetry.FrameRecord) {}), 0)
+	rec := telemetry.FrameRecord{
+		Session: "s1", SimNS: 100, RenderNS: 200, EncodeNS: 50,
+		ProduceNS: 400, QueueWaitNS: 10, Branches: 2, Rendered: true,
+	}
+	rec.Delivery[0], rec.Delivery[1] = 300, 900
+	col.RecordFrame(&rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Seq = uint64(i)
+		col.RecordFrame(&rec)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"ricsa/internal/pipeline"
 	"ricsa/internal/simengine"
 	"ricsa/internal/steering"
+	"ricsa/internal/telemetry"
 	"ricsa/internal/viz"
 	"ricsa/internal/viz/marchingcubes"
 	"ricsa/internal/viz/render"
@@ -81,7 +82,24 @@ func frameBenches() []benchRow {
 	var produceSc viz.FrameScratch
 	var produceField *grid.ScalarField
 
+	// The observability tax per frame: counters + batch append through the
+	// collector with a no-op sink (the production shape). Warm path must be
+	// allocation-flat — the AllocsPerRun test in internal/telemetry pins 0.
+	col := telemetry.NewCollector(telemetry.SinkFunc(func([]telemetry.FrameRecord) {}), 0)
+	rec := telemetry.FrameRecord{
+		Session: "s1", SimNS: 100, RenderNS: 200, EncodeNS: 50,
+		ProduceNS: 400, QueueWaitNS: 10, Branches: 2, Rendered: true,
+	}
+	rec.Delivery[0], rec.Delivery[1] = 300, 900
+	col.RecordFrame(&rec)
+
 	return []benchRow{
+		{"telemetry_record", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec.Seq = uint64(i)
+				col.RecordFrame(&rec)
+			}
+		}},
 		{"frame_sim_step", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim.Step()

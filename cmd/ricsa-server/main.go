@@ -8,7 +8,14 @@
 // installed mapping deviates past -adapt-tolerance for -adapt-window
 // consecutive frames are re-optimized early. GET /api/cm exposes the
 // control-plane state (probe epoch, per-edge staleness, adaptation
-// counters).
+// counters); GET /metrics exports the Prometheus text exposition
+// (per-frame stage timings, session/viewer/overload counters).
+//
+// Overload behavior is explicit: past -max-sessions creation replies 429;
+// past the -frame-budget watermark (each session charging
+// -frame-cost/period utilization) it replies 503; viewers more than
+// -max-viewer-lag frames behind the live edge are evicted with a 503 that
+// tells the client to back off and re-join.
 //
 // Point any browser at the listen address for the session list; each
 // session page streams frames to any number of concurrent viewers and
@@ -71,6 +78,16 @@ func main() {
 		"fractional delay deviation that counts a frame as degraded")
 	adaptWindow := flag.Int("adapt-window", 2,
 		"consecutive degraded frames before a session is re-optimized early")
+	frameBudget := flag.Float64("frame-budget", 0,
+		"admission watermark: total frame-production utilization admitted "+
+			"sessions may sum to (0 disables; each session charges "+
+			"frame-cost/period)")
+	frameCost := flag.Duration("frame-cost", 0,
+		"nominal production cost of one frame charged against -frame-budget "+
+			"(0 disables the watermark)")
+	maxViewerLag := flag.Int("max-viewer-lag", 0,
+		"frames a viewer may fall behind the live edge before it is evicted "+
+			"(0 disables slow-consumer eviction)")
 	noBootstrap := flag.Bool("no-bootstrap", false, "do not create the default session at startup")
 	flag.Parse()
 
@@ -82,6 +99,9 @@ func main() {
 		ProbeTolerance:    *probeTolerance,
 		AdaptTolerance:    *adaptTolerance,
 		AdaptWindow:       *adaptWindow,
+		FrameBudget:       *frameBudget,
+		FrameCost:         *frameCost,
+		MaxViewerLag:      *maxViewerLag,
 	})
 
 	if !*noBootstrap {

@@ -152,8 +152,9 @@ type Manager struct {
 	epoch  uint64 // probe ticks + full sweeps completed
 	cursor int    // round-robin position for ProbeTick
 
-	restamps    uint64 // graph revisions published after the initial one
-	adaptations uint64 // Adapter-triggered re-optimizations
+	restamps      uint64 // graph revisions published after the initial one
+	adaptations   uint64 // Adapter-triggered re-optimizations
+	probeTimeouts uint64 // probe transfers abandoned at the probe budget
 
 	proberStop chan struct{}
 	proberDone chan struct{}
@@ -262,6 +263,9 @@ func (m *Manager) measureAllLocked(sizes []int, repeats int) {
 	m.epoch++
 	for _, st := range m.edges {
 		est := cost.MeasureEPBBounded(st.ch, sizes, repeats, m.cfg.ProbeBudget)
+		if est.TimedOut {
+			m.probeTimeouts++
+		}
 		// Full sweeps are authoritative: adopt raw values so a genuinely
 		// changed network converges in one sweep instead of EWMA steps.
 		// (TimedOut estimates carry the collapse bound in EPB/MinDelay, so
@@ -296,6 +300,7 @@ func (m *Manager) ProbeTick() bool {
 		m.cursor = (m.cursor + 1) % len(m.edges)
 		est := cost.MeasureEPBBounded(st.ch, m.cfg.ProbeSizes, m.cfg.ProbeRepeats, m.cfg.ProbeBudget)
 		if est.TimedOut {
+			m.probeTimeouts++
 			// The probe never completed: the link is dark or collapsed.
 			// Adopt the timeout's collapse bound raw — a dead edge must be
 			// repulsive after its first re-probe, not after an EWMA glide.

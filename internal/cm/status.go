@@ -16,17 +16,18 @@ type EdgeStatus struct {
 // Status is the Manager's observable state, shaped for the web control
 // plane (GET /api/cm).
 type Status struct {
-	ProbeEpoch   uint64       `json:"probe_epoch"`
-	GraphRev     uint64       `json:"graph_rev"`
-	Restamps     uint64       `json:"restamps"`
-	Adaptations  uint64       `json:"adaptations"`
-	Tolerance    float64      `json:"tolerance"`
-	Nodes        int          `json:"nodes"`
-	NodeNames    []string     `json:"node_names"`
-	Edges        []EdgeStatus `json:"edges"`
-	CacheHits    uint64       `json:"cache_hits"`
-	CacheMisses  uint64       `json:"cache_misses"`
-	CacheEntries int          `json:"cache_entries"`
+	ProbeEpoch    uint64       `json:"probe_epoch"`
+	GraphRev      uint64       `json:"graph_rev"`
+	Restamps      uint64       `json:"restamps"`
+	Adaptations   uint64       `json:"adaptations"`
+	ProbeTimeouts uint64       `json:"probe_timeouts"`
+	Tolerance     float64      `json:"tolerance"`
+	Nodes         int          `json:"nodes"`
+	NodeNames     []string     `json:"node_names"`
+	Edges         []EdgeStatus `json:"edges"`
+	CacheHits     uint64       `json:"cache_hits"`
+	CacheMisses   uint64       `json:"cache_misses"`
+	CacheEntries  int          `json:"cache_entries"`
 }
 
 // Status snapshots the control-plane view.
@@ -35,15 +36,16 @@ func (m *Manager) Status() Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Status{
-		ProbeEpoch:   m.epoch,
-		Restamps:     m.restamps,
-		Adaptations:  m.adaptations,
-		Tolerance:    m.cfg.Tolerance,
-		Nodes:        len(m.nodes),
-		NodeNames:    make([]string, 0, len(m.nodes)),
-		CacheHits:    cs.Hits,
-		CacheMisses:  cs.Misses,
-		CacheEntries: cs.Entries,
+		ProbeEpoch:    m.epoch,
+		Restamps:      m.restamps,
+		Adaptations:   m.adaptations,
+		ProbeTimeouts: m.probeTimeouts,
+		Tolerance:     m.cfg.Tolerance,
+		Nodes:         len(m.nodes),
+		NodeNames:     make([]string, 0, len(m.nodes)),
+		CacheHits:     cs.Hits,
+		CacheMisses:   cs.Misses,
+		CacheEntries:  cs.Entries,
 	}
 	if m.graph != nil {
 		st.GraphRev = m.graph.Rev
@@ -88,4 +90,12 @@ func (m *Manager) Restamps() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.restamps
+}
+
+// ProbeTimeouts reports how many probe transfers were abandoned at the
+// configured probe budget — the dark-link detection events.
+func (m *Manager) ProbeTimeouts() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.probeTimeouts
 }

@@ -37,6 +37,51 @@ func ViewersLeave(at time.Duration, alias string, n int) Event {
 		Apply: func(e *Engine) error { return e.DetachViewers(alias, n) }}
 }
 
+// TryStartSession attempts to start a session and logs the admission
+// outcome instead of failing the scenario — the load-soak primitive for
+// driving the manager past its watermark on purpose.
+func TryStartSession(at time.Duration, alias string, req steering.Request) Event {
+	return Event{At: at,
+		Name:  fmt.Sprintf("try-start-session alias=%s src=%s dst=%v sim=%s", alias, req.SourceNode, req.Destinations(), req.Simulator),
+		Apply: func(e *Engine) error { return e.TryStartSession(at, alias, req) }}
+}
+
+// TrackViewers attaches n tracked (evictable) viewers to the aliased
+// session. Unlike ViewersJoin's presence-only attach, these are subject to
+// the slow-consumer policy: a tracked viewer that stops polling falls
+// behind and is evicted once its lag exceeds MaxViewerLag.
+func TrackViewers(at time.Duration, alias string, n int) Event {
+	return Event{At: at, Name: fmt.Sprintf("track-viewers alias=%s n=%d", alias, n),
+		Apply: func(e *Engine) error { return e.TrackViewers(alias, n) }}
+}
+
+// PollViewers polls every live tracked viewer of the given aliases once —
+// the scripted stand-in for a browser's long-poll round. Viewers found
+// evicted are pruned and counted; the outcome is logged so the soak's
+// eviction dynamics are part of the determinism contract.
+func PollViewers(at time.Duration, aliases ...string) Event {
+	name := "poll-viewers"
+	if n := len(aliases); n > 0 {
+		name = fmt.Sprintf("poll-viewers %s..%s n=%d", aliases[0], aliases[n-1], n)
+	}
+	return Event{At: at, Name: name, Apply: func(e *Engine) error {
+		delivered, evicted, err := e.PollViewersNow(aliases)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&e.log, "t=%s polled sessions=%d delivered=%d evicted=%d\n",
+			fmtD(at), len(aliases), delivered, evicted)
+		return nil
+	}}
+}
+
+// CloseViewers closes n tracked viewers of the aliased session — the
+// well-behaved disconnect path, counted as detached rather than evicted.
+func CloseViewers(at time.Duration, alias string, n int) Event {
+	return Event{At: at, Name: fmt.Sprintf("close-viewers alias=%s n=%d", alias, n),
+		Apply: func(e *Engine) error { return e.CloseViewersNow(alias, n) }}
+}
+
 // Steer applies steering parameters to the aliased session.
 func Steer(at time.Duration, alias string, params map[string]float64) Event {
 	keys := make([]string, 0, len(params))

@@ -26,6 +26,7 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 	"ricsa/internal/steering"
+	"ricsa/internal/telemetry"
 )
 
 // Scenario is a declarative script: a seeded live-stack configuration, a
@@ -70,6 +72,16 @@ type Scenario struct {
 	ReoptimizeEvery int
 	AdaptTolerance  float64
 	AdaptWindow     int
+	// MaxSessions caps live sessions (default 64). The overload scenarios
+	// raise it so the FrameBudget watermark, not the hard cap, is the
+	// binding admission control.
+	MaxSessions int
+	// FrameBudget / FrameCost configure the admission watermark and
+	// MaxViewerLag the slow-consumer eviction threshold, as in
+	// steering.ManagerConfig (zero values disable them).
+	FrameBudget  float64
+	FrameCost    time.Duration
+	MaxViewerLag int
 	// Events is the script, in any order; the engine sorts by At (ties keep
 	// authoring order, and run before the sample at the same instant).
 	Events []Event
@@ -120,6 +132,19 @@ type Result struct {
 	Adaptations uint64
 	ProbeEpoch  uint64
 	CacheStats  pipeline.CacheStats
+	// Telemetry is the service collector's final counter snapshot, taken
+	// at quiescence before shutdown. The overload scenarios reconcile it
+	// against the engine-side ground truth below.
+	Telemetry telemetry.CounterSnapshot
+	// Engine-observed overload ground truth: admission outcomes counted at
+	// the TryStartSession/StartSession call sites, viewers the script
+	// attached/closed, and evictions the script's polls observed.
+	Admitted         int
+	RejectedLimit    int
+	RejectedOverload int
+	ViewersTracked   int
+	ViewersClosed    int
+	EvictedObserved  int
 	// Samples holds every SampleRow in order.
 	Samples []SampleRow
 	// Violations are engine-detected invariant breaches (non-monotone frame
@@ -148,8 +173,13 @@ type Engine struct {
 	aliases  []string
 	sessions map[string]*steering.ManagedSession
 	detach   map[string][]func()
-	lastSeq  map[string]uint64
-	res      *Result
+	// viewers holds the script's tracked (evictable) viewers per alias.
+	// They are event-driven data structures, not goroutines: a scripted
+	// viewer consumes via Poll at scripted instants, so it never parks on
+	// the clock and the deterministic schedule is unchanged.
+	viewers map[string][]*steering.Viewer
+	lastSeq map[string]uint64
+	res     *Result
 }
 
 // Mgr exposes the live service under test.
@@ -179,7 +209,8 @@ func (e *Engine) Session(alias string) (*steering.ManagedSession, error) {
 
 // StartSession creates a live session under the scenario's pacing and
 // registers it under alias. Its lifecycle goroutine becomes part of the
-// deterministic schedule.
+// deterministic schedule. A rejected admission is a structural failure;
+// overload scripts use TryStartSession instead.
 func (e *Engine) StartSession(alias string, req steering.Request) error {
 	if _, dup := e.sessions[alias]; dup {
 		return fmt.Errorf("scenario: duplicate session alias %q", alias)
@@ -188,9 +219,38 @@ func (e *Engine) StartSession(alias string, req steering.Request) error {
 	if err != nil {
 		return err
 	}
+	e.res.Admitted++
 	e.aliases = append(e.aliases, alias)
 	e.sessions[alias] = s
 	e.waiters++
+	return nil
+}
+
+// TryStartSession is StartSession with admission rejections treated as an
+// expected outcome: the outcome (admitted, or which typed rejection) is
+// logged and counted in the Result, and only unexpected errors fail the
+// run. This is how the overload scenarios drive the watermark.
+func (e *Engine) TryStartSession(at time.Duration, alias string, req steering.Request) error {
+	if _, dup := e.sessions[alias]; dup {
+		return fmt.Errorf("scenario: duplicate session alias %q", alias)
+	}
+	s, err := e.mgr.CreateTuned(req, e.sc.FramePeriod, e.sc.Width, e.sc.Height)
+	switch {
+	case err == nil:
+		e.res.Admitted++
+		e.aliases = append(e.aliases, alias)
+		e.sessions[alias] = s
+		e.waiters++
+		fmt.Fprintf(&e.log, "t=%s admit alias=%s ok\n", fmtD(at), alias)
+	case errors.Is(err, steering.ErrOverloaded):
+		e.res.RejectedOverload++
+		fmt.Fprintf(&e.log, "t=%s admit alias=%s rejected=overload\n", fmtD(at), alias)
+	case errors.Is(err, steering.ErrSessionLimit):
+		e.res.RejectedLimit++
+		fmt.Fprintf(&e.log, "t=%s admit alias=%s rejected=limit\n", fmtD(at), alias)
+	default:
+		return err
+	}
 	return nil
 }
 
@@ -206,6 +266,13 @@ func (e *Engine) StopSession(alias string) error {
 		d()
 	}
 	delete(e.detach, alias)
+	for _, v := range e.viewers[alias] {
+		if !v.Evicted() {
+			v.Close()
+			e.res.ViewersClosed++
+		}
+	}
+	delete(e.viewers, alias)
 	if err := e.mgr.Destroy(s.ID); err != nil {
 		return err
 	}
@@ -224,6 +291,69 @@ func (e *Engine) AttachViewers(alias string, n int) error {
 	for i := 0; i < n; i++ {
 		e.detach[alias] = append(e.detach[alias], s.Attach())
 	}
+	return nil
+}
+
+// TrackViewers attaches n tracked (evictable) viewers to the aliased
+// session. Unlike AttachViewers' presence-only attach, these are subject
+// to the slow-consumer policy: the script must keep polling them via
+// PollViewers or the session evicts them at MaxViewerLag.
+func (e *Engine) TrackViewers(alias string, n int) error {
+	s, err := e.Session(alias)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		e.viewers[alias] = append(e.viewers[alias], s.AttachViewer())
+	}
+	e.res.ViewersTracked += n
+	return nil
+}
+
+// PollViewersNow polls every tracked viewer of the given aliases in
+// order, the scripted stand-in for a long-poll client consuming frames.
+// It returns how many polls delivered a new frame and how many viewers
+// were discovered evicted (and pruned); any other error is structural.
+func (e *Engine) PollViewersNow(aliases []string) (delivered, evicted int, err error) {
+	for _, alias := range aliases {
+		vs := e.viewers[alias]
+		alive := vs[:0]
+		for _, v := range vs {
+			seq, _, perr := v.Poll()
+			switch {
+			case errors.Is(perr, steering.ErrViewerEvicted):
+				evicted++
+				continue
+			case perr != nil:
+				return delivered, evicted, fmt.Errorf("poll %s: %w", alias, perr)
+			case seq > 0:
+				delivered++
+			}
+			alive = append(alive, v)
+		}
+		e.viewers[alias] = alive
+	}
+	e.res.EvictedObserved += evicted
+	return delivered, evicted, nil
+}
+
+// CloseViewersNow closes up to n tracked viewers of the aliased session
+// (client-initiated detach, as opposed to eviction).
+func (e *Engine) CloseViewersNow(alias string, n int) error {
+	if _, err := e.Session(alias); err != nil {
+		return err
+	}
+	vs := e.viewers[alias]
+	for n > 0 && len(vs) > 0 {
+		v := vs[len(vs)-1]
+		vs = vs[:len(vs)-1]
+		if !v.Evicted() {
+			v.Close()
+			e.res.ViewersClosed++
+			n--
+		}
+	}
+	e.viewers[alias] = vs
 	return nil
 }
 
@@ -289,6 +419,7 @@ func Run(sc Scenario) (*Result, error) {
 		epoch:    time.Unix(0, 0).UTC(),
 		sessions: make(map[string]*steering.ManagedSession),
 		detach:   make(map[string][]func()),
+		viewers:  make(map[string][]*steering.Viewer),
 		lastSeq:  make(map[string]uint64),
 		res: &Result{
 			Scenario: sc.Name,
@@ -300,8 +431,12 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	e.clk = clock.NewVirtual(e.epoch)
 	e.clk.SetWatchdog(2 * time.Minute)
+	maxSessions := sc.MaxSessions
+	if maxSessions <= 0 {
+		maxSessions = 64
+	}
 	e.mgr = steering.NewSessionManager(steering.ManagerConfig{
-		MaxSessions:       64,
+		MaxSessions:       maxSessions,
 		Seed:              sc.Seed,
 		Clock:             e.clk,
 		ProbeInterval:     sc.ProbeInterval,
@@ -310,6 +445,9 @@ func Run(sc Scenario) (*Result, error) {
 		ReoptimizeEvery:   sc.ReoptimizeEvery,
 		AdaptTolerance:    sc.AdaptTolerance,
 		AdaptWindow:       sc.AdaptWindow,
+		FrameBudget:       sc.FrameBudget,
+		FrameCost:         sc.FrameCost,
+		MaxViewerLag:      sc.MaxViewerLag,
 	})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
@@ -371,9 +509,18 @@ func Run(sc Scenario) (*Result, error) {
 	e.res.Adaptations = cmm.Adaptations()
 	e.res.ProbeEpoch = cmm.ProbeEpoch()
 	e.res.CacheStats = cmm.CacheStats()
+	// Snapshot the service counters at quiescence, before the deferred
+	// Shutdown destroys the surviving sessions — so SessionsDestroyed
+	// reconciles against the script's StopSession count.
+	e.res.Telemetry = e.mgr.Telemetry().Snapshot()
+	tel := e.res.Telemetry
 	fmt.Fprintf(&e.log, "end restamps=%d adaptations=%d epoch=%d cache=%d/%d violations=%d\n",
 		e.res.Restamps, e.res.Adaptations, e.res.ProbeEpoch,
 		e.res.CacheStats.Hits, e.res.CacheStats.Misses, len(e.res.Violations))
+	fmt.Fprintf(&e.log, "end telemetry admitted=%d rejected=%d/%d destroyed=%d viewers=%d/%d/%d frames=%d rendered=%d\n",
+		tel.SessionsAdmitted, tel.SessionsRejectedLimit, tel.SessionsRejectedOverload,
+		tel.SessionsDestroyed, tel.ViewersAttached, tel.ViewersDetached, tel.ViewersEvicted,
+		tel.FramesProduced, tel.FramesRendered)
 	for _, v := range e.res.Violations {
 		fmt.Fprintf(&e.log, "violation %s\n", v)
 	}
@@ -395,9 +542,12 @@ func (e *Engine) recordFinal(alias string, s *steering.ManagedSession) {
 func (e *Engine) sample(at time.Duration) {
 	cmm := e.mgr.CM()
 	cs := cmm.CacheStats()
-	fmt.Fprintf(&e.log, "t=%s sample epoch=%d restamps=%d adaptations=%d cache=%d/%d sessions=%d\n",
+	tel := e.mgr.Telemetry().Snapshot()
+	fmt.Fprintf(&e.log, "t=%s sample epoch=%d restamps=%d adaptations=%d cache=%d/%d sessions=%d admitted=%d rejected=%d/%d evicted=%d frames=%d\n",
 		fmtD(at), cmm.ProbeEpoch(), cmm.Restamps(), cmm.Adaptations(),
-		cs.Hits, cs.Misses, e.mgr.Len())
+		cs.Hits, cs.Misses, e.mgr.Len(),
+		tel.SessionsAdmitted, tel.SessionsRejectedLimit, tel.SessionsRejectedOverload,
+		tel.ViewersEvicted, tel.FramesProduced)
 	for _, alias := range e.aliases {
 		s := e.sessions[alias]
 		if s == nil {

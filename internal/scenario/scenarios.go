@@ -304,6 +304,210 @@ func NodeFailure() Scenario {
 	}
 }
 
+// soakAliases returns the aliases s<lo>..s<hi> inclusive.
+func soakAliases(lo, hi int) []string {
+	out := make([]string, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, fmt.Sprintf("s%d", i))
+	}
+	return out
+}
+
+// soakWant is a load-soak's hand-computed expected outcome. Every quantity
+// is checked three ways where possible: the telemetry counter, the
+// engine-side ground truth counted at the script's call sites, and the
+// constant derived from the scenario's admission arithmetic.
+type soakWant struct {
+	admitted         int
+	rejectedOverload int
+	rejectedLimit    int
+	destroyed        int
+	attached         int
+	evicted          int
+	detached         int
+	minFrames        uint64
+}
+
+// soakVerify reconciles a soak Result against soakWant: service telemetry
+// == script ground truth == expected constants, and per-session frame
+// counters sum exactly to the collector's FramesProduced/FramesRendered.
+func soakVerify(w soakWant) func(*Result) error {
+	return func(r *Result) error {
+		if len(r.Violations) != 0 {
+			return fmt.Errorf("violations: %v", r.Violations)
+		}
+		t := r.Telemetry
+		checks := []struct {
+			name   string
+			tel    uint64
+			engine int
+			want   int
+		}{
+			{"admitted", t.SessionsAdmitted, r.Admitted, w.admitted},
+			{"rejected-overload", t.SessionsRejectedOverload, r.RejectedOverload, w.rejectedOverload},
+			{"rejected-limit", t.SessionsRejectedLimit, r.RejectedLimit, w.rejectedLimit},
+			{"viewers-attached", t.ViewersAttached, r.ViewersTracked, w.attached},
+			{"viewers-evicted", t.ViewersEvicted, r.EvictedObserved, w.evicted},
+			{"viewers-detached", t.ViewersDetached, r.ViewersClosed, w.detached},
+		}
+		for _, c := range checks {
+			if c.tel != uint64(c.engine) || c.engine != c.want {
+				return fmt.Errorf("%s: telemetry=%d engine=%d want=%d", c.name, c.tel, c.engine, c.want)
+			}
+		}
+		// Destroyed is snapshot before the deferred Shutdown, so it counts
+		// exactly the script's StopSession calls.
+		if t.SessionsDestroyed != uint64(w.destroyed) {
+			return fmt.Errorf("destroyed: telemetry=%d want=%d", t.SessionsDestroyed, w.destroyed)
+		}
+		var frames uint64
+		for _, n := range r.Frames {
+			frames += n
+		}
+		if frames != t.FramesProduced {
+			return fmt.Errorf("frame reconciliation: sessions saw %d, telemetry recorded %d", frames, t.FramesProduced)
+		}
+		var renders int
+		for _, n := range r.Renders {
+			renders += n
+		}
+		if uint64(renders) != t.FramesRendered {
+			return fmt.Errorf("render reconciliation: sessions saw %d, telemetry recorded %d", renders, t.FramesRendered)
+		}
+		if t.FramesProduced < w.minFrames {
+			return fmt.Errorf("soak produced only %d frames (want >= %d)", t.FramesProduced, w.minFrames)
+		}
+		if t.FramesRendered == 0 {
+			return fmt.Errorf("no frame was eager-rendered despite tracked viewers")
+		}
+		if t.StageProduceNS <= 0 || t.StageSimNS <= 0 {
+			return fmt.Errorf("stage timings missing: produce=%dns sim=%dns", t.StageProduceNS, t.StageSimNS)
+		}
+		if t.RecordsDropped != 0 {
+			return fmt.Errorf("counters-only collector dropped %d records", t.RecordsDropped)
+		}
+		return nil
+	}
+}
+
+// LoadSoak: the overload headline. 200 admission attempts race a frame
+// budget that fits 160 sessions (FrameCost/FramePeriod = 0.1 utilization
+// each against a 16.0 budget), 2000 tracked viewers attach, and only the
+// first 40 sessions' viewers keep polling — the other 1000 viewers stall
+// and must all be evicted at MaxViewerLag. Mid-run the script destroys 10
+// sessions and proves the watermark refunds their load by admitting
+// exactly 10 of 15 late arrivals. Everything is scripted on the virtual
+// clock, so admission outcomes, eviction counts, and the reconciliation
+// between telemetry counters and engine ground truth are byte-identical
+// per seed.
+func LoadSoak() Scenario {
+	var events []Event
+	req := sessionRequest(netsim.GaTech, netsim.ORNL)
+	// Wave 1: 200 attempts at 10ms spacing. 160 fit under the watermark.
+	for i := 1; i <= 200; i++ {
+		events = append(events, TryStartSession(time.Duration(i-1)*10*time.Millisecond,
+			fmt.Sprintf("s%d", i), req))
+	}
+	// 25 tracked viewers on each of the first 80 admitted sessions.
+	for i := 1; i <= 80; i++ {
+		events = append(events, TrackViewers(2500*time.Millisecond, fmt.Sprintf("s%d", i), 25))
+	}
+	// s1..s40's viewers poll every second; s41..s80's never do.
+	polled := soakAliases(1, 40)
+	for at := 3 * time.Second; at <= 11*time.Second; at += time.Second {
+		events = append(events, PollViewers(at, polled...))
+	}
+	// Churn: free 10 admission slots (1.0 of load), then probe the refund
+	// with 15 more attempts — exactly 10 must be admitted.
+	for i := 151; i <= 160; i++ {
+		events = append(events, StopSession(8*time.Second, fmt.Sprintf("s%d", i)))
+	}
+	for i := 201; i <= 215; i++ {
+		events = append(events, TryStartSession(8500*time.Millisecond+time.Duration(i-201)*10*time.Millisecond,
+			fmt.Sprintf("s%d", i), req))
+	}
+	events = append(events,
+		CloseViewers(10500*time.Millisecond, "s1", 5),
+		// Reap: polling the stalled sessions' viewers observes every eviction.
+		PollViewers(11500*time.Millisecond, soakAliases(41, 80)...),
+	)
+	return Scenario{
+		Name:         "load-soak",
+		Description:  "200 admissions vs a 160-session frame budget, 2000 viewers vs slow-consumer eviction",
+		Seed:         42,
+		Duration:     12 * time.Second,
+		SampleEvery:  3 * time.Second,
+		FramePeriod:  200 * time.Millisecond,
+		MaxSessions:  300, // watermark, not the hard cap, must bind
+		FrameBudget:  16.0,
+		FrameCost:    20 * time.Millisecond,
+		MaxViewerLag: 16,
+		Events:       events,
+		Verify: soakVerify(soakWant{
+			admitted:         170, // 160 wave-1 + 10 refunded slots
+			rejectedOverload: 45,  // 40 wave-1 + 5 wave-2
+			destroyed:        10,
+			attached:         2000,
+			evicted:          1000, // s41..s80 x 25
+			detached:         5,
+			minFrames:        2000,
+		}),
+	}
+}
+
+// LoadSoakShort is the CI-sized soak: the same invariants as LoadSoak at a
+// tenth of the population, small enough for `go test -short -race`. Not in
+// All(); the suite substitutes it for load-soak under -short.
+func LoadSoakShort() Scenario {
+	var events []Event
+	req := sessionRequest(netsim.GaTech, netsim.ORNL)
+	for i := 1; i <= 30; i++ {
+		events = append(events, TryStartSession(time.Duration(i-1)*10*time.Millisecond,
+			fmt.Sprintf("s%d", i), req))
+	}
+	for i := 1; i <= 8; i++ {
+		events = append(events, TrackViewers(1500*time.Millisecond, fmt.Sprintf("s%d", i), 10))
+	}
+	polled := soakAliases(1, 4)
+	for at := 2 * time.Second; at <= 7*time.Second; at += time.Second {
+		events = append(events, PollViewers(at, polled...))
+	}
+	events = append(events,
+		StopSession(5*time.Second, "s19"),
+		StopSession(5*time.Second, "s20"),
+	)
+	for i := 31; i <= 34; i++ {
+		events = append(events, TryStartSession(5500*time.Millisecond+time.Duration(i-31)*10*time.Millisecond,
+			fmt.Sprintf("s%d", i), req))
+	}
+	events = append(events,
+		CloseViewers(6*time.Second, "s1", 3),
+		PollViewers(7500*time.Millisecond, soakAliases(5, 8)...),
+	)
+	return Scenario{
+		Name:         "load-soak-short",
+		Description:  "CI-sized load-soak: 30 admissions vs a 20-session budget, 80 viewers vs eviction",
+		Seed:         42,
+		Duration:     8 * time.Second,
+		SampleEvery:  2 * time.Second,
+		FramePeriod:  200 * time.Millisecond,
+		MaxSessions:  50,
+		FrameBudget:  2.0,
+		FrameCost:    20 * time.Millisecond,
+		MaxViewerLag: 8,
+		Events:       events,
+		Verify: soakVerify(soakWant{
+			admitted:         22, // 20 wave-1 + 2 refunded slots
+			rejectedOverload: 12, // 10 wave-1 + 2 wave-2
+			destroyed:        2,
+			attached:         80,
+			evicted:          40, // s5..s8 x 10
+			detached:         3,
+			minFrames:        300,
+		}),
+	}
+}
+
 // All returns the canned suite in a stable order.
 func All() []Scenario {
 	return []Scenario{
@@ -313,12 +517,14 @@ func All() []Scenario {
 		FlashCrowd(),
 		ProbeStarvedDrift(),
 		NodeFailure(),
+		LoadSoak(),
 	}
 }
 
-// ByName returns the named canned scenario.
+// ByName returns the named canned scenario. The CI-sized load-soak-short
+// variant is reachable by name without being part of the default suite.
 func ByName(name string) (Scenario, error) {
-	for _, sc := range All() {
+	for _, sc := range append(All(), LoadSoakShort()) {
 		if sc.Name == name {
 			return sc, nil
 		}

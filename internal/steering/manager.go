@@ -15,6 +15,7 @@ import (
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 	"ricsa/internal/simengine"
+	"ricsa/internal/telemetry"
 	"ricsa/internal/viz"
 )
 
@@ -38,6 +39,14 @@ var (
 	ErrNoSession = errors.New("steering: no such session")
 	// ErrShuttingDown is returned by Create after Shutdown began.
 	ErrShuttingDown = errors.New("steering: manager is shutting down")
+	// ErrOverloaded is returned by Create when admitting the session would
+	// push the service past its frame-budget watermark even though slots
+	// remain below -max-sessions. The web layer maps it to HTTP 503.
+	ErrOverloaded = errors.New("steering: service overloaded")
+	// ErrViewerEvicted is returned by a tracked Viewer's Wait/Poll after
+	// the slow-consumer policy evicted it for falling more than
+	// MaxViewerLag frames behind the live sequence.
+	ErrViewerEvicted = errors.New("steering: viewer evicted (too far behind frame stream)")
 )
 
 // ManagerConfig tunes a SessionManager.
@@ -72,6 +81,27 @@ type ManagerConfig struct {
 	// ProbeBudget bounds each probe transfer in virtual time (<= 0 selects
 	// the cm default); scenario runs with dark links tighten it.
 	ProbeBudget time.Duration
+	// FrameBudget is the admission-control watermark: every admitted
+	// session charges FrameCost/FramePeriod utilization units (the
+	// fraction of one core its frame production nominally occupies), and
+	// Create rejects with ErrOverloaded once the sum would exceed
+	// FrameBudget. The charge is fixed at admission from configuration, so
+	// the decision is deterministic and independent of probe state.
+	// <= 0 disables the watermark (the hard MaxSessions cap still holds).
+	FrameBudget float64
+	// FrameCost is the nominal production cost of one frame used by the
+	// FrameBudget watermark (<= 0 disables the watermark's charge).
+	FrameCost time.Duration
+	// MaxViewerLag is the slow-consumer eviction threshold: a tracked
+	// Viewer (AttachViewer) more than MaxViewerLag frames behind the live
+	// sequence is evicted at the next publish instead of the session
+	// buffering for it without bound. <= 0 disables eviction. Presence-only
+	// Attach viewers are exempt.
+	MaxViewerLag int
+	// Telemetry receives per-frame records and the service counters. nil
+	// creates a counters-only collector (no sink), so the counters are
+	// always live.
+	Telemetry *telemetry.Collector
 	// Clock paces every control loop of the service — the CM's background
 	// Prober and each session's frame loop. nil selects the wall clock;
 	// the scenario engine injects a clock.Virtual to run the whole live
@@ -94,10 +124,15 @@ type SessionManager struct {
 	optFn      func(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error)
 	optMultiFn func(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error)
 
+	tel *telemetry.Collector
+
 	mu       sync.Mutex
 	sessions map[string]*ManagedSession
 	nextID   uint64
 	closed   bool
+	// loadFrac is the admitted sessions' summed frame-budget utilization,
+	// maintained by Create/Destroy/Shutdown for the admission watermark.
+	loadFrac float64
 }
 
 // managerProbeSizes is the probe sweep the live service uses: two sizes
@@ -122,9 +157,13 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Wall()
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewCollector(nil, 0)
+	}
 	m := &SessionManager{
 		cfg:      cfg,
 		clk:      cfg.Clock,
+		tel:      cfg.Telemetry,
 		sessions: make(map[string]*ManagedSession),
 	}
 	m.cm = cm.New(managerTestbed(cfg.Seed), cm.Config{
@@ -176,6 +215,23 @@ func (m *SessionManager) Graph() *pipeline.Graph { return m.cm.Graph() }
 // CacheStats reports the shared optimizer cache counters.
 func (m *SessionManager) CacheStats() pipeline.CacheStats { return m.cm.CacheStats() }
 
+// Telemetry exposes the service's collector — counters for the web
+// layer's /metrics exposition and the scenario engine's ground-truth
+// reconciliation.
+func (m *SessionManager) Telemetry() *telemetry.Collector { return m.tel }
+
+// LoadFraction reports the admitted sessions' summed frame-budget
+// utilization — the quantity the admission watermark compares against
+// FrameBudget.
+func (m *SessionManager) LoadFraction() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loadFrac
+}
+
+// FrameBudget reports the configured admission watermark (0 = disabled).
+func (m *SessionManager) FrameBudget() float64 { return m.cfg.FrameBudget }
+
 // optimize is the CM entry point single-viewer sessions call: memoized DP
 // over the current graph from the named data source to the named client.
 func (m *SessionManager) optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error) {
@@ -214,15 +270,33 @@ func (m *SessionManager) CreateTuned(req Request, framePeriod time.Duration, wid
 	if height > 0 {
 		s.Height = height
 	}
+	// The session's watermark charge: the fraction of one core its frame
+	// production nominally occupies, fixed here at admission so the
+	// decision never depends on later probe or load state.
+	var util float64
+	if m.cfg.FrameBudget > 0 && m.cfg.FrameCost > 0 {
+		util = m.cfg.FrameCost.Seconds() / s.FramePeriod.Seconds()
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
 	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.tel.SessionsRejectedLimit.Add(1)
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d live)", ErrSessionLimit, m.cfg.MaxSessions)
 	}
+	if util > 0 && m.loadFrac+util > m.cfg.FrameBudget+1e-9 {
+		m.tel.SessionsRejectedOverload.Add(1)
+		load := m.loadFrac
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: load %.3f + %.3f exceeds frame budget %.3f",
+			ErrOverloaded, load, util, m.cfg.FrameBudget)
+	}
+	m.loadFrac += util
+	s.util = util
+	m.tel.SessionsAdmitted.Add(1)
 	m.nextID++
 	s.ID = fmt.Sprintf("s%d", m.nextID)
 	m.sessions[s.ID] = s
@@ -269,11 +343,18 @@ func (m *SessionManager) Destroy(id string) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
 	delete(m.sessions, id)
+	if ok {
+		m.loadFrac -= s.util
+		if m.loadFrac < 0 {
+			m.loadFrac = 0
+		}
+	}
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSession, id)
 	}
 	s.halt()
+	m.tel.SessionsDestroyed.Add(1)
 	return nil
 }
 
@@ -288,7 +369,9 @@ func (m *SessionManager) Shutdown(ctx context.Context) error {
 		victims = append(victims, s)
 		delete(m.sessions, id)
 	}
+	m.loadFrac = 0
 	m.mu.Unlock()
+	m.tel.SessionsDestroyed.Add(uint64(len(victims)))
 
 	m.cm.Stop()
 
@@ -340,15 +423,26 @@ type ManagedSession struct {
 	lazyTarget uint64
 	notify     chan struct{}
 	viewers    int
-	vrt        *pipeline.VRT    // installed mapping (single-viewer mode)
-	tree       *pipeline.VRTree // installed routing tree (multi-viewer mode)
-	optErr     error
-	renderErr  error
-	reopts     int    // successful CM consultations
-	adapts     int    // Adapter-forced consultations among them
-	sinceOpt   int    // frames since the last successful consultation
-	pipeKey    uint64 // fingerprint of the pipeline last sent to the CM
-	pipe       *pipeline.Pipeline
+	// tracked holds the Viewers subject to the slow-consumer eviction
+	// policy (AttachViewer); presence-only Attach viewers are counted in
+	// viewers but not tracked.
+	tracked map[*Viewer]struct{}
+	// util is the session's frame-budget utilization charge, fixed at
+	// admission; Destroy/Shutdown credit it back to the manager.
+	util float64
+	// lateNS is how far past its scheduled cadence the next frame will
+	// start (the previous frame overran its period). Written by nextDelay
+	// and read by produce on the lifecycle goroutine only.
+	lateNS    int64
+	vrt       *pipeline.VRT    // installed mapping (single-viewer mode)
+	tree      *pipeline.VRTree // installed routing tree (multi-viewer mode)
+	optErr    error
+	renderErr error
+	reopts    int    // successful CM consultations
+	adapts    int    // Adapter-forced consultations among them
+	sinceOpt  int    // frames since the last successful consultation
+	pipeKey   uint64 // fingerprint of the pipeline last sent to the CM
+	pipe      *pipeline.Pipeline
 	// pipeGen counts cost-model invalidations (isovalue steers). A CM
 	// consultation snapshots it and discards its result if an
 	// invalidation landed while the optimizer ran unlocked, so a stale
@@ -414,6 +508,7 @@ func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) 
 		sim:         sim,
 		req:         req,
 		notify:      make(chan struct{}),
+		tracked:     make(map[*Viewer]struct{}),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 		FramePeriod: 200 * time.Millisecond,
@@ -450,12 +545,16 @@ func (s *ManagedSession) run() {
 
 // nextDelay converts the effective frame period into the timer delay for
 // the next frame, discounting the wall time produce itself consumed — the
-// loop's cadence is the period, not period plus sim/render time.
+// loop's cadence is the period, not period plus sim/render time. When
+// produce overran the whole period the next frame starts immediately and
+// the overrun is remembered as that frame's telemetry queue wait.
 func (s *ManagedSession) nextDelay(elapsed time.Duration) time.Duration {
 	d := s.period() - elapsed
 	if d < 0 {
-		d = 0
+		s.lateNS = int64(-d)
+		return 0
 	}
+	s.lateNS = 0
 	return d
 }
 
@@ -504,6 +603,9 @@ func (s *ManagedSession) snapshotInto(dst *grid.ScalarField, req Request) *grid.
 // is skipped, the sequence number still advances, and the dataset snapshot
 // is kept so WaitFrame can render the current frame on demand.
 func (s *ManagedSession) produce() {
+	produceStart := time.Now()
+	rec := telemetry.FrameRecord{QueueWaitNS: s.lateNS}
+
 	s.mu.Lock()
 	req := s.req
 	due := s.pipe == nil || s.sinceOpt >= s.mgr.cfg.ReoptimizeEvery
@@ -514,10 +616,12 @@ func (s *ManagedSession) produce() {
 	s.fieldScratch = nil
 	s.mu.Unlock()
 
+	simStart := time.Now()
 	for i := 0; i < req.StepsPerFrame; i++ {
 		s.sim.Step()
 	}
 	field = s.snapshotInto(field, req)
+	rec.SimNS = int64(time.Since(simStart))
 
 	if !due && pipe != nil && (vrt != nil || tree != nil) && s.monitor(pipe, vrt, tree) {
 		due = true
@@ -534,18 +638,23 @@ func (s *ManagedSession) produce() {
 	var err error
 	if wantRender {
 		var img *viz.Image
+		renderStart := time.Now()
 		img, err = RenderDatasetInto(&s.scratch, field, req, s.Width, s.Height)
+		rec.RenderNS = int64(time.Since(renderStart))
 		if err == nil {
 			// Encode into the reusable scratch buffer, then copy the bytes
 			// out: published frames must be immutable, so only the encode
 			// buffer is pooled, never the slice viewers hold.
+			encodeStart := time.Now()
 			s.scratch.Enc.Reset()
 			if err = img.EncodePNG(&s.scratch.Enc); err == nil {
 				png = append([]byte(nil), s.scratch.Enc.Bytes()...)
 			}
+			rec.EncodeNS = int64(time.Since(encodeStart))
 		}
 	}
 
+	published := false
 	s.mu.Lock()
 	s.sinceOpt++
 	s.renderErr = err
@@ -560,6 +669,7 @@ func (s *ManagedSession) produce() {
 		}
 		s.latest = field
 		s.latestReq = req
+		published = true
 		close(s.notify)
 		s.notify = make(chan struct{})
 	case err == nil:
@@ -570,13 +680,67 @@ func (s *ManagedSession) produce() {
 		s.latest = nil
 		// The render consumed the snapshot synchronously; reclaim it.
 		s.fieldScratch = field
+		published = true
+		rec.Rendered = true
 		close(s.notify)
 		s.notify = make(chan struct{})
 	default:
 		// Render failed: the snapshot is unpublished, so reclaim it.
 		s.fieldScratch = field
 	}
+	if published {
+		rec.Session = s.ID
+		rec.Seq = s.seq
+		s.fillDeliveryLocked(&rec)
+		s.evictSlowLocked()
+	}
 	s.mu.Unlock()
+
+	if published {
+		rec.ProduceNS = int64(time.Since(produceStart))
+		s.mgr.tel.RecordFrame(&rec)
+	}
+}
+
+// fillDeliveryLocked copies the installed mapping's per-branch predicted
+// delivery delays into the frame record (the slowest overflow branch
+// lands in the last slot when the tree fans out past MaxBranches).
+func (s *ManagedSession) fillDeliveryLocked(rec *telemetry.FrameRecord) {
+	switch {
+	case s.tree != nil:
+		for i := range s.tree.Branches {
+			ns := int64(s.tree.Branches[i].Delay * float64(time.Second))
+			if i < telemetry.MaxBranches {
+				rec.Delivery[i] = ns
+				rec.Branches = i + 1
+			} else if ns > rec.Delivery[telemetry.MaxBranches-1] {
+				rec.Delivery[telemetry.MaxBranches-1] = ns
+			}
+		}
+	case s.vrt != nil:
+		rec.Delivery[0] = int64(s.vrt.Delay * float64(time.Second))
+		rec.Branches = 1
+	}
+}
+
+// evictSlowLocked applies the slow-consumer policy at publish time: any
+// tracked viewer more than MaxViewerLag frames behind the sequence just
+// published is evicted — its Wait/Poll return ErrViewerEvicted and its
+// fan-out slot frees — instead of the session buffering for it without
+// bound. Parked waiters are woken by the publish's notify broadcast.
+func (s *ManagedSession) evictSlowLocked() {
+	maxLag := s.mgr.cfg.MaxViewerLag
+	if maxLag <= 0 || len(s.tracked) == 0 {
+		return
+	}
+	for v := range s.tracked {
+		if s.seq-v.delivered > uint64(maxLag) {
+			v.evicted = true
+			delete(s.tracked, v)
+			s.viewers--
+			s.mgr.tel.ViewersEvicted.Add(1)
+		}
+	}
 }
 
 // monitor is the session's monitor→adapt step: it re-evaluates the
@@ -707,10 +871,26 @@ func (s *ManagedSession) Attach() (detach func()) {
 // was produced while no viewer was attached (lazy rendering skipped it),
 // WaitFrame renders it on demand from the stashed dataset snapshot.
 func (s *ManagedSession) WaitFrame(ctx context.Context, since uint64) (uint64, []byte, error) {
+	return s.waitFrame(ctx, since, nil)
+}
+
+// waitFrame is the shared long-poll core. With a tracked viewer it also
+// enforces the eviction contract — a parked waiter is woken by the
+// publish broadcast of the frame whose eviction scan removed it and
+// returns ErrViewerEvicted — and records frame delivery for the viewer's
+// lag accounting.
+func (s *ManagedSession) waitFrame(ctx context.Context, since uint64, v *Viewer) (uint64, []byte, error) {
 	for {
 		s.mu.Lock()
+		if v != nil && v.evicted {
+			s.mu.Unlock()
+			return 0, nil, ErrViewerEvicted
+		}
 		if s.pngSeq > since && s.png != nil {
 			seq, png := s.pngSeq, s.png
+			if v != nil && seq > v.delivered {
+				v.delivered = seq
+			}
 			s.mu.Unlock()
 			return seq, png, nil
 		}
@@ -920,6 +1100,14 @@ func (s *ManagedSession) Mapping() (pipe *pipeline.Pipeline, src string, placeme
 		return s.pipe, s.req.SourceNode, [][]string{s.place}, s.vrt.Delay, true
 	}
 	return nil, "", nil, 0, false
+}
+
+// Viewers reports the currently attached viewer count (tracked and
+// presence-only).
+func (s *ManagedSession) Viewers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewers
 }
 
 // Renders reports how many frames were actually rendered; with lazy

@@ -1,0 +1,99 @@
+package steering
+
+import "context"
+
+// Viewer is a tracked per-client attachment to a ManagedSession, the
+// backpressure-aware successor to the presence-only Attach: the session
+// remembers the newest frame each Viewer has consumed, and a Viewer that
+// falls more than ManagerConfig.MaxViewerLag frames behind the live
+// sequence is evicted at the next publish — its Wait/Poll return
+// ErrViewerEvicted, its fan-out slot frees, and the session never buffers
+// for it. The web front end attaches one Viewer per long-polling client;
+// the scenario engine scripts thousands of them on the virtual clock.
+//
+// All Viewer state is guarded by the owning session's mutex; a Viewer is
+// safe for concurrent use, though a long-poll client naturally serializes
+// its own calls.
+type Viewer struct {
+	s *ManagedSession
+	// delivered is the newest frame sequence this viewer has consumed;
+	// the eviction scan compares it against the published sequence.
+	delivered uint64
+	evicted   bool
+	closed    bool
+}
+
+// AttachViewer registers a tracked viewer. The viewer joins at the live
+// edge: its lag starts at zero and only grows if it stops consuming. The
+// caller must Close it (eviction also releases it).
+func (s *ManagedSession) AttachViewer() *Viewer {
+	s.mu.Lock()
+	v := &Viewer{s: s, delivered: s.seq}
+	s.tracked[v] = struct{}{}
+	s.viewers++
+	s.mu.Unlock()
+	s.mgr.tel.ViewersAttached.Add(1)
+	return v
+}
+
+// Close detaches the viewer. It is idempotent, and a no-op after
+// eviction (the eviction already released the slot).
+func (v *Viewer) Close() {
+	s := v.s
+	s.mu.Lock()
+	if !v.closed && !v.evicted {
+		v.closed = true
+		delete(s.tracked, v)
+		s.viewers--
+		s.mgr.tel.ViewersDetached.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Wait blocks until a frame with sequence > since exists, the context
+// ends, the session is destroyed (ErrNoSession), or the viewer is
+// evicted (ErrViewerEvicted).
+func (v *Viewer) Wait(ctx context.Context, since uint64) (uint64, []byte, error) {
+	return v.s.waitFrame(ctx, since, v)
+}
+
+// Poll is the non-blocking consume: it returns the newest rendered frame
+// if one is newer than what this viewer has seen, (0, nil, nil) when
+// nothing new exists, and ErrViewerEvicted after eviction. The scenario
+// engine's scripted viewers use Poll — a blocked Wait would park a
+// goroutine the virtual clock cannot see.
+func (v *Viewer) Poll() (uint64, []byte, error) {
+	s := v.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case v.evicted:
+		return 0, nil, ErrViewerEvicted
+	case v.closed:
+		return 0, nil, ErrNoSession
+	case s.pngSeq > v.delivered && s.png != nil:
+		v.delivered = s.pngSeq
+		return s.pngSeq, s.png, nil
+	}
+	// Nothing rendered past this viewer's last frame. Mark the bare
+	// sequence as observed anyway: a Poll is proof the consumer is live,
+	// and lag must measure consumption stall, not rendering gaps.
+	if s.seq > v.delivered {
+		v.delivered = s.seq
+	}
+	return 0, nil, nil
+}
+
+// Delivered reports the newest frame sequence the viewer has consumed.
+func (v *Viewer) Delivered() uint64 {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return v.delivered
+}
+
+// Evicted reports whether the slow-consumer policy removed this viewer.
+func (v *Viewer) Evicted() bool {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return v.evicted
+}

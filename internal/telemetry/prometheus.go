@@ -1,0 +1,55 @@
+// Prometheus text exposition for the flat counter registry. The format is
+// the plain-text scrape format (# HELP / # TYPE / name value), written
+// with nothing but fmt — no client library, in keeping with the module's
+// zero-dependency rule. Scrapes are cold-path: allocation here is fine.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// Gauge is an instantaneous value a scrape reports next to the cumulative
+// counters — current live sessions, attached viewers, load fraction. The
+// web layer supplies these; the collector itself only owns counters.
+type Gauge struct {
+	Name  string
+	Help  string
+	Value float64
+}
+
+// WritePrometheus writes every counter series plus the supplied gauges in
+// Prometheus text exposition format. Counter names carry the ricsa_
+// prefix and _total suffix per convention; stage sums are exported in
+// seconds as Prometheus prefers for time series.
+func (c *Counters) WritePrometheus(w io.Writer, gauges ...Gauge) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	seconds := func(name, help string, ns int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, float64(ns)/1e9)
+	}
+
+	counter("ricsa_sessions_admitted_total", "Sessions accepted by admission control.", c.SessionsAdmitted.Load())
+	counter("ricsa_sessions_rejected_limit_total", "Session creates rejected at the hard session limit.", c.SessionsRejectedLimit.Load())
+	counter("ricsa_sessions_rejected_overload_total", "Session creates rejected at the frame-budget watermark.", c.SessionsRejectedOverload.Load())
+	counter("ricsa_sessions_destroyed_total", "Sessions destroyed.", c.SessionsDestroyed.Load())
+	counter("ricsa_viewers_attached_total", "Viewer attaches across all sessions.", c.ViewersAttached.Load())
+	counter("ricsa_viewers_detached_total", "Viewer detaches (client-initiated).", c.ViewersDetached.Load())
+	counter("ricsa_viewers_evicted_total", "Viewers evicted for falling behind the frame stream.", c.ViewersEvicted.Load())
+	counter("ricsa_frames_produced_total", "Frames produced across all sessions.", c.FramesProduced.Load())
+	counter("ricsa_frames_rendered_total", "Frames that ran the render+encode stages (not skipped by lazy rendering).", c.FramesRendered.Load())
+	counter("ricsa_frames_late_total", "Frames that started past their scheduled cadence.", c.FramesLate.Load())
+	counter("ricsa_telemetry_records_dropped_total", "Frame records shed because the sink fell behind.", c.RecordsDropped.Load())
+
+	seconds("ricsa_stage_sim_seconds_total", "Cumulative simulation+snapshot stage time.", c.StageSimNS.Load())
+	seconds("ricsa_stage_render_seconds_total", "Cumulative extract+raster stage time.", c.StageRenderNS.Load())
+	seconds("ricsa_stage_encode_seconds_total", "Cumulative PNG encode stage time.", c.StageEncodeNS.Load())
+	seconds("ricsa_stage_produce_seconds_total", "Cumulative whole-produce time.", c.StageProduceNS.Load())
+	seconds("ricsa_queue_wait_seconds_total", "Cumulative frame start delay past scheduled cadence.", c.QueueWaitNS.Load())
+	seconds("ricsa_delivery_predicted_seconds_total", "Cumulative slowest-branch predicted delivery delay.", c.DeliveryNS.Load())
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.Name, g.Help, g.Name, g.Name, g.Value)
+	}
+}

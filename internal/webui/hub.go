@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ricsa/internal/steering"
+	"ricsa/internal/telemetry"
 )
 
 // Hub is the multi-session Ajax front end: it routes /sessions/{id}/...
@@ -27,6 +28,9 @@ import (
 //	GET    /api/cm                  control-plane state: probe epoch,
 //	                                per-edge estimates and staleness,
 //	                                adaptation counters
+//	GET    /metrics                 Prometheus text exposition: per-frame
+//	                                stage timings, session/viewer/overload
+//	                                counters, control-plane gauges
 //	GET    /sessions/{id}           embedded viewer page for the session
 //	GET    /sessions/{id}/api/frame long-poll the next frame (?since=N)
 //	POST   /sessions/{id}/api/steer steer the session
@@ -47,6 +51,7 @@ func NewHub(mgr *steering.SessionManager) *Hub {
 	h.mux.HandleFunc("DELETE /api/sessions/{id}", h.handleDestroy)
 	h.mux.HandleFunc("GET /api/cache", h.handleCache)
 	h.mux.HandleFunc("GET /api/cm", h.handleCM)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /sessions/{id}", h.handleViewer)
 	h.mux.HandleFunc("GET /sessions/{id}/api/frame", h.handleFrame)
 	h.mux.HandleFunc("POST /sessions/{id}/api/steer", h.handleSteer)
@@ -139,7 +144,7 @@ func (h *Hub) handleCreate(w http.ResponseWriter, r *http.Request) {
 		code := http.StatusBadRequest
 		if errors.Is(err, steering.ErrSessionLimit) {
 			code = http.StatusTooManyRequests
-		} else if errors.Is(err, steering.ErrShuttingDown) {
+		} else if errors.Is(err, steering.ErrShuttingDown) || errors.Is(err, steering.ErrOverloaded) {
 			code = http.StatusServiceUnavailable
 		}
 		http.Error(w, err.Error(), code)
@@ -198,9 +203,38 @@ func (h *Hub) handleFrame(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
-	detach := s.Attach()
-	defer detach()
-	serveFrame(w, r, h.PollTimeout, s.WaitFrame)
+	// Tracked attach: the session accounts what this client has consumed,
+	// and the slow-consumer policy may evict it mid-poll (503 below tells
+	// the client to back off and re-join at the live edge).
+	v := s.AttachViewer()
+	defer v.Close()
+	serveFrame(w, r, h.PollTimeout, v.Wait)
+}
+
+// handleMetrics serves the Prometheus text exposition: the telemetry
+// collector's counters plus instantaneous service and control-plane
+// gauges. Scrapes are cold-path; nothing here touches session hot paths.
+func (h *Hub) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	viewers := 0
+	for _, s := range h.mgr.List() {
+		viewers += s.Viewers()
+	}
+	cache := h.mgr.CacheStats()
+	cmgr := h.mgr.CM()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.mgr.Telemetry().WritePrometheus(w,
+		telemetry.Gauge{Name: "ricsa_sessions_live", Help: "Currently live sessions.", Value: float64(h.mgr.Len())},
+		telemetry.Gauge{Name: "ricsa_viewers_live", Help: "Currently attached viewers across all sessions.", Value: float64(viewers)},
+		telemetry.Gauge{Name: "ricsa_load_fraction", Help: "Admitted frame-budget utilization (admission watermark input).", Value: h.mgr.LoadFraction()},
+		telemetry.Gauge{Name: "ricsa_frame_budget", Help: "Configured admission watermark (0 = disabled).", Value: h.mgr.FrameBudget()},
+		telemetry.Gauge{Name: "ricsa_cm_probe_epoch", Help: "Completed background probe sweeps.", Value: float64(cmgr.ProbeEpoch())},
+		telemetry.Gauge{Name: "ricsa_cm_probe_timeouts", Help: "Probe transfers abandoned at the probe budget.", Value: float64(cmgr.ProbeTimeouts())},
+		telemetry.Gauge{Name: "ricsa_cm_graph_restamps", Help: "Tolerance-gated graph re-stamps.", Value: float64(cmgr.Restamps())},
+		telemetry.Gauge{Name: "ricsa_cm_adaptations", Help: "Adapter-forced re-optimizations.", Value: float64(cmgr.Adaptations())},
+		telemetry.Gauge{Name: "ricsa_cache_hits", Help: "Optimizer cache hits.", Value: float64(cache.Hits)},
+		telemetry.Gauge{Name: "ricsa_cache_misses", Help: "Optimizer cache misses.", Value: float64(cache.Misses)},
+		telemetry.Gauge{Name: "ricsa_cache_entries", Help: "Optimizer cache entries.", Value: float64(cache.Entries)},
+	)
 }
 
 func (h *Hub) handleSteer(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/steering"
 )
 
@@ -502,5 +503,202 @@ func TestHubFramesMonotonicAcrossAdaptation(t *testing.T) {
 	close(stop)
 	if err := <-viewerErr; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHubHandlerErrorPaths is the table-driven error contract for every Hub
+// handler: malformed payloads, unknown sessions, and wrong methods must map
+// to their documented status codes rather than fall through to a 200 or a
+// panic.
+func TestHubHandlerErrorPaths(t *testing.T) {
+	h, _ := testHub(t, 2)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	id := createSession(t, srv.URL)
+
+	steerBody := `{"left_pressure": 2}`
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"create malformed JSON", "POST", "/api/sessions", "{", 400},
+		{"create empty body", "POST", "/api/sessions", "", 400},
+		{"create wrong method", "PUT", "/api/sessions", "{}", 405},
+		{"destroy unknown id", "DELETE", "/api/sessions/nope", "", 404},
+		{"destroy wrong method", "PATCH", "/api/sessions/" + id, "", 405},
+		{"cm wrong method", "POST", "/api/cm", "", 405},
+		{"cache wrong method", "POST", "/api/cache", "", 405},
+		{"metrics wrong method", "POST", "/metrics", "", 405},
+		{"viewer page unknown id", "GET", "/sessions/nope", "", 404},
+		{"frame unknown id", "GET", "/sessions/nope/api/frame", "", 404},
+		{"frame bad since", "GET", "/sessions/" + id + "/api/frame?since=banana", "", 400},
+		{"status unknown id", "GET", "/sessions/nope/api/status", "", 404},
+		{"steer unknown id", "POST", "/sessions/nope/api/steer", steerBody, 404},
+		{"steer malformed JSON", "POST", "/sessions/" + id + "/api/steer", "{", 400},
+		{"steer empty payload", "POST", "/sessions/" + id + "/api/steer", "{}", 400},
+		{"steer unknown key", "POST", "/sessions/" + id + "/api/steer", `{"bogus": 1}`, 400},
+		{"steer wrong method", "GET", "/sessions/" + id + "/api/steer", "", 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s -> %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	// Destroy-twice: the first wins, the second reports the session gone.
+	for i, want := range []int{200, 404} {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/sessions/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("destroy #%d status %d, want %d", i+1, resp.StatusCode, want)
+		}
+	}
+}
+
+// parseMetrics reads a Prometheus text exposition into name -> value.
+func parseMetrics(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("metric %s has non-numeric value %q", fields[0], fields[1])
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+// TestHubMetricsAndCMOnVirtualClock drives the whole service on a virtual
+// clock — a probe round and a known span of frame production — and then
+// asserts that what /api/cm and /metrics export equals the ground truth
+// read directly off the manager at the same quiescent instant. This is the
+// exactness test the wall-clock HTTP tests cannot do.
+func TestHubMetricsAndCMOnVirtualClock(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	mgr := steering.NewSessionManager(steering.ManagerConfig{
+		MaxSessions:   4,
+		Seed:          42,
+		Clock:         clk,
+		ProbeInterval: 500 * time.Millisecond,
+		FrameBudget:   4.0,
+		FrameCost:     20 * time.Millisecond,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+	clk.AwaitArmed(1) // the prober is parked
+
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 16, 8, 8
+	req.StepsPerFrame = 1
+	s, err := mgr.CreateTuned(req, 200*time.Millisecond, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.AwaitArmed(2) // prober + the session's frame loop
+
+	v := s.AttachViewer() // eager rendering + one attached viewer
+	clk.Advance(2 * time.Second)
+	v.Close()
+
+	// Ground truth at quiescence: nothing advances the clock below here.
+	frames := s.Status()["frame_seq"].(uint64)
+	renders := s.Status()["renders"].(int)
+	epoch := mgr.CM().ProbeEpoch()
+	if frames == 0 || epoch == 0 {
+		t.Fatalf("virtual run produced frames=%d epoch=%d, want both > 0", frames, epoch)
+	}
+
+	h := NewHub(mgr)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/cm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmView struct {
+		ProbeEpoch    uint64 `json:"probe_epoch"`
+		ProbeTimeouts uint64 `json:"probe_timeouts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cmView); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cmView.ProbeEpoch != epoch {
+		t.Fatalf("/api/cm probe_epoch %d, ground truth %d", cmView.ProbeEpoch, epoch)
+	}
+	if cmView.ProbeTimeouts != mgr.CM().ProbeTimeouts() {
+		t.Fatalf("/api/cm probe_timeouts %d, ground truth %d", cmView.ProbeTimeouts, mgr.CM().ProbeTimeouts())
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics status %d type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	m := parseMetrics(t, string(body))
+
+	exact := map[string]float64{
+		"ricsa_frames_produced_total":   float64(frames),
+		"ricsa_frames_rendered_total":   float64(renders),
+		"ricsa_sessions_admitted_total": 1,
+		"ricsa_viewers_attached_total":  1,
+		"ricsa_viewers_detached_total":  1,
+		"ricsa_viewers_evicted_total":   0,
+		"ricsa_sessions_live":           1,
+		"ricsa_viewers_live":            0,
+		"ricsa_load_fraction":           mgr.LoadFraction(), // 20ms cost / 200ms period
+		"ricsa_frame_budget":            4,
+		"ricsa_cm_probe_epoch":          float64(epoch),
+	}
+	for name, want := range exact {
+		got, ok := m[name]
+		if !ok {
+			t.Fatalf("metrics missing %s\n%s", name, body)
+		}
+		if got != want {
+			t.Fatalf("%s = %g, want %g", name, got, want)
+		}
+	}
+	// Stage timings are wall-clock sums: present and positive after real
+	// frame production, even though the run paced on the virtual clock.
+	for _, name := range []string{"ricsa_stage_produce_seconds_total", "ricsa_stage_sim_seconds_total"} {
+		if m[name] <= 0 {
+			t.Fatalf("%s = %g, want > 0", name, m[name])
+		}
 	}
 }

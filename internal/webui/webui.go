@@ -118,6 +118,10 @@ func serveFrame(w http.ResponseWriter, r *http.Request, timeout time.Duration,
 			w.WriteHeader(http.StatusNoContent)
 		case errors.Is(err, steering.ErrNoSession):
 			http.Error(w, err.Error(), http.StatusGone)
+		case errors.Is(err, steering.ErrViewerEvicted):
+			// The slow-consumer policy dropped this viewer; tell the
+			// client to back off rather than treat it as a dead session.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
