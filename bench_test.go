@@ -13,6 +13,7 @@ import (
 	"ricsa/internal/cost"
 	"ricsa/internal/dataset"
 	"ricsa/internal/experiments"
+	"ricsa/internal/fcp"
 	"ricsa/internal/grid"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
@@ -411,6 +412,95 @@ func BenchmarkFrameProduceTotal(b *testing.B) {
 		s.Step()
 		field = s.DensityInto(field)
 		img, err := steering.RenderDatasetInto(&sc, field, req, 512, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Enc.Reset()
+		if err := img.EncodePNG(&sc.Enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	frame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame()
+	}
+}
+
+// frameBenchSimPar is the pooled counterpart of frameBenchSim: sweeps fan
+// out over the given pool's queue, the mode a live ManagedSession runs in.
+func frameBenchSimPar(pool *fcp.Pool) (*simengine.Sim, *fcp.Queue) {
+	s := simengine.NewSod(64, 32, 32, simengine.DefaultSodParams())
+	q := pool.NewQueue()
+	s.SetWorkers(0)
+	s.SetQueue(q)
+	return s, q
+}
+
+// BenchmarkFrameSimStepPar is one solver cycle with pencil sweeps through
+// the shared frame-compute pool (results bit-identical to the inline path).
+func BenchmarkFrameSimStepPar(b *testing.B) {
+	s, _ := frameBenchSimPar(fcp.Default())
+	s.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkMCubesExtractPar is the block-parallel extraction of the same
+// surface through the pool, into reused per-block mesh arenas.
+func BenchmarkMCubesExtractPar(b *testing.B) {
+	s := frameBenchSim()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	f := s.Density()
+	blocks := grid.Decompose(f, 8)
+	var m viz.Mesh
+	marchingcubes.ExtractBlocksInto(&m, f, blocks, 0.5, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		marchingcubes.ExtractBlocksInto(&m, f, blocks, 0.5, 0)
+	}
+}
+
+// BenchmarkMCubesExtractROI is the dirty-block cached extraction in its
+// steady state: the field is unchanged between iterations, so every block's
+// stamp matches and zero blocks re-extract — the cache's best case, and the
+// common one for a slowly evolving region of interest.
+func BenchmarkMCubesExtractROI(b *testing.B) {
+	s := frameBenchSim()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	f := s.Density()
+	var cache viz.BlockMeshCache
+	var m viz.Mesh
+	marchingcubes.ExtractROIInto(&m, &cache, f, 8, 0.5, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		marchingcubes.ExtractROIInto(&m, &cache, f, 8, 0.5, nil)
+	}
+}
+
+// BenchmarkFrameProduceTotalPar is the composed frame on the pooled path a
+// live ManagedSession runs: pooled sim step, snapshot, dirty-block ROI
+// extraction + render, and PNG encode.
+func BenchmarkFrameProduceTotalPar(b *testing.B) {
+	s, q := frameBenchSimPar(fcp.Default())
+	req := steering.DefaultRequest()
+	var sc viz.FrameScratch
+	var roi viz.BlockMeshCache
+	var field *grid.ScalarField
+	frame := func() {
+		s.Step()
+		field = s.DensityInto(field)
+		img, err := steering.RenderDatasetROI(&sc, &roi, q, field, req, 512, 512)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -108,3 +108,67 @@ func diffBenchJSON(basePath, newPath string) (int, error) {
 	}
 	return flagged, nil
 }
+
+// BenchBudget is one op's hard ceiling. Unlike the relative diff above,
+// budget violations are a non-zero exit: the ceilings are set far above any
+// healthy run (several multiples of the committed baseline), so tripping one
+// means a real stage blow-up, not runner noise. A zero MaxAllocsPerOp is a
+// real ceiling — the zero-allocation stages pin exactly that.
+type BenchBudget struct {
+	Op             string  `json:"op"`
+	MaxNsPerOp     float64 `json:"max_ns_per_op"`
+	MaxAllocsPerOp int64   `json:"max_allocs_per_op"`
+}
+
+// checkBenchBudgets verifies the fresh artifact against the committed
+// per-stage budgets, printing one line per budgeted op. Ops missing from the
+// artifact count as violations (a renamed stage must update its budget).
+func checkBenchBudgets(budgetPath, newPath string) (int, error) {
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return 0, err
+	}
+	var budgets []BenchBudget
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		return 0, fmt.Errorf("%s: %w", budgetPath, err)
+	}
+	fresh, _, err := readBenchJSON(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	fmt.Printf("### Bench budgets: %s vs ceilings in %s\n\n", newPath, budgetPath)
+	fmt.Println("| op | ns/op (measured / ceiling) | allocs/op (measured / ceiling) | verdict |")
+	fmt.Println("|---|---|---|---|")
+	violations := 0
+	for _, bud := range budgets {
+		r, ok := fresh[bud.Op]
+		if !ok {
+			fmt.Printf("| %s | (missing) / %.0f | (missing) / %d | ❌ op absent from artifact |\n",
+				bud.Op, bud.MaxNsPerOp, bud.MaxAllocsPerOp)
+			violations++
+			continue
+		}
+		verdict := "✅"
+		if bud.MaxNsPerOp > 0 && r.NsPerOp > bud.MaxNsPerOp {
+			verdict = "❌ over ns/op ceiling"
+			violations++
+		}
+		if r.AllocsPerOp > bud.MaxAllocsPerOp {
+			if verdict == "✅" {
+				verdict = "❌"
+				violations++
+			}
+			verdict += " over allocs/op ceiling"
+		}
+		fmt.Printf("| %s | %.0f / %.0f | %d / %d | %s |\n",
+			bud.Op, r.NsPerOp, bud.MaxNsPerOp, r.AllocsPerOp, bud.MaxAllocsPerOp, verdict)
+	}
+	fmt.Println()
+	if violations > 0 {
+		fmt.Printf("**%d budget violation(s)** — hard failure.\n", violations)
+	} else {
+		fmt.Println("All stages inside their budgets.")
+	}
+	return violations, nil
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"testing"
 
+	"ricsa/internal/fcp"
 	"ricsa/internal/grid"
 	"ricsa/internal/pipeline"
 	"ricsa/internal/simengine"
@@ -53,8 +54,10 @@ func benchInstance() (*pipeline.Graph, *pipeline.Pipeline) {
 
 // frameBenches is the data-plane half of the artifact: the per-frame stages
 // of a live monitoring session (sim step, isosurface extraction,
-// rasterization, PNG encode, and the composed frame), all on warm reused
-// scratch with serial solver sweeps so allocs/op reflects the data plane.
+// rasterization, PNG encode, and the composed frame). Each stage is
+// measured twice — inline (workers = 1, the allocation-flat baseline) and
+// through the shared frame-compute pool (_par rows) — plus the dirty-block
+// ROI extraction path, so the artifact tracks both execution modes.
 func frameBenches() []benchRow {
 	sim := simengine.NewSod(64, 32, 32, simengine.DefaultSodParams())
 	sim.SetWorkers(1)
@@ -63,6 +66,25 @@ func frameBenches() []benchRow {
 	}
 	field := sim.Density()
 	req := steering.DefaultRequest()
+
+	// Pooled counterparts: a sim whose sweeps fan out over the process
+	// default pool, block-parallel extraction, and the ROI cache path.
+	queue := fcp.Default().NewQueue()
+	simPar := simengine.NewSod(64, 32, 32, simengine.DefaultSodParams())
+	simPar.SetWorkers(0)
+	simPar.SetQueue(queue)
+	for i := 0; i < 8; i++ {
+		simPar.Step()
+	}
+	blocks := grid.Decompose(field, 8)
+	var blockMesh viz.Mesh
+	marchingcubes.ExtractBlocksInto(&blockMesh, field, blocks, req.Isovalue, 0)
+	var roiCache viz.BlockMeshCache
+	var roiMesh viz.Mesh
+	marchingcubes.ExtractROIInto(&roiMesh, &roiCache, field, 8, req.Isovalue, queue)
+	var produceScPar viz.FrameScratch
+	var produceRoi viz.BlockMeshCache
+	var produceFieldPar *grid.ScalarField
 
 	var extractMesh viz.Mesh
 	marchingcubes.ExtractInto(&extractMesh, field, req.Isovalue)
@@ -133,6 +155,38 @@ func frameBenches() []benchRow {
 				}
 				produceSc.Enc.Reset()
 				if err := out.EncodePNG(&produceSc.Enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"frame_sim_step_par", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simPar.Step()
+			}
+		}},
+		{"mcubes_extract_par", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				marchingcubes.ExtractBlocksInto(&blockMesh, field, blocks, req.Isovalue, 0)
+			}
+		}},
+		// Steady state for the ROI path: the field has not changed since the
+		// cache's last Plan, so every block's stamp matches and zero blocks
+		// re-extract — the dirty-block win this artifact tracks.
+		{"mcubes_extract_roi", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				marchingcubes.ExtractROIInto(&roiMesh, &roiCache, field, 8, req.Isovalue, queue)
+			}
+		}},
+		{"frame_produce_total_par", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simPar.Step()
+				produceFieldPar = simPar.DensityInto(produceFieldPar)
+				out, err := steering.RenderDatasetROI(&produceScPar, &produceRoi, queue, produceFieldPar, req, 512, 512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				produceScPar.Enc.Reset()
+				if err := out.EncodePNG(&produceScPar.Enc); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -42,6 +42,8 @@ func main() {
 		"compare this freshly generated bench JSON against -bench-baseline, print a markdown summary flagging >20% regressions, and exit (always zero for regressions)")
 	benchBaseline := flag.String("bench-baseline", "BENCH_pipeline.json",
 		"committed baseline artifact -bench-diff compares against")
+	benchBudgets := flag.String("bench-budgets", "BENCH_budgets.json",
+		"per-stage ns/op and allocs/op ceilings checked by -bench-diff; a violation exits non-zero (empty disables)")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -55,6 +57,16 @@ func main() {
 		if _, err := diffBenchJSON(*benchBaseline, *benchDiff); err != nil {
 			fmt.Fprintf(os.Stderr, "ricsa-bench bench-diff: %v\n", err)
 			os.Exit(1)
+		}
+		if *benchBudgets != "" {
+			violations, err := checkBenchBudgets(*benchBudgets, *benchDiff)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ricsa-bench bench-budgets: %v\n", err)
+				os.Exit(1)
+			}
+			if violations > 0 {
+				os.Exit(1)
+			}
 		}
 		return
 	}

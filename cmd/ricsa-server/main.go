@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"ricsa/internal/fcp"
 	"ricsa/internal/steering"
 	"ricsa/internal/webui"
 )
@@ -88,9 +89,13 @@ func main() {
 	maxViewerLag := flag.Int("max-viewer-lag", 0,
 		"frames a viewer may fall behind the live edge before it is evicted "+
 			"(0 disables slow-consumer eviction)")
+	computeWorkers := flag.Int("compute-workers", 0,
+		"shared frame-compute pool width for sim sweeps and block extraction "+
+			"(0 selects GOMAXPROCS, 1 runs fully inline)")
 	noBootstrap := flag.Bool("no-bootstrap", false, "do not create the default session at startup")
 	flag.Parse()
 
+	fcp.SetDefaultWorkers(*computeWorkers)
 	mgr := steering.NewSessionManager(steering.ManagerConfig{
 		MaxSessions:       *maxSessions,
 		ReoptimizeEvery:   *reopt,

@@ -1,0 +1,179 @@
+package fcp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ricsa/internal/testutil"
+)
+
+// countTask marks each item it runs, counting per-item executions so the
+// exactly-once contract is checkable, and records which slot ran it.
+type countTask struct {
+	runs  []atomic.Int32
+	slots []atomic.Int32
+	max   int
+}
+
+func newCountTask(n, maxSlot int) *countTask {
+	return &countTask{runs: make([]atomic.Int32, n), slots: make([]atomic.Int32, n), max: maxSlot}
+}
+
+func (t *countTask) Run(worker, item int) {
+	t.runs[item].Add(1)
+	t.slots[item].Store(int32(worker))
+}
+
+func (t *countTask) check(tt *testing.T) {
+	tt.Helper()
+	for i := range t.runs {
+		if got := t.runs[i].Load(); got != 1 {
+			tt.Fatalf("item %d ran %d times, want exactly 1", i, got)
+		}
+		if s := int(t.slots[i].Load()); s < 0 || s >= t.max {
+			tt.Fatalf("item %d ran on slot %d, want [0, %d)", i, s, t.max)
+		}
+	}
+}
+
+func TestRunExactlyOnceAcrossPoolSizes(t *testing.T) {
+	for _, slots := range []int{1, 2, 3, 8} {
+		p := NewPool(slots)
+		q := p.NewQueue()
+		for _, n := range []int{1, 2, 7, 64, 1000} {
+			task := newCountTask(n, p.Slots())
+			q.Run(n, task)
+			task.check(t)
+		}
+		p.Close()
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var q *Queue // nil queue: the no-pool fallback kernels tolerate
+	task := newCountTask(5, 1)
+	q.Run(5, task)
+	task.check(t)
+	if q.Slots() != 1 {
+		t.Fatalf("nil queue Slots() = %d, want 1", q.Slots())
+	}
+	if q.TakeWait() != 0 {
+		t.Fatal("nil queue TakeWait() != 0")
+	}
+}
+
+func TestClosedPoolDegradesToInline(t *testing.T) {
+	p := NewPool(4)
+	q := p.NewQueue()
+	p.Close()
+	// Workers are gone; the caller must claim and run everything itself.
+	task := newCountTask(100, p.Slots())
+	q.Run(100, task)
+	task.check(t)
+}
+
+func TestQueueReuseAcrossBatches(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	q := p.NewQueue()
+	for round := 0; round < 50; round++ {
+		task := newCountTask(37, p.Slots())
+		q.Run(37, task)
+		task.check(t)
+	}
+	if q.TakeWait() < 0 {
+		t.Fatal("negative accumulated wait")
+	}
+	if q.TakeWait() != 0 {
+		t.Fatal("TakeWait did not reset")
+	}
+}
+
+// TestConcurrentQueuesAllComplete drives many producer goroutines through
+// one pool — the N-sessions shape — and checks every batch completes with
+// the exactly-once guarantee intact under contention.
+func TestConcurrentQueuesAllComplete(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const producers = 8
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := p.NewQueue()
+			for round := 0; round < 20; round++ {
+				task := newCountTask(64, p.Slots())
+				q.Run(64, task)
+				task.check(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sumTask exercises the memory-visibility edge: workers write results the
+// caller reads after Run returns.
+type sumTask struct{ out []int64 }
+
+func (t *sumTask) Run(_, item int) { t.out[item] = int64(item) * 3 }
+
+func TestResultsVisibleAfterRun(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	q := p.NewQueue()
+	task := &sumTask{out: make([]int64, 10000)}
+	q.Run(len(task.out), task)
+	var sum int64
+	for _, v := range task.out {
+		sum += v
+	}
+	want := int64(3) * 10000 * 9999 / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestDefaultPoolAndSetWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(2)
+	p := Default()
+	if p.Slots() != 2 {
+		t.Fatalf("default pool slots = %d, want 2", p.Slots())
+	}
+	if Default() != p {
+		t.Fatal("Default() is not stable")
+	}
+	SetDefaultWorkers(3)
+	p2 := Default()
+	if p2 == p || p2.Slots() != 3 {
+		t.Fatalf("SetDefaultWorkers did not rebuild (slots = %d)", p2.Slots())
+	}
+	// The old pool was closed; a queue still holding it must degrade to
+	// inline execution, not deadlock.
+	q := p.NewQueue()
+	task := newCountTask(16, p.Slots())
+	q.Run(16, task)
+	task.check(t)
+}
+
+// TestRunAllocationFlat pins the hot path at zero allocations per batch in
+// steady state — the same regression gate the frame data plane carries.
+func TestRunAllocationFlat(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	q := p.NewQueue()
+	task := &sumTask{out: make([]int64, 4096)}
+	q.Run(len(task.out), task) // warm: active-list growth, first chunks
+	allocs := testing.AllocsPerRun(50, func() {
+		q.Run(len(task.out), task)
+		q.TakeWait()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Queue.Run allocates %.1f allocs/op, want 0", allocs)
+	}
+}

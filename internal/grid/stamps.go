@@ -1,0 +1,121 @@
+package grid
+
+import "math"
+
+// This file is the dirty-block tracking layer under ROI extraction: a
+// per-block content stamp — min/max over the block's lattice support plus a
+// cheap FNV-1a checksum of the raw sample bits — recomputed from a snapshot
+// in one pass. Two equal stamps mean the block's samples are bit-identical
+// (up to checksum collision, ~2^-64 per block per frame), so a cached
+// per-block mesh extracted at the same isovalue is still exact; an unequal
+// stamp marks the block dirty. The min/max half doubles as the Section
+// 4.4.1 culling metadata, so stamping a snapshot also refreshes the block
+// decomposition's ContainsIso pruning without a second field scan.
+
+// BlockStamp is one block's content fingerprint.
+type BlockStamp struct {
+	Min, Max float32
+	// Sum is an FNV-1a hash of the block's sample bits in scan order.
+	Sum uint64
+}
+
+// ContainsIso reports whether a block with this stamp can intersect the
+// isosurface at v.
+func (s BlockStamp) ContainsIso(v float32) bool { return s.Min <= v && v <= s.Max }
+
+// BlockStamps is a reusable stamp set for one field/edge geometry, in the
+// same block order as Decompose (x fastest, then y, then z).
+type BlockStamps struct {
+	Edge       int
+	NX, NY, NZ int // lattice dims of the stamped field
+	Stamps     []BlockStamp
+}
+
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// StampBlocks computes the per-block stamps of f under the given block edge
+// into dst, reusing its storage (nil allocates a fresh set). One pass over
+// the field; block order matches Decompose exactly.
+func StampBlocks(f *ScalarField, edge int, dst *BlockStamps) *BlockStamps {
+	if edge < 1 {
+		panic("grid: block edge must be >= 1")
+	}
+	if dst == nil {
+		dst = &BlockStamps{}
+	}
+	cx, cy, cz := f.NX-1, f.NY-1, f.NZ-1
+	nb := blocksPerAxis(cx, edge) * blocksPerAxis(cy, edge) * blocksPerAxis(cz, edge)
+	if cap(dst.Stamps) < nb {
+		dst.Stamps = make([]BlockStamp, nb)
+	}
+	dst.Stamps = dst.Stamps[:nb]
+	dst.Edge = edge
+	dst.NX, dst.NY, dst.NZ = f.NX, f.NY, f.NZ
+
+	i := 0
+	for z0 := 0; z0 < cz; z0 += edge {
+		nz := minInt(edge, cz-z0)
+		for y0 := 0; y0 < cy; y0 += edge {
+			ny := minInt(edge, cy-y0)
+			for x0 := 0; x0 < cx; x0 += edge {
+				nx := minInt(edge, cx-x0)
+				mn := f.Data[(z0*f.NY+y0)*f.NX+x0]
+				mx := mn
+				h := fnvOffset
+				for z := z0; z <= z0+nz; z++ {
+					for y := y0; y <= y0+ny; y++ {
+						row := f.Data[(z*f.NY+y)*f.NX+x0 : (z*f.NY+y)*f.NX+x0+nx+1]
+						for _, v := range row {
+							if v < mn {
+								mn = v
+							}
+							if v > mx {
+								mx = v
+							}
+							h = (h ^ uint64(math.Float32bits(v))) * fnvPrime
+						}
+					}
+				}
+				dst.Stamps[i] = BlockStamp{Min: mn, Max: mx, Sum: h}
+				i++
+			}
+		}
+	}
+	return dst
+}
+
+// BlocksInto rebuilds the block list matching this stamp set's geometry
+// into dst (reused via append), taking each block's Min/Max from its stamp
+// instead of re-scanning the field.
+func (st *BlockStamps) BlocksInto(dst []Block) []Block {
+	dst = dst[:0]
+	cx, cy, cz := st.NX-1, st.NY-1, st.NZ-1
+	i := 0
+	for z0 := 0; z0 < cz; z0 += st.Edge {
+		for y0 := 0; y0 < cy; y0 += st.Edge {
+			for x0 := 0; x0 < cx; x0 += st.Edge {
+				s := st.Stamps[i]
+				dst = append(dst, Block{
+					X0: x0, Y0: y0, Z0: z0,
+					NX:  minInt(st.Edge, cx-x0),
+					NY:  minInt(st.Edge, cy-y0),
+					NZ:  minInt(st.Edge, cz-z0),
+					Min: s.Min, Max: s.Max,
+				})
+				i++
+			}
+		}
+	}
+	return dst
+}
+
+// blocksPerAxis is the block count covering n cells at the given edge.
+func blocksPerAxis(n, edge int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + edge - 1) / edge
+}

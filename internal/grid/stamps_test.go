@@ -1,0 +1,90 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomField(rng *rand.Rand, nx, ny, nz int) *ScalarField {
+	f := NewScalarField(nx, ny, nz)
+	for i := range f.Data {
+		f.Data[i] = rng.Float32()
+	}
+	return f
+}
+
+// TestStampBlocksMatchesDecompose pins the stamp set to the Decompose
+// ground truth: same block count and order, same min/max per block.
+func TestStampBlocksMatchesDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{17, 9, 5}, {16, 16, 16}, {8, 8, 2}, {3, 3, 3}} {
+		f := randomField(rng, dims[0], dims[1], dims[2])
+		for _, edge := range []int{1, 4, 8, 32} {
+			blocks := Decompose(f, edge)
+			st := StampBlocks(f, edge, nil)
+			if len(st.Stamps) != len(blocks) {
+				t.Fatalf("dims %v edge %d: %d stamps, %d blocks", dims, edge, len(st.Stamps), len(blocks))
+			}
+			for i, b := range blocks {
+				if st.Stamps[i].Min != b.Min || st.Stamps[i].Max != b.Max {
+					t.Fatalf("dims %v edge %d block %d: stamp min/max %v/%v, Decompose %v/%v",
+						dims, edge, i, st.Stamps[i].Min, st.Stamps[i].Max, b.Min, b.Max)
+				}
+			}
+			rebuilt := st.BlocksInto(nil)
+			for i := range blocks {
+				if rebuilt[i] != blocks[i] {
+					t.Fatalf("dims %v edge %d block %d: BlocksInto %+v, Decompose %+v",
+						dims, edge, i, rebuilt[i], blocks[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStampDetectsSingleSampleChange: flipping any one lattice point must
+// change the stamp of every block whose support contains it, and no other.
+func TestStampDetectsSingleSampleChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := randomField(rng, 13, 10, 7)
+	const edge = 4
+	before := StampBlocks(f, edge, nil)
+	blocks := before.BlocksInto(nil)
+
+	for trial := 0; trial < 20; trial++ {
+		x, y, z := rng.Intn(f.NX), rng.Intn(f.NY), rng.Intn(f.NZ)
+		i := (z*f.NY+y)*f.NX + x
+		old := f.Data[i]
+		f.Data[i] = old + 0.5
+		after := StampBlocks(f, edge, nil)
+		for bi, b := range blocks {
+			inSupport := x >= b.X0 && x <= b.X0+b.NX &&
+				y >= b.Y0 && y <= b.Y0+b.NY &&
+				z >= b.Z0 && z <= b.Z0+b.NZ
+			changed := after.Stamps[bi] != before.Stamps[bi]
+			if inSupport && !changed {
+				t.Fatalf("point (%d,%d,%d) in block %d support but stamp unchanged", x, y, z, bi)
+			}
+			if !inSupport && changed {
+				t.Fatalf("point (%d,%d,%d) outside block %d support but stamp changed", x, y, z, bi)
+			}
+		}
+		f.Data[i] = old
+	}
+}
+
+// TestStampBlocksReuse: a second call into the same destination must not
+// grow storage and must produce identical stamps.
+func TestStampBlocksReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := randomField(rng, 20, 20, 20)
+	var st BlockStamps
+	StampBlocks(f, 8, &st)
+	first := append([]BlockStamp(nil), st.Stamps...)
+	StampBlocks(f, 8, &st)
+	for i := range first {
+		if st.Stamps[i] != first[i] {
+			t.Fatalf("stamp %d not stable across reuse", i)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"ricsa/internal/clock"
 	"ricsa/internal/cm"
+	"ricsa/internal/fcp"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 	"ricsa/internal/steering"
@@ -82,6 +83,13 @@ type Scenario struct {
 	FrameBudget  float64
 	FrameCost    time.Duration
 	MaxViewerLag int
+	// ComputeWorkers sizes the run's private frame-compute pool (sim sweeps
+	// and block extraction). <= 0 selects 1 — fully inline, the
+	// conservative default. Pool workers are compute-only (they never wait
+	// on the virtual clock), and pooled extraction is byte-identical to
+	// inline, so the deterministic log is the same at any width; a
+	// regression test pins that.
+	ComputeWorkers int
 	// Events is the script, in any order; the engine sorts by At (ties keep
 	// authoring order, and run before the sample at the same instant).
 	Events []Event
@@ -435,6 +443,15 @@ func Run(sc Scenario) (*Result, error) {
 	if maxSessions <= 0 {
 		maxSessions = 64
 	}
+	// The run owns a private compute pool so scenarios never contend with
+	// each other's workers. Created before the manager: the deferred Close
+	// then runs after Shutdown, when no producer can still be submitting.
+	workers := sc.ComputeWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	pool := fcp.NewPool(workers)
+	defer pool.Close()
 	e.mgr = steering.NewSessionManager(steering.ManagerConfig{
 		MaxSessions:       maxSessions,
 		Seed:              sc.Seed,
@@ -448,6 +465,7 @@ func Run(sc Scenario) (*Result, error) {
 		FrameBudget:       sc.FrameBudget,
 		FrameCost:         sc.FrameCost,
 		MaxViewerLag:      sc.MaxViewerLag,
+		ComputePool:       pool,
 	})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)

@@ -73,6 +73,55 @@ func TestScenarioSuite(t *testing.T) {
 	}
 }
 
+// TestScenarioPoolWidthInvariant pins the frame-compute pool's determinism
+// contract at the system level: the same scenario produces byte-identical
+// logs whether every session's sim sweeps and extraction run inline
+// (ComputeWorkers 1) or fan out over a 4-slot pool. Pool workers are
+// compute-only — they never wait on the virtual clock — and pooled results
+// are byte-identical to inline, so the log cannot depend on pool width.
+func TestScenarioPoolWidthInvariant(t *testing.T) {
+	t.Parallel()
+	var base Scenario
+	for _, sc := range All() {
+		if sc.Name == "steady-state" {
+			base = sc
+			break
+		}
+	}
+	if base.Name == "" {
+		t.Fatal("steady-state scenario missing from the canned suite")
+	}
+
+	inline := base
+	inline.ComputeWorkers = 1
+	pooled := base
+	pooled.ComputeWorkers = 4
+
+	a, err := Run(inline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Verify(b); err != nil {
+		t.Fatalf("verify (pooled run): %v", err)
+	}
+	if !bytes.Equal(a.Log, b.Log) {
+		i := 0
+		for i < len(a.Log) && i < len(b.Log) && a.Log[i] == b.Log[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("pool width changed the log at byte %d:\n inline: …%s\n pooled: …%s",
+			i, a.Log[lo:min(i+120, len(a.Log))], b.Log[lo:min(i+120, len(b.Log))])
+	}
+}
+
 // TestScenarioNoGoroutineLeak runs the churn-heavy scenarios — viewer
 // crowds and the overload soak with its scripted evictions — and checks
 // the process returns to its baseline goroutine population after Shutdown:

@@ -15,6 +15,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"ricsa/internal/fcp"
 )
 
 // Params are the steerable physics and numerics parameters. The RICSA GUI
@@ -86,7 +88,12 @@ type Sim struct {
 	cycle int
 	dx    float64
 	nWork int
-	// scratch caches per-worker pencil buffers, reused across sweeps and
+	// queue submits sweep batches to the shared frame-compute pool; lazily
+	// attached to the process default pool unless a session injects its own
+	// via SetQueue. task is the reusable batch descriptor.
+	queue *fcp.Queue
+	task  sweepTask
+	// scratch caches per-slot pencil buffers, reused across sweeps and
 	// steps so the steady-state solver loop performs no allocation.
 	scratch []*sweepScratch
 	// pending holds a steering update applied at the next step boundary.
@@ -220,15 +227,32 @@ func (s *Sim) Cycle() int {
 	return s.cycle
 }
 
-// SetWorkers bounds the sweep parallelism (<= 0 restores GOMAXPROCS). With
-// exactly one worker, sweeps run inline with zero per-step goroutine spawns
-// — the allocation-flat mode the frame-stage benchmarks measure. Call it
-// between Steps, not concurrently with one.
+// SetWorkers selects the sweep execution mode. With exactly one worker,
+// sweeps run inline with zero per-step goroutine spawns — the
+// allocation-flat mode the frame-stage benchmarks measure. Any other value
+// (including <= 0) runs sweeps over the shared frame-compute pool, whose
+// width — not n — bounds the parallelism. Call it between Steps, not
+// concurrently with one.
 func (s *Sim) SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	s.nWork = n
+}
+
+// SetQueue attaches the Sim to a specific frame-compute pool queue — one
+// queue per session keeps pool scheduling fair across sessions. A nil queue
+// reverts to a lazily created queue on the process default pool. Call it
+// between Steps, not concurrently with one.
+func (s *Sim) SetQueue(q *fcp.Queue) { s.queue = q }
+
+// queueFor returns the Sim's pool queue, attaching to the default pool on
+// first pooled sweep.
+func (s *Sim) queueFor() *fcp.Queue {
+	if s.queue == nil {
+		s.queue = fcp.Default().NewQueue()
+	}
+	return s.queue
 }
 
 // Step advances one cycle (sweepx, sweepy, sweepz) and returns the dt used.

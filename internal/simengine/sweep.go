@@ -2,12 +2,33 @@ package simengine
 
 import (
 	"math"
-	"sync"
+
+	"ricsa/internal/fcp"
 )
 
+// sweepTask adapts a sweep to the shared frame-compute pool: one item per
+// pencil, per-worker scratch selected by the pool's slot index. Pencils
+// along an axis touch disjoint cells and each pencil's float sequence is
+// independent of which slot runs it, so a pooled sweep is bit-identical to
+// the inline one at any pool width.
+type sweepTask struct {
+	s    *Sim
+	axis int
+	dt   float64
+	par  Params
+}
+
+func (t *sweepTask) Run(worker, p int) {
+	t.s.sweepPencil(t.axis, p, t.dt, t.par, t.s.scratch[worker])
+}
+
 // sweep applies the 1-D update along the given axis (0=x, 1=y, 2=z) to
-// every pencil, in parallel across worker goroutines. This is VH1's
-// sweepx/sweepy/sweepz with the role of "normal velocity" rotated per axis.
+// every pencil. This is VH1's sweepx/sweepy/sweepz with the role of
+// "normal velocity" rotated per axis. With one worker the pencils run
+// inline on the calling goroutine (the allocation-flat mode the frame
+// benchmarks measure); otherwise they fan out over the shared
+// frame-compute pool through the Sim's queue, competing fairly with other
+// sessions' batches.
 func (s *Sim) sweep(axis int, dt float64, par Params) {
 	var nPencil, pLen int
 	switch axis {
@@ -22,44 +43,23 @@ func (s *Sim) sweep(axis int, dt float64, par Params) {
 		return
 	}
 
-	workers := s.nWork
-	if workers > nPencil {
-		workers = nPencil
+	var q *fcp.Queue
+	slots := 1
+	if s.nWork != 1 && nPencil > 1 {
+		q = s.queueFor()
+		slots = q.Slots()
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	scratch := s.ensureScratch(workers)
-	if workers == 1 {
-		// Serial fast path: no goroutine spawn, so a steady-state step is
-		// allocation-free (the frame benchmarks run the solver this way).
+	scratch := s.ensureScratch(slots)
+	if slots == 1 {
 		ws := scratch[0]
 		for p := 0; p < nPencil; p++ {
 			s.sweepPencil(axis, p, dt, par, ws)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (nPencil + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > nPencil {
-			hi = nPencil
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			ws := scratch[w]
-			for p := lo; p < hi; p++ {
-				s.sweepPencil(axis, p, dt, par, ws)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	s.task = sweepTask{s: s, axis: axis, dt: dt, par: par}
+	q.Run(nPencil, &s.task)
+	s.task = sweepTask{}
 }
 
 // ensureScratch returns per-worker pencil scratch sized for the longest
@@ -104,22 +104,23 @@ func newSweepScratch(n int) *sweepScratch {
 	}
 }
 
-// pencilIndex returns the flat cell index of position k along pencil p for
-// the given axis.
-func (s *Sim) pencilIndex(axis, p, k int) int {
+// pencilBase returns the flat index of pencil p's first cell and the flat
+// stride between consecutive cells along the axis, so the per-cell loops
+// index with one add instead of a div/mod + idx() per cell.
+func (s *Sim) pencilBase(axis, p int) (base, stride int) {
 	switch axis {
 	case 0:
 		y := p % s.NY
 		z := p / s.NY
-		return s.idx(k, y, z)
+		return (z*s.NY + y) * s.NX, 1
 	case 1:
 		x := p % s.NX
 		z := p / s.NX
-		return s.idx(x, k, z)
+		return z*s.NY*s.NX + x, s.NX
 	default:
 		x := p % s.NX
 		y := p / s.NX
-		return s.idx(x, y, k)
+		return y*s.NX + x, s.NX * s.NY
 	}
 }
 
@@ -137,23 +138,29 @@ func (s *Sim) sweepPencil(axis, p int, dt float64, par Params, ws *sweepScratch)
 	g := par.Gamma
 	g1 := g - 1
 
+	// Hoist the per-axis velocity rotation out of the cell loops: mn is the
+	// normal momentum component, mt1/mt2 the transverse ones. The gather and
+	// update below then run axis-free, with the same operand order (and so
+	// bit-identical arithmetic) as the per-cell switch they replace.
+	var mn, mt1, mt2 []float64
+	switch axis {
+	case 0:
+		mn, mt1, mt2 = s.mx, s.my, s.mz
+	case 1:
+		mn, mt1, mt2 = s.my, s.mx, s.mz
+	default:
+		mn, mt1, mt2 = s.mz, s.mx, s.my
+	}
+	base, stride := s.pencilBase(axis, p)
+
 	// Gather primitives with the axis-appropriate velocity rotation.
-	for k := 0; k < n; k++ {
-		i := s.pencilIndex(axis, p, k)
+	for k, i := 0, base; k < n; k, i = k+1, i+stride {
 		j := k + ghosts
 		r := s.rho[i]
 		if r < 1e-12 {
 			r = 1e-12
 		}
-		var un, ut1, ut2 float64
-		switch axis {
-		case 0:
-			un, ut1, ut2 = s.mx[i]/r, s.my[i]/r, s.mz[i]/r
-		case 1:
-			un, ut1, ut2 = s.my[i]/r, s.mx[i]/r, s.mz[i]/r
-		default:
-			un, ut1, ut2 = s.mz[i]/r, s.mx[i]/r, s.my[i]/r
-		}
+		un, ut1, ut2 := mn[i]/r, mt1[i]/r, mt2[i]/r
 		kin := 0.5 * r * (un*un + ut1*ut1 + ut2*ut2)
 		pr := g1 * (s.en[i] - kin)
 		if pr < 1e-12 {
@@ -186,15 +193,13 @@ func (s *Sim) sweepPencil(axis, p int, dt float64, par Params, ws *sweepScratch)
 	}
 
 	// Interface fluxes with minmod-limited reconstruction.
+	recon := func(arr []float64, j int) (left, right float64) {
+		sl := minmod(arr[j]-arr[j-1], arr[j+1]-arr[j])
+		sr := minmod(arr[j+1]-arr[j], arr[j+2]-arr[j+1])
+		return arr[j] + 0.5*sl, arr[j+1] - 0.5*sr
+	}
 	for f := 0; f <= n; f++ {
 		jL := f + ghosts - 1
-		jR := f + ghosts
-		// Limited slopes.
-		recon := func(arr []float64, j int) (left, right float64) {
-			sl := minmod(arr[j]-arr[j-1], arr[j+1]-arr[j])
-			sr := minmod(arr[j+1]-arr[j], arr[j+2]-arr[j+1])
-			return arr[j] + 0.5*sl, arr[j+1] - 0.5*sr
-		}
 		rL, rR := recon(ws.rho, jL)
 		uL, uR := recon(ws.un, jL)
 		t1L, t1R := recon(ws.ut1, jL)
@@ -212,15 +217,13 @@ func (s *Sim) sweepPencil(axis, p int, dt float64, par Params, ws *sweepScratch)
 		if pR < 1e-12 {
 			pR = 1e-12
 		}
-		_ = jR
 		hll(g, rL, uL, t1L, t2L, pL, rR, uR, t1R, t2R, pR,
 			&ws.fR[f], &ws.fMn[f], &ws.fMt1[f], &ws.fMt2[f], &ws.fE[f])
 	}
 
 	// Conservative update, skipping solid cells.
 	lam := dt / s.dx
-	for k := 0; k < n; k++ {
-		i := s.pencilIndex(axis, p, k)
+	for k, i := 0, base; k < n; k, i = k+1, i+stride {
 		if s.solid[i] {
 			continue
 		}
@@ -233,20 +236,9 @@ func (s *Sim) sweepPencil(axis, p int, dt float64, par Params, ws *sweepScratch)
 		if s.rho[i] < 1e-12 {
 			s.rho[i] = 1e-12
 		}
-		switch axis {
-		case 0:
-			s.mx[i] += dMn
-			s.my[i] += dMt1
-			s.mz[i] += dMt2
-		case 1:
-			s.my[i] += dMn
-			s.mx[i] += dMt1
-			s.mz[i] += dMt2
-		default:
-			s.mz[i] += dMn
-			s.mx[i] += dMt1
-			s.my[i] += dMt2
-		}
+		mn[i] += dMn
+		mt1[i] += dMt1
+		mt2[i] += dMt2
 		s.en[i] += dE
 	}
 }

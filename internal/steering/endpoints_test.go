@@ -310,6 +310,9 @@ func TestLazyRenderSingleFlight(t *testing.T) {
 func TestNextDelaySubtractsElapsed(t *testing.T) {
 	m := testManager(t, 1)
 	s := createFast(t, m)
+	// nextDelay is poked directly below; stop the lifecycle goroutine first
+	// so the probe doesn't race the live producer's lateNS handoff.
+	s.halt()
 	p := s.period()
 	if got := s.nextDelay(0); got != p {
 		t.Fatalf("nextDelay(0) = %v, want the full period %v", got, p)

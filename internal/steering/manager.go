@@ -11,6 +11,7 @@ import (
 
 	"ricsa/internal/clock"
 	"ricsa/internal/cm"
+	"ricsa/internal/fcp"
 	"ricsa/internal/grid"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
@@ -107,6 +108,11 @@ type ManagerConfig struct {
 	// the scenario engine injects a clock.Virtual to run the whole live
 	// stack deterministically.
 	Clock clock.Clock
+	// ComputePool is the shared frame-compute pool every session's sim
+	// sweeps and block extraction run over, each through its own queue so
+	// pool scheduling stays fair across sessions. nil selects the process
+	// default pool (fcp.Default).
+	ComputePool *fcp.Pool
 }
 
 // SessionManager owns the live sessions of one RICSA service instance. The
@@ -124,7 +130,8 @@ type SessionManager struct {
 	optFn      func(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error)
 	optMultiFn func(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error)
 
-	tel *telemetry.Collector
+	tel  *telemetry.Collector
+	pool *fcp.Pool
 
 	mu       sync.Mutex
 	sessions map[string]*ManagedSession
@@ -160,10 +167,15 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.NewCollector(nil, 0)
 	}
+	pool := cfg.ComputePool
+	if pool == nil {
+		pool = fcp.Default()
+	}
 	m := &SessionManager{
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		tel:      cfg.Telemetry,
+		pool:     pool,
 		sessions: make(map[string]*ManagedSession),
 	}
 	m.cm = cm.New(managerTestbed(cfg.Seed), cm.Config{
@@ -466,6 +478,12 @@ type ManagedSession struct {
 	// on-demand rendering, and is reclaimed when a snapshot is superseded
 	// with no lazy render in flight.
 	fieldScratch *grid.ScalarField
+	// queue is the session's lane into the shared frame-compute pool; the
+	// sim's sweeps and the ROI extraction both submit through it, so its
+	// accumulated caller stall is the frame's pool-wait time. roi is the
+	// producer-owned dirty-block mesh cache behind RenderDatasetROI.
+	queue *fcp.Queue
+	roi   viz.BlockMeshCache
 
 	stop chan struct{}
 	done chan struct{}
@@ -503,6 +521,8 @@ func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) 
 	if req.StepsPerFrame <= 0 {
 		req.StepsPerFrame = 1
 	}
+	queue := m.pool.NewQueue()
+	sim.SetQueue(queue)
 	return &ManagedSession{
 		mgr:         m,
 		sim:         sim,
@@ -515,6 +535,7 @@ func newManagedSession(m *SessionManager, req Request) (*ManagedSession, error) 
 		Width:       512,
 		Height:      512,
 		adapter:     m.cm.NewAdapter(),
+		queue:       queue,
 	}, nil
 }
 
@@ -639,8 +660,9 @@ func (s *ManagedSession) produce() {
 	if wantRender {
 		var img *viz.Image
 		renderStart := time.Now()
-		img, err = RenderDatasetInto(&s.scratch, field, req, s.Width, s.Height)
+		img, err = RenderDatasetROI(&s.scratch, &s.roi, s.queue, field, req, s.Width, s.Height)
 		rec.RenderNS = int64(time.Since(renderStart))
+		rec.BlocksReused, rec.BlocksExtracted = s.roi.TakeStats()
 		if err == nil {
 			// Encode into the reusable scratch buffer, then copy the bytes
 			// out: published frames must be immutable, so only the encode
@@ -698,6 +720,9 @@ func (s *ManagedSession) produce() {
 
 	if published {
 		rec.ProduceNS = int64(time.Since(produceStart))
+		// The queue accumulated the producer's stall behind other sessions'
+		// pool batches across this frame's sim sweeps and extraction.
+		rec.PoolWaitNS = s.queue.TakeWait()
 		s.mgr.tel.RecordFrame(&rec)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ricsa/internal/dataset"
+	"ricsa/internal/fcp"
 	"ricsa/internal/grid"
 	"ricsa/internal/viz"
 	"ricsa/internal/viz/marchingcubes"
@@ -18,6 +19,40 @@ import (
 // restricts processing to one octree subset of the dataset.
 func RenderDataset(f *grid.ScalarField, req Request, width, height int) (*viz.Image, error) {
 	return RenderDatasetInto(nil, f, req, width, height)
+}
+
+// RenderDatasetROI is the dirty-block incremental variant of
+// RenderDatasetInto for the isosurface method: the cache carries the
+// previous frame's per-block meshes and stamps, so only blocks whose
+// content moved (or that cross the isovalue) re-extract, over q when
+// non-nil. The assembled mesh is byte-identical to a from-scratch block
+// extraction of the same snapshot, so the rendered image is too. Methods
+// other than isosurface (and a nil cache) fall through to the full path.
+func RenderDatasetROI(sc *viz.FrameScratch, cache *viz.BlockMeshCache, q *fcp.Queue, f *grid.ScalarField, req Request, width, height int) (*viz.Image, error) {
+	if cache == nil || (req.Method != "" && req.Method != "isosurface") {
+		return RenderDatasetInto(sc, f, req, width, height)
+	}
+	if sc == nil {
+		sc = &viz.FrameScratch{}
+	}
+	if req.Octant >= 0 && req.Octant < 8 {
+		oct := grid.Octants(f)[req.Octant]
+		if oct.Cells() == 0 {
+			return nil, fmt.Errorf("steering: octant %d is empty for %dx%dx%d",
+				req.Octant, f.NX, f.NY, f.NZ)
+		}
+		f = grid.SubField(f, oct)
+	}
+	sc.Bounds = [2]viz.Vec3{
+		{0, 0, 0},
+		{float32(f.NX - 1), float32(f.NY - 1), float32(f.NZ - 1)},
+	}
+	marchingcubes.ExtractROIInto(&sc.Mesh, cache, f, req.BlockEdge, req.Isovalue, q)
+	opt := render.DefaultOptions()
+	opt.Width, opt.Height = width, height
+	opt.Camera = req.Camera
+	opt.FixedBounds = &sc.Bounds
+	return render.RenderWith(sc, &sc.Mesh, opt), nil
 }
 
 // RenderDatasetInto is RenderDataset with caller-owned scratch: the mesh

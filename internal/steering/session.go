@@ -119,9 +119,12 @@ type Session struct {
 	// scratch and fieldScratch are the session's reusable frame data plane:
 	// snapshots and renders reuse them, so repeated RenderFrame calls are
 	// allocation-flat. The session is single-threaded (it owns the virtual
-	// clock), so producer-style ownership is trivial.
+	// clock), so producer-style ownership is trivial. roi is the session's
+	// dirty-block mesh cache: repeated isosurface renders re-extract only
+	// blocks whose field content moved since the previous render.
 	scratch      viz.FrameScratch
 	fieldScratch *grid.ScalarField
+	roi          viz.BlockMeshCache
 }
 
 // NewSession wires a session: the request travels client -> front end ->
@@ -279,7 +282,7 @@ func (s *Session) maybeReconfigure() error {
 // by the session's reusable scratch: it is valid until the next RenderFrame
 // call on the same session, so copy or encode it before re-rendering.
 func (s *Session) RenderFrame(width, height int) (*viz.Image, error) {
-	return RenderDatasetInto(&s.scratch, s.snapshot(), s.Req, width, height)
+	return RenderDatasetROI(&s.scratch, &s.roi, nil, s.snapshot(), s.Req, width, height)
 }
 
 // MeanFrameDelay averages the end-to-end delays of completed frames.

@@ -41,12 +41,15 @@ func (c *Counters) WritePrometheus(w io.Writer, gauges ...Gauge) {
 	counter("ricsa_frames_rendered_total", "Frames that ran the render+encode stages (not skipped by lazy rendering).", c.FramesRendered.Load())
 	counter("ricsa_frames_late_total", "Frames that started past their scheduled cadence.", c.FramesLate.Load())
 	counter("ricsa_telemetry_records_dropped_total", "Frame records shed because the sink fell behind.", c.RecordsDropped.Load())
+	counter("ricsa_blocks_reused_total", "Dirty-block ROI cache hits: per-block meshes reused without re-extraction.", c.BlocksReused.Load())
+	counter("ricsa_blocks_extracted_total", "Blocks re-extracted by the dirty-block ROI path.", c.BlocksExtracted.Load())
 
 	seconds("ricsa_stage_sim_seconds_total", "Cumulative simulation+snapshot stage time.", c.StageSimNS.Load())
 	seconds("ricsa_stage_render_seconds_total", "Cumulative extract+raster stage time.", c.StageRenderNS.Load())
 	seconds("ricsa_stage_encode_seconds_total", "Cumulative PNG encode stage time.", c.StageEncodeNS.Load())
 	seconds("ricsa_stage_produce_seconds_total", "Cumulative whole-produce time.", c.StageProduceNS.Load())
 	seconds("ricsa_queue_wait_seconds_total", "Cumulative frame start delay past scheduled cadence.", c.QueueWaitNS.Load())
+	seconds("ricsa_pool_wait_seconds_total", "Cumulative producer stall on the shared frame-compute pool.", c.PoolWaitNS.Load())
 	seconds("ricsa_delivery_predicted_seconds_total", "Cumulative slowest-branch predicted delivery delay.", c.DeliveryNS.Load())
 
 	for _, g := range gauges {

@@ -50,6 +50,16 @@ type FrameRecord struct {
 	// the overrun otherwise. A persistently positive queue wait is the
 	// backpressure signal admission control's watermark guards against.
 	QueueWaitNS int64
+	// PoolWaitNS is how long the producer stalled waiting for its batches
+	// on the shared frame-compute pool this frame (sim sweeps plus block
+	// extraction). Persistent pool wait means sessions are contending for
+	// compute slots.
+	PoolWaitNS int64
+	// BlocksReused/BlocksExtracted are the dirty-block ROI cache's
+	// classification for the frame: blocks whose cached mesh was kept vs
+	// blocks re-extracted. A steady field reports Extracted == 0.
+	BlocksReused    int
+	BlocksExtracted int
 	// Delivery holds the installed mapping's predicted delivery delay per
 	// branch (a single-viewer session has exactly one); Branches is how
 	// many entries are valid.
@@ -128,6 +138,9 @@ func (c *Collector) RecordFrame(rec *FrameRecord) {
 	c.StageEncodeNS.Add(rec.EncodeNS)
 	c.StageProduceNS.Add(rec.ProduceNS)
 	c.QueueWaitNS.Add(rec.QueueWaitNS)
+	c.PoolWaitNS.Add(rec.PoolWaitNS)
+	c.BlocksReused.Add(uint64(rec.BlocksReused))
+	c.BlocksExtracted.Add(uint64(rec.BlocksExtracted))
 	var worst int64
 	for i := 0; i < rec.Branches && i < MaxBranches; i++ {
 		if rec.Delivery[i] > worst {
@@ -221,9 +234,17 @@ type Counters struct {
 	StageEncodeNS  atomic.Int64
 	StageProduceNS atomic.Int64
 	QueueWaitNS    atomic.Int64
+	// PoolWaitNS accumulates producer stall on the shared frame-compute
+	// pool — the contention signal for sizing -compute-workers.
+	PoolWaitNS atomic.Int64
 	// DeliveryNS accumulates the slowest predicted branch delivery per
 	// frame — the delay frame pacing charges.
 	DeliveryNS atomic.Int64
+
+	// Dirty-block ROI cache effectiveness: blocks whose cached mesh was
+	// reused vs blocks re-extracted, summed over rendered frames.
+	BlocksReused    atomic.Uint64
+	BlocksExtracted atomic.Uint64
 
 	// RecordsDropped counts frame records shed because the sink could not
 	// keep up with the batch rate.
@@ -248,7 +269,10 @@ type CounterSnapshot struct {
 	StageEncodeNS            int64
 	StageProduceNS           int64
 	QueueWaitNS              int64
+	PoolWaitNS               int64
 	DeliveryNS               int64
+	BlocksReused             uint64
+	BlocksExtracted          uint64
 	RecordsDropped           uint64
 }
 
@@ -270,7 +294,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		StageEncodeNS:            c.StageEncodeNS.Load(),
 		StageProduceNS:           c.StageProduceNS.Load(),
 		QueueWaitNS:              c.QueueWaitNS.Load(),
+		PoolWaitNS:               c.PoolWaitNS.Load(),
 		DeliveryNS:               c.DeliveryNS.Load(),
+		BlocksReused:             c.BlocksReused.Load(),
+		BlocksExtracted:          c.BlocksExtracted.Load(),
 		RecordsDropped:           c.RecordsDropped.Load(),
 	}
 }

@@ -16,9 +16,9 @@
 package marchingcubes
 
 import (
-	"runtime"
 	"sync"
 
+	"ricsa/internal/fcp"
 	"ricsa/internal/grid"
 	"ricsa/internal/viz"
 )
@@ -196,14 +196,44 @@ func ExtractBlock(f *grid.ScalarField, b grid.Block, iso float32) *viz.Mesh {
 func ExtractBlockInto(m *viz.Mesh, f *grid.ScalarField, b grid.Block, iso float32) {
 	var corners [8]viz.Vec3
 	var values [8]float32
+	data := f.Data
 	for z := b.Z0; z < b.Z0+b.NZ; z++ {
+		fz0, fz1 := float32(z), float32(z+1)
 		for y := b.Y0; y < b.Y0+b.NY; y++ {
+			// Row bases for the four lattice rows a cell row touches: the
+			// inner loop then indexes with x offsets only, with no per-corner
+			// At() arithmetic.
+			r00 := data[(z*f.NY+y)*f.NX:]
+			r01 := data[(z*f.NY+y+1)*f.NX:]
+			r10 := data[((z+1)*f.NY+y)*f.NX:]
+			r11 := data[((z+1)*f.NY+y+1)*f.NX:]
+			fy0, fy1 := float32(y), float32(y+1)
 			for x := b.X0; x < b.X0+b.NX; x++ {
-				for c := 0; c < 8; c++ {
-					cx, cy, cz := x+(c&1), y+((c>>1)&1), z+((c>>2)&1)
-					corners[c] = viz.Vec3{float32(cx), float32(cy), float32(cz)}
-					values[c] = f.At(cx, cy, cz)
+				v0, v1 := r00[x], r00[x+1]
+				v2, v3 := r01[x], r01[x+1]
+				v4, v5 := r10[x], r10[x+1]
+				v6, v7 := r11[x], r11[x+1]
+				// A cell whose corners are all on one side of the isovalue
+				// emits nothing (marchTet returns for n == 0 and n == 4), so
+				// skipping it here leaves the output byte-identical.
+				above := v0 > iso
+				if (v1 > iso) == above && (v2 > iso) == above &&
+					(v3 > iso) == above && (v4 > iso) == above &&
+					(v5 > iso) == above && (v6 > iso) == above &&
+					(v7 > iso) == above {
+					continue
 				}
+				fx0, fx1 := float32(x), float32(x+1)
+				corners[0] = viz.Vec3{fx0, fy0, fz0}
+				corners[1] = viz.Vec3{fx1, fy0, fz0}
+				corners[2] = viz.Vec3{fx0, fy1, fz0}
+				corners[3] = viz.Vec3{fx1, fy1, fz0}
+				corners[4] = viz.Vec3{fx0, fy0, fz1}
+				corners[5] = viz.Vec3{fx1, fy0, fz1}
+				corners[6] = viz.Vec3{fx0, fy1, fz1}
+				corners[7] = viz.Vec3{fx1, fy1, fz1}
+				values[0], values[1], values[2], values[3] = v0, v1, v2, v3
+				values[4], values[5], values[6], values[7] = v4, v5, v6, v7
 				marchCell(m, &corners, &values, iso)
 			}
 		}
@@ -216,44 +246,126 @@ func ExtractBlockInto(m *viz.Mesh, f *grid.ScalarField, b grid.Block, iso float3
 // loop extracts without re-growing per-block buffers.
 var meshPool = sync.Pool{New: func() any { return new(viz.Mesh) }}
 
-// ExtractBlocks extracts active blocks in parallel with the given worker
-// count and concatenates the per-block meshes deterministically. This is
-// the in-process analogue of the paper's MPI-based cluster modules.
+// ExtractBlocks extracts active blocks in parallel and concatenates the
+// per-block meshes deterministically. This is the in-process analogue of the
+// paper's MPI-based cluster modules. workers == 1 extracts sequentially on
+// the calling goroutine; any other value runs the blocks over the shared
+// frame-compute pool (see package fcp), whose width bounds the parallelism.
 func ExtractBlocks(f *grid.ScalarField, blocks []grid.Block, iso float32, workers int) *viz.Mesh {
 	out := &viz.Mesh{}
 	ExtractBlocksInto(out, f, blocks, iso, workers)
 	return out
 }
 
+// extractState is the pooled per-call scratch of the batch extraction path:
+// the filtered active-block list, the per-block part meshes, the task the
+// pool runs, and a persistent queue on the shared pool.
+type extractState struct {
+	active []grid.Block
+	parts  []*viz.Mesh
+	task   blocksTask
+	queue  *fcp.Queue
+}
+
+// blocksTask extracts one active block per item into its part mesh.
+type blocksTask struct {
+	st  *extractState
+	f   *grid.ScalarField
+	iso float32
+}
+
+func (t *blocksTask) Run(_, i int) {
+	m := t.st.parts[i]
+	m.Reset()
+	ExtractBlockInto(m, t.f, t.st.active[i], t.iso)
+}
+
+var statePool = sync.Pool{New: func() any { return new(extractState) }}
+
 // ExtractBlocksInto is ExtractBlocks with a caller-owned output mesh: out is
 // truncated and refilled, and the per-block scratch meshes come from a pool,
-// so repeated block extraction reuses both arenas.
+// so repeated block extraction reuses both arenas. The per-block meshes are
+// always appended in block index order, so the output is byte-identical to
+// the sequential workers == 1 path at any pool width.
 func ExtractBlocksInto(out *viz.Mesh, f *grid.ScalarField, blocks []grid.Block, iso float32, workers int) {
 	out.Reset()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if workers == 1 {
+		for _, b := range blocks {
+			if b.ContainsIso(iso) {
+				ExtractBlockInto(out, f, b, iso)
+			}
+		}
+		return
 	}
-	active := grid.ActiveBlocks(blocks, iso)
-	parts := make([]*viz.Mesh, len(active))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, b := range active {
-		wg.Add(1)
-		go func(i int, b grid.Block) {
-			defer wg.Done()
-			sem <- struct{}{}
-			m := meshPool.Get().(*viz.Mesh)
-			m.Reset()
-			ExtractBlockInto(m, f, b, iso)
-			parts[i] = m
-			<-sem
-		}(i, b)
+	st := statePool.Get().(*extractState)
+	st.active = st.active[:0]
+	for _, b := range blocks {
+		if b.ContainsIso(iso) {
+			st.active = append(st.active, b)
+		}
 	}
-	wg.Wait()
-	for _, p := range parts {
+	n := len(st.active)
+	if cap(st.parts) < n {
+		st.parts = make([]*viz.Mesh, n)
+	}
+	st.parts = st.parts[:n]
+	for i := range st.parts {
+		st.parts[i] = meshPool.Get().(*viz.Mesh)
+	}
+	if st.queue == nil {
+		st.queue = fcp.Default().NewQueue()
+	}
+	st.task = blocksTask{st: st, f: f, iso: iso}
+	st.queue.Run(n, &st.task)
+	st.task = blocksTask{}
+	for i, p := range st.parts {
 		out.Append(p)
 		p.Reset()
 		meshPool.Put(p)
+		st.parts[i] = nil
+	}
+	statePool.Put(st)
+}
+
+// roiTask re-extracts the dirty blocks of a BlockMeshCache: item i is the
+// i-th dirty block index, extracted into that block's cached mesh.
+type roiTask struct {
+	c     *viz.BlockMeshCache
+	f     *grid.ScalarField
+	iso   float32
+	dirty []int
+}
+
+func (t *roiTask) Run(_, i int) {
+	bi := t.dirty[i]
+	m := t.c.Mesh(bi)
+	m.Reset()
+	ExtractBlockInto(m, t.f, t.c.Block(bi), t.iso)
+}
+
+var roiPool = sync.Pool{New: func() any { return new(roiTask) }}
+
+// ExtractROIInto is the dirty-block incremental extraction path: the cache
+// classifies every block against its previous-frame stamp, only the dirty
+// ones are re-extracted (over q when non-nil, inline otherwise), and the
+// composed mesh is assembled in fixed block order — byte-identical to a
+// from-scratch ExtractBlocksInto of the same snapshot. edge < 1 defaults
+// to 8-cell blocks.
+func ExtractROIInto(out *viz.Mesh, c *viz.BlockMeshCache, f *grid.ScalarField, edge int, iso float32, q *fcp.Queue) {
+	if edge < 1 {
+		edge = 8
+	}
+	dirty := c.Plan(f, edge, iso)
+	if len(dirty) > 0 {
+		t := roiPool.Get().(*roiTask)
+		t.c, t.f, t.iso, t.dirty = c, f, iso, dirty
+		q.Run(len(dirty), t)
+		*t = roiTask{}
+		roiPool.Put(t)
+	}
+	out.Reset()
+	for i := 0; i < c.Len(); i++ {
+		out.Append(c.Mesh(i))
 	}
 }
 

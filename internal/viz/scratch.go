@@ -106,8 +106,11 @@ func (bp *pngEncPool) Get() *png.EncoderBuffer {
 func (bp *pngEncPool) Put(b *png.EncoderBuffer) { bp.p.Put(b) }
 
 // pngEncoder is the shared pooled encoder. png.Encoder carries no per-encode
-// state besides the pool, so concurrent use is safe.
+// state besides the pool, so concurrent use is safe. BestSpeed: monitoring
+// frames are transient (a viewer holds one for a fraction of a second), so
+// encode latency on the frame hot path buys more than the few percent of
+// size the default compression level would save.
 var pngEncoder = png.Encoder{
-	CompressionLevel: png.DefaultCompression,
+	CompressionLevel: png.BestSpeed,
 	BufferPool:       &pngEncPool{},
 }
