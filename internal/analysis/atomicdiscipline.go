@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicDiscipline enforces the flat-counter telemetry discipline (DESIGN
+// §9) and general sync hygiene:
+//
+//   - a field or package variable accessed through sync/atomic anywhere in
+//     the program must never be read or written plainly anywhere else —
+//     mixed access is a data race the race detector only catches when both
+//     sides happen to run under -race at once (Collect gathers the atomic
+//     access set across every package before Run flags plain accesses);
+//   - values whose type contains a lock or a typed atomic (sync.Mutex,
+//     sync.WaitGroup, atomic.Uint64, telemetry.Counters, ...) must not be
+//     copied: not assigned by value, not passed by value, not ranged-over
+//     by value. A copied atomic is a silently diverging counter.
+var AtomicDiscipline = &Analyzer{
+	Name:    "atomicdiscipline",
+	Doc:     "fields touched via sync/atomic must never be accessed plainly; lock/atomic-bearing types must not be copied",
+	Collect: collectAtomicFacts,
+	Run:     runAtomicDiscipline,
+}
+
+// atomicKey builds the stable cross-package identity of the operand of an
+// &x.f (or &v) argument to a sync/atomic call: "pkg.Type.Field" for
+// fields, "pkg.Var" for package-level variables. "" if the expression is
+// not a field or variable reference.
+func atomicKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok {
+			// pkg.Var qualified reference from another package.
+			if obj, ok := info.Uses[e.Sel].(*types.Var); ok && !obj.IsField() && obj.Pkg() != nil &&
+				obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			return ""
+		}
+		f, ok := sel.Obj().(*types.Var)
+		if !ok || !f.IsField() || f.Pkg() == nil {
+			return ""
+		}
+		recv := sel.Recv()
+		if p, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		for {
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return f.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+	case *ast.Ident:
+		obj, ok := info.Uses[e].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			return "" // locals are single-goroutine concerns
+		}
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return ""
+}
+
+func collectAtomicFacts(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := pkgNameOf(p.Info, sel.X)
+			if pkg == nil || pkg.Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if key := atomicKey(p.Info, ue.X); key != "" {
+					if _, seen := p.Facts.AtomicFields[key]; !seen {
+						p.Facts.AtomicFields[key] = p.Fset.Position(arg.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func runAtomicDiscipline(p *Pass) {
+	const rule = "atomicdiscipline"
+	for _, f := range p.Files {
+		// sanctioned marks the &x.f operands of sync/atomic calls in this
+		// file, so the plain-access walk below can skip them.
+		sanctioned := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pkg := pkgNameOf(p.Info, sel.X); pkg != nil && pkg.Path() == "sync/atomic" {
+					for _, arg := range call.Args {
+						if ue, ok := arg.(*ast.UnaryExpr); ok {
+							sanctioned[ue.X] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok || sanctioned[e] {
+				return true
+			}
+			key := ""
+			switch e := e.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+				key = atomicKey(p.Info, e)
+			}
+			if key == "" {
+				return true
+			}
+			if first, atomic := p.Facts.AtomicFields[key]; atomic {
+				p.Reportf(rule, n.Pos(),
+					"plain access to %s, which is accessed via sync/atomic at %s:%d — every access must go through sync/atomic",
+					key, first.Filename, first.Line)
+				return false
+			}
+			return true
+		})
+
+		checkNoCopy(p, f)
+	}
+}
+
+// checkNoCopy flags by-value copies of types that transitively contain a
+// sync lock or a typed atomic. Initialization from a composite literal is
+// allowed (the fresh value has no history to lose); everything else — x :=
+// y, *p copies, by-value call arguments, by-value range — is flagged.
+func checkNoCopy(p *Pass, f *ast.File) {
+	const rule = "atomicdiscipline"
+	report := func(e ast.Expr, t types.Type, how string) {
+		p.Reportf(rule, e.Pos(), "%s copies %s, which contains %s — use a pointer", how, t.String(), containsNoCopy(t))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if copiesNoCopy(p.Info, rhs) {
+					report(rhs, typeOf(p.Info, rhs), "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if copiesNoCopy(p.Info, v) {
+					report(v, typeOf(p.Info, v), "assignment")
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversions of lock-bearing types don't exist
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "len", "cap", "new":
+					return true
+				}
+			}
+			for _, arg := range n.Args {
+				if copiesNoCopy(p.Info, arg) {
+					report(arg, typeOf(p.Info, arg), "call argument")
+				}
+			}
+		case *ast.RangeStmt:
+			// The range value is a fresh per-iteration copy of the element;
+			// its ident lives in Defs, not Types, so the element type rides
+			// along explicitly.
+			if t := typeOf(p.Info, n.X); t != nil {
+				if elem := rangeElem(t); elem != nil && containsNoCopy(elem) != "" && n.Value != nil {
+					report(n.Value, elem, "range value")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiesNoCopy reports whether evaluating e as an r-value copies an
+// existing lock/atomic-bearing value (composite literals and function
+// results are fresh values and exempt; &x takes no copy).
+func copiesNoCopy(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit, *ast.BasicLit:
+		return false
+	case *ast.UnaryExpr:
+		return false // &x or operators on basics
+	case *ast.ParenExpr:
+		return copiesNoCopy(info, e.X)
+	}
+	t := typeOf(info, e)
+	return t != nil && containsNoCopy(t) != ""
+}
+
+func rangeElem(t types.Type) types.Type {
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		return t.Elem()
+	case *types.Array:
+		return t.Elem()
+	case *types.Map:
+		return t.Elem()
+	}
+	return nil
+}
+
+// containsNoCopy returns the name of the lock or typed atomic t
+// transitively contains by value, or "".
+func containsNoCopy(t types.Type) string {
+	return containsNoCopy1(t, 0)
+}
+
+func containsNoCopy1(t types.Type, depth int) string {
+	if t == nil || depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				return "atomic." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := containsNoCopy1(u.Field(i).Type(), depth+1); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return containsNoCopy1(u.Elem(), depth+1)
+	}
+	return ""
+}

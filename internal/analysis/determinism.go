@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the byte-identical replay contract (DESIGN §8):
+// scenario logs and wire output must be a pure function of the seed.
+//
+//   - package-level math/rand calls (rand.Intn, rand.Float64, ...) draw
+//     from the process-global source: unseeded, unreplayable. Every random
+//     stream must be an injected, seeded *rand.Rand;
+//   - iterating a map while producing ordered output (logging, writers,
+//     string building) leaks Go's randomized map order into artifacts that
+//     must be byte-identical — collect keys, sort, then emit;
+//   - spawning goroutines inside a scenario's Verify body races the
+//     verdict against the engine's single-threaded rendezvous.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no global rand, no map-order-dependent output, no goroutines in scenario Verify bodies",
+	Run:  runDeterminism,
+}
+
+// orderedOutputCallees are function/method names that emit or accumulate
+// ordered output; calling one from inside a map range makes the iteration
+// order observable.
+var orderedOutputCallees = map[string]bool{
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Log": true, "Logf": true, "log": true, "logf": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runDeterminism(p *Pass) {
+	const rule = "determinism"
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					pkg := pkgNameOf(p.Info, sel.X)
+					if pkg != nil && pkg.Path() == "math/rand" && !strings.HasPrefix(sel.Sel.Name, "New") {
+						p.Reportf(rule, n.Pos(),
+							"rand.%s draws from the global math/rand source (unseeded, unreplayable): inject a seeded *rand.Rand",
+							sel.Sel.Name)
+					}
+				}
+			case *ast.RangeStmt:
+				if !inControlPlane(p.Path) {
+					return true
+				}
+				if t := typeOf(p.Info, n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRangeOutput(p, n)
+					}
+				}
+			case *ast.KeyValueExpr:
+				// scenario.Scenario{Verify: func(...){ ... go ... }}
+				if id, ok := n.Key.(*ast.Ident); ok && id.Name == "Verify" && strings.HasPrefix(p.Path, "ricsa/internal/scenario") {
+					if fl, ok := n.Value.(*ast.FuncLit); ok {
+						checkVerifyBody(p, fl.Body)
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Name.Name == "Verify" && n.Body != nil && strings.HasPrefix(p.Path, "ricsa/internal/scenario") {
+					checkVerifyBody(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeOutput flags a map-range whose body feeds ordered output.
+// The sorted-keys idiom (collect keys into a slice, sort, range the slice)
+// passes: its map-range body only appends, which is order-insensitive
+// once the collected keys are sorted.
+func checkMapRangeOutput(p *Pass, rng *ast.RangeStmt) {
+	const rule = "determinism"
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := ""
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			case *ast.Ident:
+				name = fun.Name
+			}
+			if orderedOutputCallees[name] {
+				p.Reportf(rule, n.Pos(),
+					"map iteration order feeds %s: iterate sorted keys instead (map order is randomized per run)", name)
+				return false
+			}
+		case *ast.AssignStmt:
+			// += concat onto a string declared before the loop accumulates
+			// in iteration order.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(typeOf(p.Info, n.Lhs[0])) {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && obj.Pos() < rng.Pos() {
+						p.Reportf(rule, n.Pos(),
+							"string built up across a map range depends on map iteration order: iterate sorted keys instead")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkVerifyBody flags goroutine launches inside a scenario Verify body.
+func checkVerifyBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			p.Reportf("determinism", g.Pos(),
+				"go statement inside a scenario Verify body races the verdict against the engine's deterministic rendezvous")
+		}
+		return true
+	})
+}

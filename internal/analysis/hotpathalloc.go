@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the zero-allocation frame data plane (DESIGN
+// §7.1). Functions marked //ricsa:noalloc — the produce path, telemetry
+// recording, mesh extraction, rasterization, PNG encode, the pool submit
+// path — are scanned for constructs that allocate on every call:
+//
+//   - any fmt.* call (formatting always allocates)
+//   - string concatenation or string<->[]byte conversion inside a loop
+//   - append inside a loop growing a local slice declared without a
+//     capacity hint
+//   - map literals and make(map...)
+//   - closures (func literals capture their environment on the heap)
+//   - interface boxing of non-pointer values (scratch buffers and counters
+//     escaping into interface{} parameters)
+//
+// The AllocsPerRun regression tests pin the measured count; this analyzer
+// catches the construct at review time, before a benchmark has to.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions marked //ricsa:noalloc must avoid allocation-causing constructs",
+	Run:  runHotPathAlloc,
+}
+
+const noallocDirective = "ricsa:noalloc"
+
+func runHotPathAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, noallocDirective) {
+				continue
+			}
+			checkNoAlloc(p, fd)
+		}
+	}
+}
+
+func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+	const rule = "hotpathalloc"
+	name := fd.Name.Name
+
+	// Loop body spans: constructs that allocate once per call are noted,
+	// but the per-iteration rules only fire inside these ranges.
+	var loops []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() < pos && pos < l.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Local slices declared without a capacity hint: appends to them in a
+	// loop re-grow the backing array instead of reusing scratch capacity.
+	unhinted := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.CallExpr:
+				if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "make" && len(rhs.Args) < 3 {
+					unhinted[obj] = true // make(T, n) without cap
+				}
+			case *ast.CompositeLit:
+				unhinted[obj] = true // []T{...}: cap == len, growth guaranteed
+			case *ast.Ident:
+				if rhs.Name == "nil" {
+					unhinted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(rule, n.Pos(), "closure in //ricsa:noalloc %s captures its environment on the heap", name)
+			return false // the literal's own body belongs to the closure
+		case *ast.CompositeLit:
+			if t := typeOf(p.Info, n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					p.Reportf(rule, n.Pos(), "map literal allocates in //ricsa:noalloc %s", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.Info.Types[n.X].Type) && inLoop(n.Pos()) {
+				p.Reportf(rule, n.Pos(), "string concatenation in a loop allocates in //ricsa:noalloc %s", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(p.Info.Types[n.Lhs[0]].Type) && inLoop(n.Pos()) {
+				p.Reportf(rule, n.Pos(), "string concatenation in a loop allocates in //ricsa:noalloc %s", name)
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(p, n, name, inLoop, unhinted)
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(p *Pass, call *ast.CallExpr, name string, inLoop func(token.Pos) bool, unhinted map[types.Object]bool) {
+	const rule = "hotpathalloc"
+
+	// String <-> byte-slice conversions copy; in a loop that is a fresh
+	// allocation per iteration.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 && inLoop(call.Pos()) {
+		dst, src := tv.Type, p.Info.Types[call.Args[0]].Type
+		if src != nil {
+			_, srcSlice := src.Underlying().(*types.Slice)
+			_, dstSlice := dst.Underlying().(*types.Slice)
+			if (isString(dst) && srcSlice) || (dstSlice && isString(src)) {
+				p.Reportf(rule, call.Pos(), "string/[]byte conversion in a loop allocates in //ricsa:noalloc %s", name)
+			}
+		}
+		return
+	}
+
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if len(call.Args) > 0 {
+				if tv, ok := p.Info.Types[call.Args[0]]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						p.Reportf(rule, call.Pos(), "make(map) allocates in //ricsa:noalloc %s", name)
+					}
+				}
+			}
+			return
+		case "append":
+			if !inLoop(call.Pos()) || len(call.Args) == 0 {
+				return
+			}
+			if target, ok := call.Args[0].(*ast.Ident); ok && unhinted[p.Info.Uses[target]] {
+				p.Reportf(rule, call.Pos(), "append grows %s (declared without a capacity hint) inside a loop in //ricsa:noalloc %s", target.Name, name)
+			}
+			return
+		}
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg := pkgNameOf(p.Info, sel.X); pkg != nil && pkg.Path() == "fmt" {
+			p.Reportf(rule, call.Pos(), "fmt.%s allocates in //ricsa:noalloc %s", sel.Sel.Name, name)
+			return
+		}
+	}
+
+	// Interface boxing: a concrete non-pointer value passed to an
+	// interface parameter escapes to the heap.
+	sig, ok := typeOf(p.Info, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			vs, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			param = vs.Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		at := typeOf(p.Info, arg)
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		if bt, ok := at.(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		p.Reportf(rule, arg.Pos(), "%s value boxed into interface parameter allocates in //ricsa:noalloc %s", at.String(), name)
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isPointerShaped reports whether values of t fit in an interface word
+// without allocating (pointers, channels, maps, funcs, unsafe pointers).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package atomicdemo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters is a telemetry-style flat counter block: both fields are
+// accessed through sync/atomic in inc, so every plain access elsewhere is
+// a data race the collect phase makes visible.
+type counters struct {
+	frames uint64
+	drops  uint64
+}
+
+var c counters
+
+func inc() {
+	atomic.AddUint64(&c.frames, 1)
+	atomic.AddUint64(&c.drops, 1)
+}
+
+func read() uint64 {
+	return c.frames // want "plain access to .*counters\.frames"
+}
+
+func reset() {
+	c.drops = 0 // want "plain access to .*counters\.drops"
+}
+
+// snapshotLocked is the sanctioned escape: plain access under an exclusive
+// section, with the waiver saying why. No finding.
+func snapshotLocked() uint64 {
+	//ricsa:allow atomicdiscipline read under exclusive lock during shutdown
+	return c.frames
+}
+
+// guarded is a lock-bearing value: copying it forks the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func use(g guarded) int { return g.n }
+
+func copies(g *guarded, gs []guarded) {
+	cp := *g // want "assignment copies .*guarded, which contains sync\.Mutex"
+	cp.n++
+	_ = use(*g)             // want "call argument copies .*guarded, which contains sync\.Mutex"
+	for _, gv := range gs { // want "range value copies .*guarded, which contains sync\.Mutex"
+		_ = gv.n
+	}
+}

@@ -1,0 +1,27 @@
+package cp
+
+import "time"
+
+// produce paces itself on the wall clock: every banned time entry point in
+// a control-plane package is a finding.
+func produce(stop chan struct{}) {
+	start := time.Now() // want "time\.Now in control-plane"
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Millisecond): // want "time\.After in control-plane"
+		}
+		time.Sleep(time.Millisecond) // want "time\.Sleep in control-plane"
+		_ = time.Since(start)        // want "time\.Since in control-plane"
+	}
+}
+
+// tick shows the doubly-banned ticker: even the clock package refuses to
+// offer one.
+func tick() {
+	tk := time.NewTicker(time.Second) // want "time\.NewTicker in control-plane"
+	defer tk.Stop()
+	tm := time.NewTimer(time.Second) // want "time\.NewTimer in control-plane"
+	defer tm.Stop()
+}

@@ -1,0 +1,12 @@
+package cp
+
+import "time"
+
+// sleepPoll is a test file that paces itself with raw sleeps and never
+// touches the virtual clock — exactly the flakiness PR 5 removed, so it is
+// held to the production standard.
+func sleepPoll(ready func() bool) {
+	for !ready() {
+		time.Sleep(5 * time.Millisecond) // want "time\.Sleep in control-plane"
+	}
+}

@@ -1,0 +1,23 @@
+package cp
+
+import "time"
+
+// stamp is the sanctioned escape: wall time is genuinely the value being
+// recorded, and the waiver says why. No finding.
+func stamp() int64 {
+	//ricsa:wallclock telemetry timestamps are genuinely wall time
+	return time.Now().UnixNano()
+}
+
+// generic shows the ricsa:allow spelling of the same waiver. No finding.
+func generic() {
+	//ricsa:allow clockdiscipline bounded failsafe around a deterministic core
+	time.Sleep(time.Millisecond)
+}
+
+// unjustified shows waiver hygiene: a directive with no reason is itself a
+// finding and suppresses nothing.
+func unjustified() {
+	/* want "waiver directive requires a justification" */ //ricsa:wallclock
+	_ = time.Now()                                         // want "time\.Now in control-plane"
+}

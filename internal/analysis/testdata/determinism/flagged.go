@@ -1,0 +1,57 @@
+package golden
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// roll draws from the process-global source: unseeded, unreplayable.
+func roll() int {
+	return rand.Intn(6) // want "rand\.Intn draws from the global math/rand source"
+}
+
+// dump leaks randomized map order straight into a writer.
+func dump(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want "map iteration order feeds Fprintf"
+	}
+}
+
+// concat accumulates a string across a map range: same leak, different
+// spelling.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string built up across a map range depends on map iteration order"
+	}
+	return s
+}
+
+// sc mimics the scenario struct shape: a Verify field holding the verdict
+// closure.
+type sc struct {
+	Name   string
+	Verify func() error
+}
+
+// build races the verdict with a goroutine inside the Verify literal.
+func build() sc {
+	return sc{
+		Name: "demo",
+		Verify: func() error {
+			go fire() // want "go statement inside a scenario Verify body"
+			return nil
+		},
+	}
+}
+
+type runner struct{}
+
+// Verify as a method declaration is held to the same rule.
+func (runner) Verify() error {
+	go fire() // want "go statement inside a scenario Verify body"
+	return nil
+}
+
+func fire() {}

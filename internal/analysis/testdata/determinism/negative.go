@@ -1,0 +1,42 @@
+package golden
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// seeded streams are injected and replayable: constructors (New*) are the
+// sanctioned entry points.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// sortedDump is the sanctioned idiom: collect keys, sort, then emit — the
+// map range itself only appends, which is order-insensitive.
+func sortedDump(m map[string]int, sb *strings.Builder) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s=%d\n", k, m[k])
+	}
+}
+
+// diag dumps a debug-only map where order genuinely does not matter; the
+// waiver records that judgment.
+func diag(m map[string]int) {
+	for k := range m {
+		//ricsa:allow determinism debug-only dump, never part of replayed artifacts
+		fmt.Println(k)
+	}
+}
+
+// spawnOutsideVerify: goroutines are fine anywhere else.
+func spawnOutsideVerify() {
+	go fire()
+}

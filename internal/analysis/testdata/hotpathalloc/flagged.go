@@ -1,0 +1,38 @@
+package hot
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+// record is a hot-path function: every banned construct fires exactly one
+// finding.
+//
+//ricsa:noalloc
+func record(n int, buf []byte) {
+	fmt.Println("frame", n) // want "fmt\.Println allocates"
+
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "x" // want "string concatenation in a loop allocates"
+	}
+	_ = s
+
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append grows out \(declared without a capacity hint\) inside a loop"
+	}
+	_ = out
+
+	for i := 0; i < n; i++ {
+		_ = string(buf) // want "string/\[\]byte conversion in a loop allocates"
+	}
+
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	_ = make(map[int]int) // want "make\(map\) allocates"
+
+	f := func() {} // want "closure in //ricsa:noalloc record captures its environment"
+	f()
+
+	sink(n) // want "int value boxed into interface parameter allocates"
+}

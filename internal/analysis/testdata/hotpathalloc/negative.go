@@ -1,0 +1,43 @@
+package hot
+
+import "fmt"
+
+// unmarked does everything record does but carries no directive: the rule
+// only binds functions that opted into the zero-allocation contract.
+func unmarked(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += fmt.Sprintf("%d,", i)
+	}
+	m := map[int]int{n: n}
+	_ = m
+	return s
+}
+
+// clean is marked and genuinely allocation-free in steady state: hinted
+// appends, index writes, arithmetic, and pointer-shaped interface args.
+//
+//ricsa:noalloc
+func clean(n int, scratch []float64, w interface{ Write([]byte) (int, error) }, p *int) float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	for i := range scratch {
+		scratch[i] = sum
+	}
+	sink(p) // pointers fit in an interface word: no boxing
+	return sum
+}
+
+// waived carries one justified escape on a cold path.
+//
+//ricsa:noalloc
+func waived() error {
+	//ricsa:allow hotpathalloc cold error path, runs once per session
+	return fmt.Errorf("boom")
+}

@@ -35,7 +35,8 @@ package fcp
 import (
 	"runtime"
 	"sync"
-	"time"
+
+	"ricsa/internal/telemetry"
 )
 
 // Task is one batch's kernel: Run executes item (in [0, n) of the Run call)
@@ -184,6 +185,8 @@ func (q *Queue) Slots() int {
 // and returns when every item has run. The caller's worker slot is
 // Slots()-1 (pool goroutines use the lower slots). Steady-state Run does
 // not allocate.
+//
+//ricsa:noalloc
 func (q *Queue) Run(n int, t Task) {
 	if n <= 0 {
 		return
@@ -234,9 +237,12 @@ func (q *Queue) Run(n int, t Task) {
 		}
 		b.wg.Add(lo - hi)
 	}
-	start := time.Now()
+	// Completion stall is stage telemetry: it measures real scheduler
+	// contention behind other sessions' batches, which only the wall
+	// clock can observe (see telemetry.Stopwatch).
+	stall := telemetry.StartStage()
 	b.wg.Wait()
-	q.waitNS += time.Since(start).Nanoseconds()
+	q.waitNS += stall.ElapsedNS()
 	b.t = nil
 }
 

@@ -134,17 +134,19 @@ func TestScenarioNoGoroutineLeak(t *testing.T) {
 	if _, err := Run(LoadSoakShort()); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
+	// Goroutine exit is an OS-scheduler fact the virtual clock cannot
+	// observe, so this poll runs on the wall clock by nature.
+	deadline := time.Now().Add(5 * time.Second) //ricsa:wallclock goroutine teardown is wall-time, not virtual-clock, state
 	for {
 		if n := runtime.NumGoroutine(); n <= before {
 			return
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //ricsa:wallclock bounded failsafe for the wall-time teardown poll
 			buf := make([]byte, 1<<16)
 			t.Fatalf("goroutines %d > baseline %d after shutdown\n%s",
 				runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //ricsa:wallclock backoff while real goroutines unwind
 	}
 }
 

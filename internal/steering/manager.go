@@ -623,8 +623,10 @@ func (s *ManagedSession) snapshotInto(dst *grid.ScalarField, req Request) *grid.
 // viewer the render/PNG-encode step — the hot path at -max-sessions scale —
 // is skipped, the sequence number still advances, and the dataset snapshot
 // is kept so WaitFrame can render the current frame on demand.
+//
+//ricsa:noalloc
 func (s *ManagedSession) produce() {
-	produceStart := time.Now()
+	produceStart := telemetry.StartStage()
 	rec := telemetry.FrameRecord{QueueWaitNS: s.lateNS}
 
 	s.mu.Lock()
@@ -637,12 +639,12 @@ func (s *ManagedSession) produce() {
 	s.fieldScratch = nil
 	s.mu.Unlock()
 
-	simStart := time.Now()
+	simStart := telemetry.StartStage()
 	for i := 0; i < req.StepsPerFrame; i++ {
 		s.sim.Step()
 	}
 	field = s.snapshotInto(field, req)
-	rec.SimNS = int64(time.Since(simStart))
+	rec.SimNS = simStart.ElapsedNS()
 
 	if !due && pipe != nil && (vrt != nil || tree != nil) && s.monitor(pipe, vrt, tree) {
 		due = true
@@ -659,20 +661,20 @@ func (s *ManagedSession) produce() {
 	var err error
 	if wantRender {
 		var img *viz.Image
-		renderStart := time.Now()
+		renderStart := telemetry.StartStage()
 		img, err = RenderDatasetROI(&s.scratch, &s.roi, s.queue, field, req, s.Width, s.Height)
-		rec.RenderNS = int64(time.Since(renderStart))
+		rec.RenderNS = renderStart.ElapsedNS()
 		rec.BlocksReused, rec.BlocksExtracted = s.roi.TakeStats()
 		if err == nil {
 			// Encode into the reusable scratch buffer, then copy the bytes
 			// out: published frames must be immutable, so only the encode
 			// buffer is pooled, never the slice viewers hold.
-			encodeStart := time.Now()
+			encodeStart := telemetry.StartStage()
 			s.scratch.Enc.Reset()
 			if err = img.EncodePNG(&s.scratch.Enc); err == nil {
 				png = append([]byte(nil), s.scratch.Enc.Bytes()...)
 			}
-			rec.EncodeNS = int64(time.Since(encodeStart))
+			rec.EncodeNS = encodeStart.ElapsedNS()
 		}
 	}
 
@@ -719,7 +721,7 @@ func (s *ManagedSession) produce() {
 	s.mu.Unlock()
 
 	if published {
-		rec.ProduceNS = int64(time.Since(produceStart))
+		rec.ProduceNS = produceStart.ElapsedNS()
 		// The queue accumulated the producer's stall behind other sessions'
 		// pool batches across this frame's sim sweeps and extraction.
 		rec.PoolWaitNS = s.queue.TakeWait()

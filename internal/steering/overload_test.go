@@ -179,7 +179,7 @@ func TestEvictionWakesParkedWaiter(t *testing.T) {
 	}()
 	// Let the waiter park, then blow past the lag threshold. Its delivered
 	// mark stays at frame 1, so frame 3 evicts it (lag 2 > 1).
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) //ricsa:wallclock waits for goroutine scheduling (the waiter parking), not clock time
 	s.produce()
 	s.produce()
 	select {
@@ -187,7 +187,7 @@ func TestEvictionWakesParkedWaiter(t *testing.T) {
 		if !errors.Is(err, ErrViewerEvicted) {
 			t.Fatalf("parked Wait err = %v, want ErrViewerEvicted", err)
 		}
-	case <-time.After(10 * time.Second):
+	case <-time.After(10 * time.Second): //ricsa:wallclock bounded failsafe so a missed eviction fails instead of hanging
 		t.Fatal("parked waiter not woken by eviction")
 	}
 }

@@ -1,0 +1,27 @@
+package telemetry
+
+import "time"
+
+// Stopwatch measures real elapsed time for stage telemetry. It reads the
+// wall (monotonic) clock deliberately, and this package is deliberately
+// outside the clock-injection contract's control-plane set: stage timings
+// report how long CPU work actually took — sim stepping, extraction,
+// encode, pool stalls — which an injected virtual clock cannot observe
+// (the virtual clock pins control-loop *scheduling*, not computation).
+// The load-soak scenario's Verify asserts stage timings stay populated in
+// virtual runs, which only wall time satisfies.
+//
+// Control-plane packages (cm, steering, transport, scenario, fcp, webui)
+// must not call time.Now/Since directly — ricsa-lint's clockdiscipline
+// rule enforces it — so this type is the one sanctioned route for
+// duration *measurement*; anything that *waits* still goes through the
+// injected clock.Clock.
+type Stopwatch struct{ start time.Time }
+
+// StartStage begins timing a pipeline stage. The zero Stopwatch is not
+// meaningful; always obtain one here.
+func StartStage() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// ElapsedNS returns wall nanoseconds since StartStage. It does not reset;
+// call sites that need laps start a fresh Stopwatch.
+func (s Stopwatch) ElapsedNS() int64 { return int64(time.Since(s.start)) }

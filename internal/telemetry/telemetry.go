@@ -125,6 +125,8 @@ func NewCollector(sink Sink, batchSize int) *Collector {
 // current batch, flushing to the sink when the batch fills. This is the
 // producer hot path: zero allocations, one short critical section, sink
 // I/O always outside the lock.
+//
+//ricsa:noalloc
 func (c *Collector) RecordFrame(rec *FrameRecord) {
 	c.FramesProduced.Add(1)
 	if rec.Rendered {

@@ -1,3 +1,5 @@
+//ricsa:wallclock real-socket loopback tests: the wall clock is the medium under test (deterministic coverage lives in the netsim-backed tests and fuzz targets)
+
 package transport
 
 import (

@@ -177,6 +177,8 @@ func Extract(f *grid.ScalarField, iso float32) *viz.Mesh {
 // first. The mesh's vertex arena is reused across calls, so a frame loop
 // that extracts into the same mesh every frame stops allocating once the
 // arena has grown to the working-set size.
+//
+//ricsa:noalloc
 func ExtractInto(m *viz.Mesh, f *grid.ScalarField, iso float32) {
 	m.Reset()
 	b := grid.Block{NX: f.NX - 1, NY: f.NY - 1, NZ: f.NZ - 1}
@@ -287,6 +289,8 @@ var statePool = sync.Pool{New: func() any { return new(extractState) }}
 // so repeated block extraction reuses both arenas. The per-block meshes are
 // always appended in block index order, so the output is byte-identical to
 // the sequential workers == 1 path at any pool width.
+//
+//ricsa:noalloc
 func ExtractBlocksInto(out *viz.Mesh, f *grid.ScalarField, blocks []grid.Block, iso float32, workers int) {
 	out.Reset()
 	if workers == 1 {

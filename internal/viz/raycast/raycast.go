@@ -12,9 +12,9 @@ package raycast
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
+	"ricsa/internal/fcp"
 	"ricsa/internal/grid"
 	"ricsa/internal/viz"
 )
@@ -68,7 +68,9 @@ type Options struct {
 	// EarlyTermination stops rays whose accumulated opacity exceeds 0.98.
 	// The paper's cost model assumes it is disabled.
 	EarlyTermination bool
-	// Workers is the parallel width; <=0 means GOMAXPROCS.
+	// Workers == 1 casts rows sequentially on the calling goroutine; any
+	// other value runs the rows over the shared frame-compute pool (see
+	// package fcp), whose width bounds the parallelism.
 	Workers int
 }
 
@@ -102,6 +104,8 @@ func Render(f *grid.ScalarField, opt Options) *viz.Image {
 // RenderWith is Render reusing the scratch framebuffer (nil sc allocates a
 // fresh one). The returned image is sc.Img — valid until the next render
 // into the same scratch.
+//
+//ricsa:noalloc
 func RenderWith(sc *viz.FrameScratch, f *grid.ScalarField, opt Options) *viz.Image {
 	if sc == nil {
 		sc = &viz.FrameScratch{}
@@ -143,28 +147,50 @@ func RenderWith(sc *viz.FrameScratch, f *grid.ScalarField, opt Options) *viz.Ima
 	nSamples := SamplesPerRay(f, opt.Step)
 	halfSpan := float64(nSamples) * opt.Step / 2
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if opt.Workers == 1 {
+		for y := 0; y < opt.Height; y++ {
+			castRow(f, img, y, center, dir, right, upv, pixScale, halfSpan, nSamples, opt)
+		}
+		return img
 	}
-	var wg sync.WaitGroup
-	rows := make(chan int, opt.Height)
-	for y := 0; y < opt.Height; y++ {
-		rows <- y
+	// Rows write disjoint pixel spans, so any execution order produces the
+	// same image; the pooled state and persistent queue keep the steady-state
+	// frame loop free of per-call channel and goroutine allocations.
+	st := rowsPool.Get().(*rowsState)
+	if st.queue == nil {
+		st.queue = fcp.Default().NewQueue()
 	}
-	close(rows)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for y := range rows {
-				castRow(f, img, y, center, dir, right, upv, pixScale, halfSpan, nSamples, opt)
-			}
-		}()
-	}
-	wg.Wait()
+	st.task = rowsTask{f: f, img: img, center: center, dir: dir, right: right, upv: upv,
+		pixScale: pixScale, halfSpan: halfSpan, nSamples: nSamples, opt: opt}
+	st.queue.Run(opt.Height, &st.task)
+	st.task = rowsTask{}
+	rowsPool.Put(st)
 	return img
 }
+
+// rowsState is the pooled per-call scratch of the parallel path: the task
+// the pool runs and a persistent queue on the shared frame-compute pool.
+type rowsState struct {
+	task  rowsTask
+	queue *fcp.Queue
+}
+
+// rowsTask casts one image row per item.
+type rowsTask struct {
+	f                  *grid.ScalarField
+	img                *viz.Image
+	center, dir        viz.Vec3
+	right, upv         viz.Vec3
+	pixScale, halfSpan float64
+	nSamples           int
+	opt                Options
+}
+
+func (t *rowsTask) Run(_, y int) {
+	castRow(t.f, t.img, y, t.center, t.dir, t.right, t.upv, t.pixScale, t.halfSpan, t.nSamples, t.opt)
+}
+
+var rowsPool = sync.Pool{New: func() any { return new(rowsState) }}
 
 func castRow(f *grid.ScalarField, img *viz.Image, y int, center, dir, right, upv viz.Vec3,
 	pixScale, halfSpan float64, nSamples int, opt Options) {

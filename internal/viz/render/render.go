@@ -51,6 +51,8 @@ func Render(m *viz.Mesh, opt Options) *viz.Image {
 // loop rendering through the same scratch every frame performs no
 // steady-state allocation. The returned image is sc.Img — valid until the
 // next render into the same scratch. A nil sc renders into fresh buffers.
+//
+//ricsa:noalloc
 func RenderWith(sc *viz.FrameScratch, m *viz.Mesh, opt Options) *viz.Image {
 	if sc == nil {
 		sc = &viz.FrameScratch{}

@@ -166,6 +166,8 @@ func (im *Image) SizeBytes() int { return len(im.Pix) }
 // internal buffers from a pool. Callers that publish the encoded bytes to
 // other goroutines must copy them out of buf (the frame loop reuses buf
 // every frame); PNG() is the convenience wrapper that does exactly that.
+//
+//ricsa:noalloc
 func (im *Image) EncodePNG(buf *bytes.Buffer) error {
 	rgba := image.RGBA{Pix: im.Pix, Stride: 4 * im.W, Rect: image.Rect(0, 0, im.W, im.H)}
 	return pngEncoder.Encode(buf, &rgba)

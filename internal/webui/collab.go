@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/grid"
 	"ricsa/internal/simengine"
 	"ricsa/internal/steering"
@@ -33,6 +34,9 @@ type CollabSource struct {
 	FramePeriod time.Duration
 	Width       int
 	Height      int
+	// Clock paces the shared advance loop. Set before Start; nil selects
+	// the wall clock.
+	Clock clock.Clock
 }
 
 // viewState is one client's private visualization parameters plus a cache
@@ -73,17 +77,24 @@ func (c *CollabSource) Sim() *simengine.Sim { return c.sim }
 // Start launches the shared simulate-publish loop. Rendering happens
 // per-client on demand, so idle views cost nothing.
 func (c *CollabSource) Start() {
+	clk := c.Clock
+	if clk == nil {
+		clk = clock.Wall()
+	}
 	go func() {
 		defer close(c.done)
-		tick := time.NewTicker(c.FramePeriod)
-		defer tick.Stop()
 		c.advance()
+		// One timer, re-armed with Reset as the last clock interaction of
+		// each iteration — the clock package's rendezvous contract.
+		timer := clk.NewTimer(c.FramePeriod)
+		defer timer.Stop()
 		for {
 			select {
 			case <-c.stop:
 				return
-			case <-tick.C:
+			case <-timer.C():
 				c.advance()
+				timer.Reset(c.FramePeriod)
 			}
 		}
 	}()

@@ -1,3 +1,5 @@
+//ricsa:wallclock end-to-end HTTP integration against a live wall-clock SessionManager; polls observable state under bounded deadlines (the deterministic equivalents run in hub_test.go on the virtual clock)
+
 package webui
 
 import (

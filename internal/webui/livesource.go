@@ -6,15 +6,18 @@ import (
 	"sync"
 	"time"
 
+	"ricsa/internal/clock"
 	"ricsa/internal/grid"
 	"ricsa/internal/simengine"
 	"ricsa/internal/steering"
 	"ricsa/internal/viz"
 )
 
-// LiveSource runs a simulation and renders its frames in real time (wall
-// clock), publishing them to any number of waiting web clients. It is the
-// FrameSource behind cmd/ricsa-server and the webdemo example.
+// LiveSource runs a simulation and renders its frames in real time,
+// publishing them to any number of waiting web clients. It is the
+// FrameSource behind cmd/ricsa-server and the webdemo example. Pacing
+// runs on an injected clock.Clock (wall by default), so tests drive the
+// loop deterministically with a clock.Virtual instead of sleeping.
 type LiveSource struct {
 	mu     sync.Mutex
 	sim    *simengine.Sim
@@ -30,6 +33,9 @@ type LiveSource struct {
 	FramePeriod time.Duration
 	Width       int
 	Height      int
+	// Clock paces the produce loop. Set before Start; nil selects the
+	// wall clock.
+	Clock clock.Clock
 
 	// scratch and fieldScratch are the producer loop's reusable frame data
 	// plane (only the produce goroutine touches them); published PNG bytes
@@ -66,17 +72,24 @@ func (l *LiveSource) Sim() *simengine.Sim { return l.sim }
 
 // Start launches the simulate-render-publish loop.
 func (l *LiveSource) Start() {
+	clk := l.Clock
+	if clk == nil {
+		clk = clock.Wall()
+	}
 	go func() {
 		defer close(l.done)
-		ticker := time.NewTicker(l.FramePeriod)
-		defer ticker.Stop()
 		l.produce() // first frame immediately
+		// One timer, re-armed with Reset as the last clock interaction of
+		// each iteration — the clock package's rendezvous contract.
+		timer := clk.NewTimer(l.FramePeriod)
+		defer timer.Stop()
 		for {
 			select {
 			case <-l.stop:
 				return
-			case <-ticker.C:
+			case <-timer.C():
 				l.produce()
+				timer.Reset(l.FramePeriod)
 			}
 		}
 	}()

@@ -1,0 +1,92 @@
+package webui
+
+// Regression tests for the ticker→injected-clock migration of LiveSource
+// and CollabSource (ricsa-lint's clockdiscipline worklist): the produce
+// loops must pace themselves on the injected clock.Clock — one timer,
+// re-armed after each frame — so a clock.Virtual drives them
+// deterministically: exactly one frame per elapsed period, none early.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ricsa/internal/clock"
+	"ricsa/internal/steering"
+)
+
+func TestLiveSourcePacedByInjectedClock(t *testing.T) {
+	t.Parallel()
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 16, 8, 8
+	req.StepsPerFrame = 1
+	src, err := NewLiveSource(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	src.Clock = vc
+	src.FramePeriod = 100 * time.Millisecond
+	src.Width, src.Height = 32, 32
+	src.Start()
+	// The loop produces its first frame before arming the timer, so one
+	// armed waiter means frame 1 is fully published.
+	vc.AwaitArmed(1)
+
+	if seq := src.Status()["frame_seq"].(uint64); seq != 1 {
+		t.Fatalf("frame_seq after start = %d, want 1", seq)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, png, err := src.WaitFrame(ctx, 0); err != nil || len(png) == 0 {
+		t.Fatalf("first frame: seq err=%v len=%d", err, len(png))
+	}
+
+	// Each whole period yields exactly one frame, synchronously with the
+	// advance (AdvanceTo returns only after the loop re-arms its timer).
+	for want := uint64(2); want <= 4; want++ {
+		vc.Advance(src.FramePeriod)
+		if seq := src.Status()["frame_seq"].(uint64); seq != want {
+			t.Fatalf("frame_seq after advance = %d, want %d", seq, want)
+		}
+	}
+	// A partial period produces nothing: no hidden wall-clock pacing.
+	vc.Advance(src.FramePeriod / 2)
+	if seq := src.Status()["frame_seq"].(uint64); seq != 4 {
+		t.Fatalf("frame_seq after partial advance = %d, want 4", seq)
+	}
+
+	src.Stop()
+	// Stop must disarm the loop's timer — a leaked waiter would wedge the
+	// next coordinator rendezvous.
+	vc.AwaitArmed(0)
+}
+
+func TestCollabSourcePacedByInjectedClock(t *testing.T) {
+	t.Parallel()
+	req := steering.DefaultRequest()
+	req.NX, req.NY, req.NZ = 16, 8, 8
+	req.StepsPerFrame = 1
+	src, err := NewCollabSource(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	src.Clock = vc
+	src.FramePeriod = 50 * time.Millisecond
+	src.Width, src.Height = 32, 32
+	src.Start()
+	vc.AwaitArmed(1)
+
+	if seq := src.Status()["frame_seq"].(uint64); seq != 1 {
+		t.Fatalf("frame_seq after start = %d, want 1", seq)
+	}
+	vc.Advance(src.FramePeriod)
+	vc.Advance(src.FramePeriod)
+	if seq := src.Status()["frame_seq"].(uint64); seq != 3 {
+		t.Fatalf("frame_seq after two advances = %d, want 3", seq)
+	}
+
+	src.Stop()
+	vc.AwaitArmed(0)
+}

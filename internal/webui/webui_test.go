@@ -111,7 +111,9 @@ func TestFrameLongPollDeliversWhenPublished(t *testing.T) {
 	defer srv.Close()
 
 	go func() {
-		time.Sleep(30 * time.Millisecond)
+		// Stagger the publish behind the HTTP long-poll's park; real
+		// net/http wait, so wall time is the only clock in play.
+		time.Sleep(30 * time.Millisecond) //ricsa:wallclock staggers a publish behind a real net/http long-poll park
 		src.publish([]byte("png-bytes-1"))
 	}()
 	resp, err := http.Get(srv.URL + "/api/frame?since=0")
@@ -183,7 +185,7 @@ func TestMultipleClientsReceiveSameFrame(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond) //ricsa:wallclock lets all long-poll clients park on the real HTTP server first
 	src.publish([]byte("shared-frame"))
 	wg.Wait()
 	close(errs)
