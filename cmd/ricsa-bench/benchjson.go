@@ -13,6 +13,7 @@ import (
 	"ricsa/internal/simengine"
 	"ricsa/internal/steering"
 	"ricsa/internal/telemetry"
+	"ricsa/internal/transport/fec"
 	"ricsa/internal/viz"
 	"ricsa/internal/viz/marchingcubes"
 	"ricsa/internal/viz/render"
@@ -194,6 +195,57 @@ func frameBenches() []benchRow {
 	}
 }
 
+// fecBenches is the transport half of the artifact: fountain-coding one
+// maximum-shape frame generation (128 source blocks of a 1 MiB frame plus
+// a 12.5% repair budget) and decoding it with a worst-case-for-the-budget
+// loss pattern (every repair block consumed). Both rows reuse warm codec
+// state, the shape a per-frame sender/receiver pays — allocs/op is the
+// regression signal, pinned at zero by the codec's property tests.
+func fecBenches() []benchRow {
+	frame := make([]byte, 1<<20)
+	for i := range frame {
+		frame[i] = byte(i * 2654435761)
+	}
+	k := fec.SourceBlocksFor(len(frame))
+	nRepair := fec.RepairBlocksFor(k, 0.125)
+	enc := fec.NewEncoder()
+	if err := enc.Encode(frame, k, nRepair); err != nil {
+		panic(fmt.Sprintf("bench warm-up fec encode: %v", err))
+	}
+	dec := fec.NewDecoder()
+	return []benchRow{
+		{"fec_encode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := enc.Encode(frame, k, nRepair); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"fec_decode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := dec.Reset(k, enc.BlockSize(), len(frame)); err != nil {
+					b.Fatal(err)
+				}
+				// Lose the first nRepair source blocks: the decoder must
+				// solve for every repair block it was provisioned.
+				for s := nRepair; s < k; s++ {
+					if err := dec.AddSource(s, enc.SourceBlock(s)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := 0; j < nRepair; j++ {
+					if err := dec.AddRepair(j, enc.RepairBlock(j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := dec.Decode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
 func writeBenchJSON(path string) error {
 	g, p := benchInstance()
 	cache := pipeline.NewCache(0)
@@ -234,6 +286,7 @@ func writeBenchJSON(path string) error {
 		}},
 	}
 	benches = append(benches, frameBenches()...)
+	benches = append(benches, fecBenches()...)
 
 	records := make([]BenchRecord, 0, len(benches))
 	for _, bench := range benches {

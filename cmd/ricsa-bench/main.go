@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig9, fig10, transport, dp, cost, gain, predict, adapt, fanout, scenario, all")
+		"experiment: fig9, fig10, transport, dp, cost, gain, predict, adapt, fanout, scenario, fecduel, all")
 	soak := flag.Int("soak", 4,
 		"virtual-duration multiplier for -exp scenario (1 = the go test scale)")
 	scale := flag.Int("scale", 1, "dataset analysis scale divisor (1 = full size)")
@@ -96,6 +97,56 @@ func main() {
 	run("adapt", func() error { return runAdapt(opt) })
 	run("fanout", func() error { return runFanout(opt) })
 	run("scenario", func() error { return runScenario(*soak) })
+	run("fecduel", runFECDuel)
+}
+
+// runFECDuel prints the NACK-vs-FEC head-to-head: each transport duel
+// scenario pair runs both sides (identical seed and script, only the
+// delivery model differs) and the table reports every frame train's
+// delivery percentiles, decode/fallback accounting, and the provisioned
+// redundancy. The FEC sides' Verify carries the tail-delay and
+// counted-fallback assertions, so a FAIL verdict here is the same
+// regression the go-test suite would catch.
+func runFECDuel() error {
+	fmt.Println("== Transport duel: NACK retransmission vs loss-adaptive fountain-FEC ==")
+	fmt.Printf("%-28s %-12s %-5s %6s %8s %9s %9s %9s  %s\n",
+		"scenario", "train", "mode", "r", "decoded", "fallback", "p50", "p99", "verdict")
+	var failed []string
+	for _, sc := range []scenario.Scenario{
+		scenario.FECDuelFlapStormNACK(), scenario.FECDuelFlapStormFEC(),
+		scenario.FECDuelProbeStarvedNACK(), scenario.FECDuelProbeStarvedFEC(),
+	} {
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		verdict := "ok"
+		if err := sc.Verify(res); err != nil {
+			verdict = "FAIL: " + err.Error()
+			failed = append(failed, sc.Name)
+		}
+		labels := make([]string, 0, len(res.FrameTrains))
+		for lbl := range res.FrameTrains {
+			labels = append(labels, lbl)
+		}
+		sort.Strings(labels)
+		for i, lbl := range labels {
+			ts := res.FrameTrains[lbl]
+			v := ""
+			if i == len(labels)-1 {
+				v = verdict
+			}
+			fmt.Printf("%-28s %-12s %-5s %6.3f %5d/%-2d %8d %8.4fs %8.4fs  %s\n",
+				sc.Name, lbl, ts.Mode, ts.Redundancy, ts.Decoded, ts.Frames,
+				ts.Fallbacks, ts.P50, ts.P99, v)
+		}
+	}
+	fmt.Println()
+	if len(failed) > 0 {
+		return fmt.Errorf("%d duel side(s) failed verification: %s",
+			len(failed), strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 // runScenario soaks the deterministic WAN scenario suite: every canned

@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"ricsa/internal/cost"
 	"ricsa/internal/fcp"
 	"ricsa/internal/steering"
 	"ricsa/internal/webui"
@@ -92,8 +93,17 @@ func main() {
 	computeWorkers := flag.Int("compute-workers", 0,
 		"shared frame-compute pool width for sim sweeps and block extraction "+
 			"(0 selects GOMAXPROCS, 1 runs fully inline)")
+	transportMode := flag.String("transport-mode", "nack",
+		"frame delivery pricing over lossy edges: nack (retransmission), "+
+			"fec (fountain-coded forward error correction), or auto "+
+			"(cheaper of the two per edge)")
 	noBootstrap := flag.Bool("no-bootstrap", false, "do not create the default session at startup")
 	flag.Parse()
+
+	mode, err := cost.ParseTransportMode(*transportMode)
+	if err != nil {
+		log.Fatalf("ricsa-server: %v", err)
+	}
 
 	fcp.SetDefaultWorkers(*computeWorkers)
 	mgr := steering.NewSessionManager(steering.ManagerConfig{
@@ -107,6 +117,7 @@ func main() {
 		FrameBudget:       *frameBudget,
 		FrameCost:         *frameCost,
 		MaxViewerLag:      *maxViewerLag,
+		TransportMode:     mode,
 	})
 
 	if !*noBootstrap {

@@ -85,6 +85,16 @@ type Config struct {
 	// testbed probe ever hits it, so existing runs are unchanged; scenario
 	// runs with dark links configure a tighter budget.
 	ProbeBudget time.Duration
+	// Transport is the delivery model stamped onto every published graph
+	// snapshot, so the optimizer prices transfers under it (see
+	// cost.DeliverySeconds). The zero value keeps the historical NACK
+	// pricing.
+	Transport cost.TransportMode
+	// OnRepublish, when set, is invoked (outside the Manager's lock) each
+	// time a tolerance-gated re-stamped snapshot is published — the hook
+	// transport layers use to re-negotiate per-flow FEC mode against the
+	// fresh loss estimates (fec.Negotiator.Renegotiate).
+	OnRepublish func()
 	// Clock is the timing source of the background Prober. nil selects the
 	// wall clock; the scenario engine and deterministic tests inject a
 	// clock.Virtual. (This only paces the Prober's ticks — probe transfers
@@ -131,8 +141,26 @@ type edgeState struct {
 	delay          float64 // EWMA minimum delay, seconds
 	confidence     float64 // last probe's fit confidence
 	r2             float64 // last probe's fit quality
+	loss           float64 // EWMA packet loss fraction observed while probing
+	lossConf       float64 // confidence of the loss estimate, in [0, 1]
 	lastProbeEpoch uint64
 	everProbed     bool
+}
+
+// lossSample reads the loss fraction a probe's packets experienced from
+// the channel's own accounting: the Sent/Lost deltas across the probe.
+// The confidence grows with the sample size — a handful of packets says
+// little about a few-percent loss process.
+func lossSample(ch *netsim.Channel, before netsim.ChannelStats) (loss, conf float64) {
+	after := ch.Stats()
+	sent := after.Sent - before.Sent
+	if sent == 0 {
+		return 0, 0
+	}
+	lost := after.Lost - before.Lost
+	loss = float64(lost) / float64(sent)
+	conf = float64(sent) / float64(sent+128)
+	return loss, conf
 }
 
 // Manager is one Central Manager instance: the measured graph snapshot, the
@@ -226,17 +254,20 @@ func (m *Manager) bind(net *netsim.Network) {
 // therefore no cache misses. The node-name set must match the original.
 func (m *Manager) AdoptNetwork(net *netsim.Network) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if len(net.Nodes()) != len(m.nodes) {
+		m.mu.Unlock()
 		return fmt.Errorf("cm: adopted network has %d nodes, want %d", len(net.Nodes()), len(m.nodes))
 	}
 	for _, nd := range net.Nodes() {
 		if _, ok := m.idx[nd.Name]; !ok {
+			m.mu.Unlock()
 			return fmt.Errorf("cm: adopted network adds unknown node %q", nd.Name)
 		}
 	}
 	m.bind(net)
-	m.measureAllLocked(m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+	pub := m.measureAllLocked(m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+	m.mu.Unlock()
+	m.notifyRepublish(pub)
 	return nil
 }
 
@@ -245,23 +276,35 @@ func (m *Manager) AdoptNetwork(net *netsim.Network) error {
 // and the graph is re-stamped only if something moved past the tolerance.
 func (m *Manager) MeasureAll() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.measureAllLocked(m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+	pub := m.measureAllLocked(m.cfg.ProbeSizes, m.cfg.ProbeRepeats)
+	m.mu.Unlock()
+	m.notifyRepublish(pub)
 }
 
 // MeasureAllWith is MeasureAll with an explicit probe sweep.
 func (m *Manager) MeasureAllWith(sizes []int, repeats int) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if repeats < 1 {
 		repeats = 1
 	}
-	m.measureAllLocked(sizes, repeats)
+	pub := m.measureAllLocked(sizes, repeats)
+	m.mu.Unlock()
+	m.notifyRepublish(pub)
 }
 
-func (m *Manager) measureAllLocked(sizes []int, repeats int) {
+// notifyRepublish fires the renegotiation hook for a re-stamped snapshot.
+// Never called for the construction-time publish: there are no flows to
+// renegotiate before the first graph exists.
+func (m *Manager) notifyRepublish(published bool) {
+	if published && m.cfg.OnRepublish != nil {
+		m.cfg.OnRepublish()
+	}
+}
+
+func (m *Manager) measureAllLocked(sizes []int, repeats int) bool {
 	m.epoch++
 	for _, st := range m.edges {
+		before := st.ch.Stats()
 		est := cost.MeasureEPBBounded(st.ch, sizes, repeats, m.cfg.ProbeBudget)
 		if est.TimedOut {
 			m.probeTimeouts++
@@ -274,10 +317,11 @@ func (m *Manager) measureAllLocked(sizes []int, repeats int) {
 		st.delay = est.MinDelay.Seconds()
 		st.confidence = est.Confidence
 		st.r2 = est.R2
+		st.loss, st.lossConf = lossSample(st.ch, before)
 		st.lastProbeEpoch = m.epoch
 		st.everProbed = true
 	}
-	m.publishLocked()
+	return m.publishLocked()
 }
 
 // ProbeTick re-probes the next ProbeLinksPerTick edges round-robin and
@@ -286,8 +330,8 @@ func (m *Manager) measureAllLocked(sizes []int, repeats int) {
 // tolerance and a re-stamped graph snapshot was published.
 func (m *Manager) ProbeTick() bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if len(m.edges) == 0 {
+		m.mu.Unlock()
 		return false
 	}
 	m.epoch++
@@ -298,7 +342,9 @@ func (m *Manager) ProbeTick() bool {
 	for i := 0; i < k; i++ {
 		st := m.edges[m.cursor]
 		m.cursor = (m.cursor + 1) % len(m.edges)
+		before := st.ch.Stats()
 		est := cost.MeasureEPBBounded(st.ch, m.cfg.ProbeSizes, m.cfg.ProbeRepeats, m.cfg.ProbeBudget)
+		obsLoss, obsLossConf := lossSample(st.ch, before)
 		if est.TimedOut {
 			m.probeTimeouts++
 			// The probe never completed: the link is dark or collapsed.
@@ -308,6 +354,7 @@ func (m *Manager) ProbeTick() bool {
 			st.delay = est.MinDelay.Seconds()
 			st.confidence = 0
 			st.r2 = 0
+			st.loss, st.lossConf = obsLoss, obsLossConf
 			st.lastProbeEpoch = m.epoch
 			st.everProbed = true
 			continue
@@ -316,17 +363,24 @@ func (m *Manager) ProbeTick() bool {
 			continue // degenerate fit: keep the prior estimate
 		}
 		alpha := m.cfg.EWMAAlpha * est.Confidence
+		lossAlpha := m.cfg.EWMAAlpha * obsLossConf
 		if !st.everProbed {
 			alpha = 1
+			lossAlpha = 1
 		}
 		st.bw += alpha * (est.EPB - st.bw)
 		st.delay += alpha * (est.MinDelay.Seconds() - st.delay)
 		st.confidence = est.Confidence
 		st.r2 = est.R2
+		st.loss += lossAlpha * (obsLoss - st.loss)
+		st.lossConf = obsLossConf
 		st.lastProbeEpoch = m.epoch
 		st.everProbed = true
 	}
-	return m.publishLocked()
+	pub := m.publishLocked()
+	m.mu.Unlock()
+	m.notifyRepublish(pub)
+	return pub
 }
 
 // drifted reports whether the estimate (want) moved past the tolerance
@@ -354,8 +408,12 @@ func (m *Manager) drifted(have, want, floor float64) bool {
 func (m *Manager) publishLocked() bool {
 	if m.graph == nil {
 		g := pipeline.NewGraph(m.nodes...)
+		g.Transport = m.cfg.Transport
 		for _, st := range m.edges {
 			g.AddEdge(st.fromIdx, st.toIdx, st.bw, st.delay)
+			row := g.Adj[st.fromIdx]
+			row[len(row)-1].Loss = st.loss
+			row[len(row)-1].LossConf = st.lossConf
 		}
 		g.Rev = pipeline.NextGraphRev()
 		m.graph = g
@@ -363,13 +421,19 @@ func (m *Manager) publishLocked() bool {
 	}
 	var ups []pipeline.EdgeUpdate
 	for _, st := range m.edges {
+		up := pipeline.EdgeUpdate{From: st.fromIdx, To: st.toIdx, Bandwidth: st.bw, Delay: st.delay,
+			Loss: st.loss, LossConf: st.lossConf}
 		e := m.graph.FindEdge(st.fromIdx, st.toIdx)
 		if e == nil {
-			ups = append(ups, pipeline.EdgeUpdate{From: st.fromIdx, To: st.toIdx, Bandwidth: st.bw, Delay: st.delay})
+			ups = append(ups, up)
 			continue
 		}
-		if m.drifted(e.Bandwidth, st.bw, 1) || m.drifted(e.Delay, st.delay, m.cfg.DelayFloor) {
-			ups = append(ups, pipeline.EdgeUpdate{From: st.fromIdx, To: st.toIdx, Bandwidth: st.bw, Delay: st.delay})
+		// Loss drifts are gated on an absolute floor: a fraction of a
+		// percent either way is probe noise, not a condition change worth
+		// repricing (and re-negotiating) every mapping for.
+		if m.drifted(e.Bandwidth, st.bw, 1) || m.drifted(e.Delay, st.delay, m.cfg.DelayFloor) ||
+			m.drifted(e.Loss, st.loss, 0.01) {
+			ups = append(ups, up)
 		}
 	}
 	if len(ups) == 0 {
@@ -416,9 +480,44 @@ func (m *Manager) Estimates() map[string]cost.PathEstimate {
 			MinDelay:   time.Duration(st.delay * float64(time.Second)),
 			R2:         st.r2,
 			Confidence: st.confidence,
+			Loss:       st.loss,
+			LossConf:   st.lossConf,
 		}
 	}
 	return out
+}
+
+// SetTransportMode switches the delivery model stamped onto published
+// graphs. If the mode actually changes, the current snapshot is replaced
+// by a re-stamped copy (the measurements are untouched) and the
+// renegotiation hook fires — every cached mapping was priced under the
+// old model.
+func (m *Manager) SetTransportMode(mode cost.TransportMode) {
+	m.mu.Lock()
+	if m.cfg.Transport == mode {
+		m.mu.Unlock()
+		return
+	}
+	m.cfg.Transport = mode
+	pub := false
+	if m.graph != nil {
+		g := *m.graph
+		g.Transport = mode
+		g.Rev = pipeline.NextGraphRev()
+		m.graph = &g
+		m.restamps++
+		pub = true
+	}
+	m.mu.Unlock()
+	m.notifyRepublish(pub)
+}
+
+// TransportMode reports the delivery model published graphs are stamped
+// with.
+func (m *Manager) TransportMode() cost.TransportMode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Transport
 }
 
 // Optimize answers a session's consultation: the memoized Eq. 9-10 dynamic

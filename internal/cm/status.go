@@ -9,8 +9,12 @@ type EdgeStatus struct {
 	BandwidthBps float64 `json:"bandwidth_bps"`
 	DelaySeconds float64 `json:"delay_s"`
 	Confidence   float64 `json:"confidence"`
-	ProbeEpoch   uint64  `json:"probe_epoch"`
-	StaleTicks   uint64  `json:"stale_ticks"`
+	// Loss and LossConfidence are the packet-loss estimate FEC redundancy
+	// is provisioned from (DESIGN §13).
+	Loss           float64 `json:"loss"`
+	LossConfidence float64 `json:"loss_confidence"`
+	ProbeEpoch     uint64  `json:"probe_epoch"`
+	StaleTicks     uint64  `json:"stale_ticks"`
 }
 
 // Status is the Manager's observable state, shaped for the web control
@@ -21,6 +25,7 @@ type Status struct {
 	Restamps      uint64       `json:"restamps"`
 	Adaptations   uint64       `json:"adaptations"`
 	ProbeTimeouts uint64       `json:"probe_timeouts"`
+	TransportMode string       `json:"transport_mode"`
 	Tolerance     float64      `json:"tolerance"`
 	Nodes         int          `json:"nodes"`
 	NodeNames     []string     `json:"node_names"`
@@ -40,6 +45,7 @@ func (m *Manager) Status() Status {
 		Restamps:      m.restamps,
 		Adaptations:   m.adaptations,
 		ProbeTimeouts: m.probeTimeouts,
+		TransportMode: m.cfg.Transport.String(),
 		Tolerance:     m.cfg.Tolerance,
 		Nodes:         len(m.nodes),
 		NodeNames:     make([]string, 0, len(m.nodes)),
@@ -55,12 +61,14 @@ func (m *Manager) Status() Status {
 	}
 	for _, e := range m.edges {
 		es := EdgeStatus{
-			From:         e.from,
-			To:           e.to,
-			BandwidthBps: e.bw,
-			DelaySeconds: e.delay,
-			Confidence:   e.confidence,
-			ProbeEpoch:   e.lastProbeEpoch,
+			From:           e.from,
+			To:             e.to,
+			BandwidthBps:   e.bw,
+			DelaySeconds:   e.delay,
+			Confidence:     e.confidence,
+			Loss:           e.loss,
+			LossConfidence: e.lossConf,
+			ProbeEpoch:     e.lastProbeEpoch,
 		}
 		if m.epoch > e.lastProbeEpoch {
 			es.StaleTicks = m.epoch - e.lastProbeEpoch

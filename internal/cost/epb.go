@@ -26,6 +26,13 @@ type PathEstimate struct {
 	// itself; consumers should adopt these raw rather than EWMA-smooth
 	// them, since a dead link must be noticed on its first re-probe.
 	TimedOut bool
+	// Loss is the packet loss fraction observed while probing and LossConf
+	// the confidence of that observation in [0, 1] (it grows with the
+	// number of packets the estimate is based on). The regression itself
+	// does not measure loss; the connection manager fills these from its
+	// per-edge accounting and they feed FEC redundancy provisioning.
+	Loss     float64
+	LossConf float64
 }
 
 // TransferTime predicts the delay of moving size bytes over the path using

@@ -1,0 +1,134 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file prices the two transport delivery models the optimizer can
+// choose between on each virtual link (DESIGN §13): the NACK path (the
+// stabilized transport's retransmission loop) and the fountain-FEC path
+// (package transport/fec: one coded burst, no retransmission state). Both
+// models are pure functions of the edge's measured bandwidth, delay, and
+// loss estimate, so the dynamic program stays deterministic and the
+// choice is re-derived whenever the connection manager republishes the
+// graph.
+
+// TransportMode selects the delivery model priced into transfer-time
+// predictions and used by the execution layer.
+type TransportMode uint8
+
+const (
+	// TransportNACK is the retransmission path — the historical behaviour
+	// and the zero value, so untouched graphs price exactly as before.
+	TransportNACK TransportMode = iota
+	// TransportFEC is the fountain-coded path: every frame carries
+	// proactive repair blocks sized to the edge's loss estimate.
+	TransportFEC
+	// TransportAuto prices both models per edge and takes the cheaper,
+	// preferring NACK on ties (no redundancy overhead when loss is zero).
+	TransportAuto
+)
+
+// ParseTransportMode maps the -transport-mode flag values. The empty
+// string selects NACK, the historical default.
+func ParseTransportMode(s string) (TransportMode, error) {
+	switch s {
+	case "", "nack":
+		return TransportNACK, nil
+	case "fec":
+		return TransportFEC, nil
+	case "auto":
+		return TransportAuto, nil
+	}
+	return TransportNACK, fmt.Errorf("cost: unknown transport mode %q (want nack, fec, or auto)", s)
+}
+
+func (m TransportMode) String() string {
+	switch m {
+	case TransportFEC:
+		return "fec"
+	case TransportAuto:
+		return "auto"
+	}
+	return "nack"
+}
+
+// maxRedundancy caps the provisioned repair fraction: beyond it the coded
+// burst would cost more than simply retransmitting, and the generation
+// shape would overflow the 256-block evaluation space anyway.
+const maxRedundancy = 4.0
+
+// FECRedundancy derives the provisioned repair fraction r from the
+// connection manager's per-edge loss estimate and its confidence:
+//
+//	r = loss * (2 - conf) / (1 - loss)
+//
+// loss/(1-loss) repair per source block exactly covers the expected
+// losses; the (2 - conf) factor doubles the margin when the estimate is
+// untrusted (conf 0) and shrinks toward the expectation as confidence
+// approaches 1. Zero loss provisions zero redundancy.
+func FECRedundancy(loss, conf float64) float64 {
+	if loss <= 0 {
+		return 0
+	}
+	if loss > 0.99 {
+		loss = 0.99
+	}
+	if conf < 0 {
+		conf = 0
+	} else if conf > 1 {
+		conf = 1
+	}
+	r := loss * (2 - conf) / (1 - loss)
+	if r > maxRedundancy {
+		r = maxRedundancy
+	}
+	return r
+}
+
+// NACKDeliverySeconds predicts delivering size bytes over a link with the
+// retransmission transport: serialization plus propagation, plus one
+// round trip per expected retransmission round. Loss draws are i.i.d., so
+// the expected number of extra rounds is geometric, loss/(1-loss).
+func NACKDeliverySeconds(bytes, bw, delaySec, loss float64) float64 {
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	base := bytes/bw + delaySec
+	if loss <= 0 {
+		return base
+	}
+	if loss > 0.99 {
+		loss = 0.99
+	}
+	return base + 2*delaySec*loss/(1-loss)
+}
+
+// FECDeliverySeconds predicts delivering size bytes over a link with the
+// fountain-coded transport: the burst carries (1+r) times the source
+// bytes and completes in a single propagation delay — bandwidth is
+// traded for the retransmission round trips the NACK model pays.
+func FECDeliverySeconds(bytes, bw, delaySec, loss, conf float64) float64 {
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return bytes*(1+FECRedundancy(loss, conf))/bw + delaySec
+}
+
+// DeliverySeconds prices one transfer under the given mode. TransportAuto
+// evaluates both models and returns the cheaper, preferring NACK on ties.
+func DeliverySeconds(mode TransportMode, bytes, bw, delaySec, loss, conf float64) float64 {
+	switch mode {
+	case TransportFEC:
+		return FECDeliverySeconds(bytes, bw, delaySec, loss, conf)
+	case TransportAuto:
+		nack := NACKDeliverySeconds(bytes, bw, delaySec, loss)
+		fec := FECDeliverySeconds(bytes, bw, delaySec, loss, conf)
+		if fec < nack {
+			return fec
+		}
+		return nack
+	}
+	return NACKDeliverySeconds(bytes, bw, delaySec, loss)
+}

@@ -94,6 +94,10 @@ func (c *Channel) Down() bool { return c.down }
 // Config returns the channel's configuration.
 func (c *Channel) Config() LinkConfig { return c.cfg }
 
+// Network returns the network that owns the channel, so external flow
+// models (package transport/fec) can drive the event loop they share.
+func (c *Channel) Network() *Network { return c.net }
+
 // Stats returns a snapshot of the channel counters.
 func (c *Channel) Stats() ChannelStats { return c.stats }
 

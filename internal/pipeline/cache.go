@@ -76,9 +76,14 @@ func (g *Graph) Fingerprint() uint64 {
 	if g.Rev != 0 {
 		h = fpMix(h, g.Rev)
 		h = fpMix(h, uint64(len(g.Nodes)))
+		// The transport mode reprices every edge without touching the
+		// measurements, so it must be part of even the O(1) digest — a mode
+		// flip between probes would otherwise collide with the stale entry.
+		h = fpMix(h, uint64(g.Transport))
 		return fpFinal(h)
 	}
 	h = fpMix(h, uint64(len(g.Nodes)))
+	h = fpMix(h, uint64(g.Transport))
 	for _, nd := range g.Nodes {
 		h = fpString(h, nd.Name)
 		h = fpFloat(h, nd.Power)
@@ -97,6 +102,8 @@ func (g *Graph) Fingerprint() uint64 {
 			h = fpMix(h, uint64(e.To))
 			h = fpFloat(h, e.Bandwidth)
 			h = fpFloat(h, e.Delay)
+			h = fpFloat(h, e.Loss)
+			h = fpFloat(h, e.LossConf)
 		}
 	}
 	return fpFinal(h)

@@ -208,7 +208,7 @@ func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) 
 			choice[0][src] = int32(src)
 		}
 		for _, e := range g.Adj[src] {
-			cand := computeTime(g, p, 0, e.To) + transferTime(p, 0, e)
+			cand := computeTime(g, p, 0, e.To) + transferTime(g, p, 0, e)
 			if cand < P[e.To] {
 				P[e.To] = cand
 				choice[0][e.To] = int32(src)
@@ -233,7 +233,7 @@ func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) 
 					if u == v || math.IsInf(P[u], 1) {
 						continue
 					}
-					if cand := P[u] + ct + transferTime(p, j, ie.E); cand < T[v] {
+					if cand := P[u] + ct + transferTime(g, p, j, ie.E); cand < T[v] {
 						T[v] = cand
 						choice[j][v] = ie.From
 					}
@@ -275,7 +275,7 @@ func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) 
 					if math.IsInf(ct, 1) || math.IsInf(next[u], 1) {
 						continue
 					}
-					if cand := transferTime(p, j, e) + ct + next[u]; cand < B[v] {
+					if cand := transferTime(g, p, j, e) + ct + next[u]; cand < B[v] {
 						B[v] = cand
 						cj[v] = int32(u)
 					}

@@ -14,6 +14,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"ricsa/internal/cost"
 )
 
 // Module is one visualization module M_j (j >= 2): filtering,
@@ -72,11 +74,17 @@ type Node struct {
 }
 
 // Edge is a directed virtual link with measured effective bandwidth and
-// minimum delay (seconds), the outputs of the EPB estimator.
+// minimum delay (seconds), the outputs of the EPB estimator, plus the
+// connection manager's loss estimate for transport-mode pricing.
 type Edge struct {
 	To        int
 	Bandwidth float64 // bytes per second
 	Delay     float64 // seconds, size-independent
+	// Loss is the estimated packet loss fraction on the link and LossConf
+	// the confidence of that estimate in [0, 1]. Zero loss prices both
+	// transport models identically to the historical lossless formula.
+	Loss     float64
+	LossConf float64
 }
 
 // Graph is the transport network: nodes and directed adjacency.
@@ -90,6 +98,10 @@ type Graph struct {
 	// O(1) in |E|. Owners that mutate a stamped graph in place must
 	// re-stamp it (or zero Rev to fall back to full content hashing).
 	Rev uint64
+	// Transport selects the delivery model transfer times are priced
+	// with: the NACK path (zero value, the historical formula), the
+	// fountain-FEC path, or per-edge auto-selection. See cost.DeliverySeconds.
+	Transport cost.TransportMode
 }
 
 // NewGraph allocates a graph with the given nodes and no edges.
@@ -169,12 +181,14 @@ func computeTime(g *Graph, p *Pipeline, k, v int) float64 {
 // mapping on the emulated network. Returns +Inf for infeasible placements.
 func ExecTime(g *Graph, p *Pipeline, k, v int) float64 { return computeTime(g, p, k, v) }
 
-// transferTime returns the time to move module k's input over edge e.
-func transferTime(p *Pipeline, k int, e Edge) float64 {
+// transferTime returns the time to move module k's input over edge e,
+// priced under the graph's transport mode. A lossless edge yields the
+// historical formula bit-for-bit in every mode.
+func transferTime(g *Graph, p *Pipeline, k int, e Edge) float64 {
 	if e.Bandwidth <= 0 {
 		return math.Inf(1)
 	}
-	return p.InputBytes(k)/e.Bandwidth + e.Delay
+	return cost.DeliverySeconds(g.Transport, p.InputBytes(k), e.Bandwidth, e.Delay, e.Loss, e.LossConf)
 }
 
 // Assignment places a contiguous run of modules on one node.
@@ -340,7 +354,7 @@ func OptimizeWith(g *Graph, p *Pipeline, src, dst int, opt OptimizeOptions) (*VR
 		choice[0][src] = int32(src)
 	}
 	for _, e := range g.Adj[src] {
-		cand := computeTime(g, p, 0, e.To) + transferTime(p, 0, e)
+		cand := computeTime(g, p, 0, e.To) + transferTime(g, p, 0, e)
 		if cand < prevT[e.To] {
 			prevT[e.To] = cand
 			choice[0][e.To] = int32(src)
@@ -369,7 +383,7 @@ func OptimizeWith(g *Graph, p *Pipeline, src, dst int, opt OptimizeOptions) (*VR
 				if u == v || math.IsInf(prevT[u], 1) {
 					continue
 				}
-				if cand := prevT[u] + ct + transferTime(p, j, ie.E); cand < T[v] {
+				if cand := prevT[u] + ct + transferTime(g, p, j, ie.E); cand < T[v] {
 					T[v] = cand
 					ch[v] = ie.From
 				}
@@ -457,7 +471,7 @@ func Evaluate(g *Graph, p *Pipeline, src int, nodes []int) (float64, error) {
 				return 0, fmt.Errorf("pipeline: no edge %s -> %s",
 					g.Nodes[cur].Name, g.Nodes[v].Name)
 			}
-			total += transferTime(p, k, *e)
+			total += transferTime(g, p, k, *e)
 			cur = v
 		}
 		ct := computeTime(g, p, k, v)

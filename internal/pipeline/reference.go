@@ -42,7 +42,7 @@ func Exhaustive(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
 				continue
 			}
 			cur[k] = e.To
-			rec(k+1, e.To, acc+ct+transferTime(p, k, e))
+			rec(k+1, e.To, acc+ct+transferTime(g, p, k, e))
 		}
 	}
 	rec(0, src, 0)
@@ -75,7 +75,7 @@ func Greedy(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
 			if math.IsInf(ct, 1) {
 				continue
 			}
-			if c := ct + transferTime(p, k, e); c < bestCost {
+			if c := ct + transferTime(g, p, k, e); c < bestCost {
 				bestCost, bestNode = c, e.To
 			}
 		}
@@ -92,7 +92,7 @@ func Greedy(g *Graph, p *Pipeline, src, dst int) (*VRT, error) {
 			if at == dst {
 				bestNode, bestCost = dst, ct
 			} else if e := g.FindEdge(at, dst); e != nil {
-				bestNode, bestCost = dst, ct+transferTime(p, k, *e)
+				bestNode, bestCost = dst, ct+transferTime(g, p, k, *e)
 			} else {
 				return nil, ErrNoFeasibleMapping
 			}

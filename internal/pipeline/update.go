@@ -14,6 +14,10 @@ type EdgeUpdate struct {
 	From, To  int
 	Bandwidth float64 // bytes per second
 	Delay     float64 // seconds
+	// Loss and LossConf carry the edge's packet-loss estimate alongside the
+	// bandwidth/delay measurements; see Edge.
+	Loss     float64
+	LossConf float64
 }
 
 // ApplyEdgeUpdates returns a copy of g with the updates applied and a fresh
@@ -24,7 +28,8 @@ type EdgeUpdate struct {
 // re-consulted yet) keep a consistent view. Updates naming an absent edge
 // insert it.
 func (g *Graph) ApplyEdgeUpdates(ups []EdgeUpdate) *Graph {
-	out := &Graph{Nodes: g.Nodes, Adj: make([][]Edge, len(g.Adj)), Rev: NextGraphRev()}
+	out := &Graph{Nodes: g.Nodes, Adj: make([][]Edge, len(g.Adj)), Rev: NextGraphRev(),
+		Transport: g.Transport}
 	copy(out.Adj, g.Adj)
 	copied := make([]bool, len(g.Adj))
 	for _, up := range ups {
@@ -38,12 +43,15 @@ func (g *Graph) ApplyEdgeUpdates(ups []EdgeUpdate) *Graph {
 			if row[i].To == up.To {
 				row[i].Bandwidth = up.Bandwidth
 				row[i].Delay = up.Delay
+				row[i].Loss = up.Loss
+				row[i].LossConf = up.LossConf
 				patched = true
 				break
 			}
 		}
 		if !patched {
-			out.Adj[up.From] = append(row, Edge{To: up.To, Bandwidth: up.Bandwidth, Delay: up.Delay})
+			out.Adj[up.From] = append(row, Edge{To: up.To, Bandwidth: up.Bandwidth, Delay: up.Delay,
+				Loss: up.Loss, LossConf: up.LossConf})
 		}
 	}
 	return out

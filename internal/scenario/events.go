@@ -177,6 +177,33 @@ func NodeUp(at time.Duration, node string) Event {
 		Apply: func(e *Engine) error { e.Network().SetNodeDown(node, false); return nil }}
 }
 
+// SetLoss steps both directions of a link's per-packet loss probability —
+// the sustained-loss regime the transport duel scenarios run under.
+func SetLoss(at time.Duration, a, b string, p float64) Event {
+	return Event{At: at, Name: fmt.Sprintf("set-loss %s-%s p=%g", a, b, p),
+		Apply: func(e *Engine) error {
+			l, err := e.Link(a, b)
+			if err != nil {
+				return err
+			}
+			l.AB.SetLoss(p)
+			l.BA.SetLoss(p)
+			return nil
+		}}
+}
+
+// FrameTrain measures delivering frames frames of size bytes over the
+// directed channel a->b in the scenario's transport mode, recording the
+// per-frame completion times in the Result under label. The duel
+// scenarios' evidence-gathering primitive.
+func FrameTrain(at time.Duration, label, a, b string, frames, size int) Event {
+	return Event{At: at,
+		Name: fmt.Sprintf("frame-train label=%s %s->%s frames=%d size=%d", label, a, b, frames, size),
+		Apply: func(e *Engine) error {
+			return e.MeasureFrameTrainNow(at, label, a, b, frames, size)
+		}}
+}
+
 // CrossBurst replaces a link's cross-traffic process with a heavier one
 // leaving only mean availability (each direction gets its own process
 // state, as the testbed builder does).

@@ -34,11 +34,13 @@ import (
 
 	"ricsa/internal/clock"
 	"ricsa/internal/cm"
+	"ricsa/internal/cost"
 	"ricsa/internal/fcp"
 	"ricsa/internal/netsim"
 	"ricsa/internal/pipeline"
 	"ricsa/internal/steering"
 	"ricsa/internal/telemetry"
+	"ricsa/internal/transport/fec"
 )
 
 // Scenario is a declarative script: a seeded live-stack configuration, a
@@ -90,6 +92,12 @@ type Scenario struct {
 	// inline, so the deterministic log is the same at any width; a
 	// regression test pins that.
 	ComputeWorkers int
+	// TransportMode selects how frame delivery is priced and modelled
+	// (DESIGN §13): NACK retransmission (the zero value), fountain-FEC, or
+	// auto. It is threaded into the live manager's CM — so the optimizer
+	// prices it — and governs which delivery model scripted FrameTrain
+	// events measure.
+	TransportMode cost.TransportMode
 	// Events is the script, in any order; the engine sorts by At (ties keep
 	// authoring order, and run before the sample at the same instant).
 	Events []Event
@@ -153,11 +161,43 @@ type Result struct {
 	ViewersTracked   int
 	ViewersClosed    int
 	EvictedObserved  int
+	// FrameTrains holds each scripted FrameTrain measurement, keyed by the
+	// event's label.
+	FrameTrains map[string]TrainStats
 	// Samples holds every SampleRow in order.
 	Samples []SampleRow
 	// Violations are engine-detected invariant breaches (non-monotone frame
 	// sequences, and anything events reported). Empty on a healthy run.
 	Violations []string
+}
+
+// TrainStats summarizes one scripted frame-delivery train: a fixed number
+// of frames pushed over one ground-truth channel in the scenario's
+// transport mode, each frame's completion time measured on the emulated
+// network. This is the duel scenarios' evidence: the same seeded loss
+// process, priced and delivered under NACK in one run and FEC in the
+// sibling run.
+type TrainStats struct {
+	// Mode is the delivery model used ("nack" or "fec" — auto resolves to
+	// one of the two against the CM's estimate before the train starts).
+	Mode string
+	// Redundancy is the FEC provisioning used, derived from the CM's
+	// per-edge loss/confidence estimate at train time (0 in NACK mode).
+	Redundancy float64
+	// Frames is the train length; Delivered how many frames completed
+	// inside the per-frame budget. A reliable transport delivers them all
+	// — fallbacks are counted, stalls are not tolerated.
+	Frames, Delivered int
+	// Decoded counts FEC frames completed by the coded burst alone;
+	// Fallbacks counts frames whose loss exceeded the provisioned
+	// redundancy and whose residue was delivered over the NACK path.
+	Decoded, Fallbacks int
+	// BlocksSent and RepairUsed aggregate the FEC wire accounting.
+	BlocksSent, RepairUsed int
+	// P50 and P99 are delivery-time percentiles in seconds over the train.
+	P50, P99 float64
+	// Delays holds every frame's delivery time in seconds, train order.
+	Delays []float64
 }
 
 // Duration returns the virtual time of the last sample (the scenario end;
@@ -379,6 +419,97 @@ func (e *Engine) DetachViewers(alias string, n int) error {
 	return nil
 }
 
+// trainBudget bounds one train frame's delivery in emulated time; only a
+// dark channel can exhaust it.
+const trainBudget = 60 * time.Second
+
+// MeasureFrameTrainNow delivers frames frames of size bytes over the
+// directed ground-truth channel a->b in the scenario's transport mode and
+// records the per-frame completion times under label. In FEC mode the
+// redundancy is provisioned from the CM's current loss/confidence
+// estimate for that edge — exactly the quantity the optimizer prices — so
+// a stale estimate under sudden loss growth exercises the counted
+// fallback path. Auto resolves to the cheaper model against the same
+// estimate before the train starts. Runs at quiescence and drives the
+// netsim event loop directly, like Remeasure; the measured times are a
+// deterministic function of the scenario seed and prior event history.
+func (e *Engine) MeasureFrameTrainNow(at time.Duration, label, a, b string, frames, size int) error {
+	if _, dup := e.res.FrameTrains[label]; dup {
+		return fmt.Errorf("scenario: duplicate frame-train label %q", label)
+	}
+	ch := e.Network().Channel(a, b)
+	if ch == nil {
+		return fmt.Errorf("scenario: no channel %s->%s", a, b)
+	}
+	est := e.CM().Estimates()[a+"->"+b]
+	mode := e.sc.TransportMode
+	if mode == cost.TransportAuto {
+		mode = cost.TransportNACK
+		if cost.FECDeliverySeconds(float64(size), est.EPB, est.MinDelay.Seconds(), est.Loss, est.LossConf) <
+			cost.NACKDeliverySeconds(float64(size), est.EPB, est.MinDelay.Seconds(), est.Loss) {
+			mode = cost.TransportFEC
+		}
+	}
+
+	tel := &e.mgr.Telemetry().Counters
+	ts := TrainStats{Mode: mode.String(), Frames: frames}
+	if mode == cost.TransportFEC {
+		ts.Redundancy = cost.FECRedundancy(est.Loss, est.LossConf)
+	}
+	for i := 0; i < frames; i++ {
+		if mode == cost.TransportFEC {
+			fs := fec.MeasureFrameWithin(ch, size, ts.Redundancy, trainBudget)
+			ts.BlocksSent += fs.BlocksSent
+			ts.RepairUsed += fs.RepairUsed
+			tel.FECBlocksSent.Add(uint64(fs.BlocksSent))
+			tel.FECRepairUsed.Add(uint64(fs.RepairUsed))
+			if fs.Decoded {
+				ts.Decoded++
+			}
+			if fs.FellBack {
+				ts.Fallbacks++
+				tel.FECDecodeFailures.Add(1)
+				tel.FECFallbacks.Add(1)
+			}
+			if fs.Delivered {
+				ts.Delivered++
+			}
+			ts.Delays = append(ts.Delays, fs.Elapsed.Seconds())
+		} else {
+			elapsed, ok := netsim.MeasureBulkWithin(ch, size, trainBudget)
+			if ok {
+				ts.Delivered++
+			}
+			ts.Delays = append(ts.Delays, elapsed.Seconds())
+		}
+	}
+	sorted := append([]float64(nil), ts.Delays...)
+	sort.Float64s(sorted)
+	ts.P50 = percentile(sorted, 0.50)
+	ts.P99 = percentile(sorted, 0.99)
+	e.res.FrameTrains[label] = ts
+	fmt.Fprintf(&e.log, "t=%s train label=%s mode=%s r=%.3f frames=%d delivered=%d decoded=%d fallbacks=%d sent=%d repair=%d p50=%s p99=%s\n",
+		fmtD(at), label, ts.Mode, ts.Redundancy, ts.Frames, ts.Delivered,
+		ts.Decoded, ts.Fallbacks, ts.BlocksSent, ts.RepairUsed, fmtF(ts.P50), fmtF(ts.P99))
+	return nil
+}
+
+// percentile returns the q-quantile of an ascending-sorted sample by the
+// nearest-rank method (q in (0, 1]).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
 // Violate records an invariant breach detected by an event or check.
 func (e *Engine) Violate(format string, args ...any) {
 	e.res.Violations = append(e.res.Violations, fmt.Sprintf(format, args...))
@@ -430,11 +561,12 @@ func Run(sc Scenario) (*Result, error) {
 		viewers:  make(map[string][]*steering.Viewer),
 		lastSeq:  make(map[string]uint64),
 		res: &Result{
-			Scenario: sc.Name,
-			Frames:   make(map[string]uint64),
-			Renders:  make(map[string]int),
-			Reopts:   make(map[string]int),
-			Adapts:   make(map[string]int),
+			Scenario:    sc.Name,
+			Frames:      make(map[string]uint64),
+			Renders:     make(map[string]int),
+			Reopts:      make(map[string]int),
+			Adapts:      make(map[string]int),
+			FrameTrains: make(map[string]TrainStats),
 		},
 	}
 	e.clk = clock.NewVirtual(e.epoch)
@@ -466,6 +598,7 @@ func Run(sc Scenario) (*Result, error) {
 		FrameCost:         sc.FrameCost,
 		MaxViewerLag:      sc.MaxViewerLag,
 		ComputePool:       pool,
+		TransportMode:     sc.TransportMode,
 	})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
@@ -477,8 +610,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	e.clk.AwaitArmed(e.waiters)
 
-	fmt.Fprintf(&e.log, "scenario=%s seed=%d duration=%s frame=%s probe=%s\n",
-		sc.Name, sc.Seed, fmtD(sc.Duration), fmtD(sc.FramePeriod), fmtD(sc.ProbeInterval))
+	fmt.Fprintf(&e.log, "scenario=%s seed=%d duration=%s frame=%s probe=%s transport=%s\n",
+		sc.Name, sc.Seed, fmtD(sc.Duration), fmtD(sc.FramePeriod), fmtD(sc.ProbeInterval),
+		sc.TransportMode)
 
 	// Merge script events with the sampling schedule.
 	var items []timelineItem

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"ricsa/internal/cost"
 	"ricsa/internal/netsim"
 	"ricsa/internal/steering"
 )
@@ -304,6 +305,223 @@ func NodeFailure() Scenario {
 	}
 }
 
+// duelFrameSize is the transport duels' frame payload: large enough that
+// a NACK frame spans many chunks (so seeded loss forces retransmission
+// sweeps into the tail) and an FEC generation uses the full source-block
+// budget.
+const duelFrameSize = 1 << 20
+
+// duelTrainChecks validates the structural invariants every duel side
+// shares: all trains present, the expected delivery model used, and every
+// frame delivered — a reliable transport may fall back, never stall.
+func duelTrainChecks(r *Result, mode cost.TransportMode, labels ...string) error {
+	for _, lbl := range labels {
+		ts, ok := r.FrameTrains[lbl]
+		if !ok {
+			return fmt.Errorf("train %q missing", lbl)
+		}
+		if ts.Mode != mode.String() {
+			return fmt.Errorf("train %q ran %s, want %s", lbl, ts.Mode, mode)
+		}
+		if ts.Delivered != ts.Frames {
+			return fmt.Errorf("train %q delivered %d of %d frames", lbl, ts.Delivered, ts.Frames)
+		}
+	}
+	return nil
+}
+
+// duelTelemetryChecks reconciles the service collector's FEC counters
+// against the trains' ground truth, the same three-way discipline the
+// load soak applies to admission counters.
+func duelTelemetryChecks(r *Result, labels ...string) error {
+	var sent, repair, fallbacks int
+	for _, lbl := range labels {
+		ts := r.FrameTrains[lbl]
+		sent += ts.BlocksSent
+		repair += ts.RepairUsed
+		fallbacks += ts.Fallbacks
+	}
+	t := r.Telemetry
+	if t.FECBlocksSent != uint64(sent) || t.FECRepairUsed != uint64(repair) {
+		return fmt.Errorf("telemetry blocks sent=%d repair=%d, trains saw %d/%d",
+			t.FECBlocksSent, t.FECRepairUsed, sent, repair)
+	}
+	if t.FECFallbacks != uint64(fallbacks) || t.FECDecodeFailures != uint64(fallbacks) {
+		return fmt.Errorf("telemetry fallbacks=%d failures=%d, trains saw %d",
+			t.FECFallbacks, t.FECDecodeFailures, fallbacks)
+	}
+	return nil
+}
+
+// fecDuelFlapStorm builds one side of the flap-storm transport duel: the
+// link-flap-storm fault shape (the GaTech-UT path flapping dark under an
+// active prober) with a sustained 8% loss process on the GaTech-ORNL
+// frame path. The two sides run the identical script and seed and differ
+// only in TransportMode; the FEC side's Verify re-runs the NACK sibling
+// and asserts the head-to-head tail-delay claim.
+func fecDuelFlapStorm(mode cost.TransportMode) Scenario {
+	events := []Event{
+		StartSession(0, "s1", sessionRequest(netsim.GaTech, netsim.ORNL)),
+		SetLoss(time.Second, netsim.GaTech, netsim.ORNL, 0.08),
+	}
+	events = append(events, LinkFlaps(4*time.Second, netsim.GaTech, netsim.UT, 2, 2*time.Second)...)
+	events = append(events,
+		FrameTrain(12*time.Second, "storm", netsim.GaTech, netsim.ORNL, 24, duelFrameSize),
+		FrameTrain(15*time.Second, "late", netsim.GaTech, netsim.ORNL, 16, duelFrameSize),
+	)
+	sc := Scenario{
+		Name:              "fec-duel-flap-storm-" + mode.String(),
+		Description:       "flap storm + sustained 8% loss on the frame path, delivered in " + mode.String() + " mode",
+		Seed:              47,
+		Duration:          16 * time.Second,
+		ProbeInterval:     250 * time.Millisecond,
+		ProbeLinksPerTick: 4,
+		ProbeBudget:       time.Second,
+		TransportMode:     mode,
+		Events:            events,
+	}
+	if mode == cost.TransportNACK {
+		sc.Verify = func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			return duelTrainChecks(r, mode, "storm", "late")
+		}
+		return sc
+	}
+	sc.Verify = func(r *Result) error {
+		if len(r.Violations) != 0 {
+			return fmt.Errorf("violations: %v", r.Violations)
+		}
+		if err := duelTrainChecks(r, mode, "storm", "late"); err != nil {
+			return err
+		}
+		late := r.FrameTrains["late"]
+		if late.Redundancy <= 0 {
+			return fmt.Errorf("the prober's loss estimate never provisioned redundancy")
+		}
+		if late.Decoded == 0 {
+			return fmt.Errorf("no frame decoded from its coded burst")
+		}
+		if err := duelTelemetryChecks(r, "storm", "late"); err != nil {
+			return err
+		}
+		// The head-to-head claim: same seed, same script, same loss draws
+		// parameterization — FEC's tail frame delay must beat NACK's under
+		// sustained loss.
+		sib, err := Run(fecDuelFlapStorm(cost.TransportNACK))
+		if err != nil {
+			return fmt.Errorf("NACK sibling: %w", err)
+		}
+		nack := sib.FrameTrains["late"]
+		if !(late.P99 < nack.P99) {
+			return fmt.Errorf("FEC p99 %.4fs does not beat NACK p99 %.4fs under sustained loss",
+				late.P99, nack.P99)
+		}
+		return nil
+	}
+	return sc
+}
+
+// FECDuelFlapStormNACK is the flap-storm duel's NACK side.
+func FECDuelFlapStormNACK() Scenario { return fecDuelFlapStorm(cost.TransportNACK) }
+
+// FECDuelFlapStormFEC is the flap-storm duel's FEC side; its Verify
+// carries the head-to-head tail-delay assertion.
+func FECDuelFlapStormFEC() Scenario { return fecDuelFlapStorm(cost.TransportFEC) }
+
+// fecDuelProbeStarved builds one side of the probe-starved transport
+// duel: the prober is off, so FEC redundancy is provisioned from whatever
+// the last full sweep measured. Mid-run the loss process jumps from 6% to
+// 35% with no probe to see it — the stale estimate under-provisions every
+// generation and the FEC side must take the counted fallback path on
+// every affected frame without ever stalling. A late remeasure
+// re-provisions and decode resumes.
+func fecDuelProbeStarved(mode cost.TransportMode) Scenario {
+	events := []Event{
+		StartSession(0, "s1", sessionRequest(netsim.GaTech, netsim.ORNL)),
+		SetLoss(time.Second, netsim.GaTech, netsim.ORNL, 0.06),
+		Remeasure(2 * time.Second),
+		FrameTrain(4*time.Second, "provisioned", netsim.GaTech, netsim.ORNL, 16, duelFrameSize),
+		SetLoss(6*time.Second, netsim.GaTech, netsim.ORNL, 0.35),
+		FrameTrain(8*time.Second, "starved", netsim.GaTech, netsim.ORNL, 16, duelFrameSize),
+		Remeasure(10 * time.Second),
+		FrameTrain(11*time.Second, "recovered", netsim.GaTech, netsim.ORNL, 16, duelFrameSize),
+	}
+	sc := Scenario{
+		Name:          "fec-duel-probe-starved-" + mode.String(),
+		Description:   "prober off, loss drifts 6%->35% past the stale estimate, delivered in " + mode.String() + " mode",
+		Seed:          53,
+		Duration:      12 * time.Second,
+		TransportMode: mode,
+		Events:        events,
+	}
+	labels := []string{"provisioned", "starved", "recovered"}
+	if mode == cost.TransportNACK {
+		sc.Verify = func(r *Result) error {
+			if len(r.Violations) != 0 {
+				return fmt.Errorf("violations: %v", r.Violations)
+			}
+			return duelTrainChecks(r, mode, labels...)
+		}
+		return sc
+	}
+	sc.Verify = func(r *Result) error {
+		if len(r.Violations) != 0 {
+			return fmt.Errorf("violations: %v", r.Violations)
+		}
+		if err := duelTrainChecks(r, mode, labels...); err != nil {
+			return err
+		}
+		prov := r.FrameTrains["provisioned"]
+		starved := r.FrameTrains["starved"]
+		rec := r.FrameTrains["recovered"]
+		if prov.Redundancy <= 0 {
+			return fmt.Errorf("remeasure did not provision redundancy")
+		}
+		// The drift regime: loss far beyond the stale provisioning must
+		// surface as counted fallbacks on a still-delivering transport,
+		// never as a stall.
+		if starved.Fallbacks == 0 {
+			return fmt.Errorf("loss beyond the provisioned redundancy produced no counted fallback")
+		}
+		if starved.P99 >= trainBudget.Seconds() {
+			return fmt.Errorf("starved train stalled into the frame budget: p99=%.4fs", starved.P99)
+		}
+		// Re-provisioning from fresh measurements restores in-burst decode.
+		if rec.Redundancy <= starved.Redundancy {
+			return fmt.Errorf("remeasure did not raise redundancy: %.3f -> %.3f",
+				starved.Redundancy, rec.Redundancy)
+		}
+		if rec.Decoded <= starved.Decoded {
+			return fmt.Errorf("re-provisioning did not restore decode: %d -> %d of %d",
+				starved.Decoded, rec.Decoded, rec.Frames)
+		}
+		if err := duelTelemetryChecks(r, labels...); err != nil {
+			return err
+		}
+		// Head-to-head on the well-provisioned high-loss regime.
+		sib, err := Run(fecDuelProbeStarved(cost.TransportNACK))
+		if err != nil {
+			return fmt.Errorf("NACK sibling: %w", err)
+		}
+		nack := sib.FrameTrains["recovered"]
+		if !(rec.P99 < nack.P99) {
+			return fmt.Errorf("FEC p99 %.4fs does not beat NACK p99 %.4fs at 35%% loss",
+				rec.P99, nack.P99)
+		}
+		return nil
+	}
+	return sc
+}
+
+// FECDuelProbeStarvedNACK is the probe-starved duel's NACK side.
+func FECDuelProbeStarvedNACK() Scenario { return fecDuelProbeStarved(cost.TransportNACK) }
+
+// FECDuelProbeStarvedFEC is the probe-starved duel's FEC side; its Verify
+// carries the counted-fallback-not-stall assertion and the head-to-head.
+func FECDuelProbeStarvedFEC() Scenario { return fecDuelProbeStarved(cost.TransportFEC) }
+
 // soakAliases returns the aliases s<lo>..s<hi> inclusive.
 func soakAliases(lo, hi int) []string {
 	out := make([]string, 0, hi-lo+1)
@@ -518,6 +736,10 @@ func All() []Scenario {
 		ProbeStarvedDrift(),
 		NodeFailure(),
 		LoadSoak(),
+		FECDuelFlapStormNACK(),
+		FECDuelFlapStormFEC(),
+		FECDuelProbeStarvedNACK(),
+		FECDuelProbeStarvedFEC(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"ricsa/internal/clock"
 	"ricsa/internal/cm"
+	"ricsa/internal/cost"
 	"ricsa/internal/fcp"
 	"ricsa/internal/grid"
 	"ricsa/internal/netsim"
@@ -113,6 +114,12 @@ type ManagerConfig struct {
 	// pool scheduling stays fair across sessions. nil selects the process
 	// default pool (fcp.Default).
 	ComputePool *fcp.Pool
+	// TransportMode selects how the optimizer prices frame delivery over
+	// lossy edges (DESIGN §13): the NACK retransmission path (the zero
+	// value), fountain-FEC, or auto (cheaper of the two per edge). It is
+	// stamped onto every published graph snapshot, so changing it reprices
+	// the whole DP without re-measuring.
+	TransportMode cost.TransportMode
 }
 
 // SessionManager owns the live sessions of one RICSA service instance. The
@@ -188,6 +195,7 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 		CacheCapacity:      cfg.CacheCapacity,
 		ProbeBudget:        cfg.ProbeBudget,
 		Clock:              cfg.Clock,
+		Transport:          cfg.TransportMode,
 	})
 	m.optFn = m.cm.Optimize
 	m.optMultiFn = m.cm.OptimizeMulti

@@ -251,6 +251,15 @@ type Counters struct {
 	// RecordsDropped counts frame records shed because the sink could not
 	// keep up with the batch rate.
 	RecordsDropped atomic.Uint64
+
+	// Fountain-FEC transport mode (DESIGN §13): coded blocks sent (source
+	// plus repair), lost source blocks covered in-line by repair blocks,
+	// generations that could not be decoded, and counted fallbacks to the
+	// NACK path (peer decline or consecutive decode failures).
+	FECBlocksSent     atomic.Uint64
+	FECRepairUsed     atomic.Uint64
+	FECDecodeFailures atomic.Uint64
+	FECFallbacks      atomic.Uint64
 }
 
 // CounterSnapshot is a plain-value copy of every counter, for tests and
@@ -276,6 +285,10 @@ type CounterSnapshot struct {
 	BlocksReused             uint64
 	BlocksExtracted          uint64
 	RecordsDropped           uint64
+	FECBlocksSent            uint64
+	FECRepairUsed            uint64
+	FECDecodeFailures        uint64
+	FECFallbacks             uint64
 }
 
 // Snapshot copies every counter into a plain value.
@@ -301,5 +314,9 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		BlocksReused:             c.BlocksReused.Load(),
 		BlocksExtracted:          c.BlocksExtracted.Load(),
 		RecordsDropped:           c.RecordsDropped.Load(),
+		FECBlocksSent:            c.FECBlocksSent.Load(),
+		FECRepairUsed:            c.FECRepairUsed.Load(),
+		FECDecodeFailures:        c.FECDecodeFailures.Load(),
+		FECFallbacks:             c.FECFallbacks.Load(),
 	}
 }

@@ -31,8 +31,12 @@ type AIMDSender struct {
 }
 
 // NewAIMDSender creates an AIMD sender with the given round-trip estimate
-// (its pacing clock) and config for packet size.
-func NewAIMDSender(n *netsim.Network, data *netsim.Channel, cfg Config, rtt time.Duration) *AIMDSender {
+// (its pacing clock) and config for packet size. A nonsensical config is
+// rejected with a *ConfigError.
+func NewAIMDSender(n *netsim.Network, data *netsim.Channel, cfg Config, rtt time.Duration) (*AIMDSender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	if rtt <= 0 {
 		rtt = 40 * time.Millisecond
@@ -44,7 +48,7 @@ func NewAIMDSender(n *netsim.Network, data *netsim.Channel, cfg Config, rtt time
 		window:    2,
 		rtt:       rtt,
 		inRetrans: make(map[uint64]bool),
-	}
+	}, nil
 }
 
 // Bind installs the ACK handler on the reverse channel.

@@ -1,0 +1,130 @@
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode is a flow's transport mode: the paper's window/NACK protocol, the
+// fountain-FEC mode of this package, or automatic per-edge selection by
+// the cost model.
+type Mode uint8
+
+const (
+	// ModeNACK is the baseline retransmission transport (Fig. 2).
+	ModeNACK Mode = iota
+	// ModeFEC is the fountain-coded mode: redundancy instead of RTTs.
+	ModeFEC
+	// ModeAuto lets the optimizer's delivery-time model choose per edge.
+	ModeAuto
+)
+
+// ParseMode maps the -transport-mode flag values to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "nack":
+		return ModeNACK, nil
+	case "fec":
+		return ModeFEC, nil
+	case "auto":
+		return ModeAuto, nil
+	}
+	return ModeNACK, fmt.Errorf("fec: unknown transport mode %q (want nack, fec, or auto)", s)
+}
+
+// String returns the flag spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeFEC:
+		return "fec"
+	case ModeAuto:
+		return "auto"
+	}
+	return "nack"
+}
+
+// DefaultFallbackAfter is the negotiation contract's K: this many
+// consecutive generations failing to decode demote the flow to the NACK
+// path. Small enough that a mis-provisioned flow stops wasting repair
+// bandwidth quickly, large enough that one unlucky generation does not.
+const DefaultFallbackAfter = 3
+
+// ErrDeclined reports a proposal the peer rejected.
+var ErrDeclined = errors.New("fec: peer declined FEC mode")
+
+// Negotiator is the per-flow mode state machine (DESIGN §13): a flow
+// starts on the NACK path, proposes FEC, runs coded once the peer
+// accepts, and falls back to NACK when the peer declines or when
+// FallbackAfter consecutive generations fail to decode. A tolerance-gated
+// graph update (fresh loss estimates) re-arms a fallen-back flow to
+// propose again.
+type Negotiator struct {
+	// FallbackAfter overrides DefaultFallbackAfter when positive.
+	FallbackAfter int
+
+	accepted  bool
+	fellBack  bool
+	failures  int // consecutive undecoded generations
+	fallbacks int
+}
+
+// Active reports the mode the flow is currently running: ModeFEC only
+// after an accepted proposal and while the failure budget holds.
+func (n *Negotiator) Active() Mode {
+	if n.accepted && !n.fellBack {
+		return ModeFEC
+	}
+	return ModeNACK
+}
+
+// HandleAck applies the peer's verdict on a proposal. A decline counts as
+// a fallback: the flow stays on the NACK path until renegotiation.
+func (n *Negotiator) HandleAck(accept bool) {
+	if accept {
+		n.accepted = true
+		n.fellBack = false
+		n.failures = 0
+		return
+	}
+	if !n.fellBack {
+		n.fallbacks++
+	}
+	n.accepted = false
+	n.fellBack = true
+}
+
+// NoteDecodeSuccess records a delivered generation, clearing the
+// consecutive-failure count.
+func (n *Negotiator) NoteDecodeSuccess() { n.failures = 0 }
+
+// NoteDecodeFailure records a generation that could not be decoded.
+// It returns true exactly when this failure crosses the FallbackAfter
+// threshold and demotes the flow to the NACK path.
+func (n *Negotiator) NoteDecodeFailure() bool {
+	limit := n.FallbackAfter
+	if limit <= 0 {
+		limit = DefaultFallbackAfter
+	}
+	n.failures++
+	if n.accepted && !n.fellBack && n.failures >= limit {
+		n.fellBack = true
+		n.fallbacks++
+		return true
+	}
+	return false
+}
+
+// Renegotiate re-arms the flow after a tolerance-gated graph update: the
+// loss estimate that provisioned the failing redundancy is stale, so a
+// fallen-back flow may propose FEC again. A flow that never fell back is
+// unaffected.
+func (n *Negotiator) Renegotiate() {
+	if n.fellBack {
+		n.fellBack = false
+		n.failures = 0
+	}
+}
+
+// Fallbacks reports how many times the flow demoted to the NACK path
+// (declines and failure-budget exhaustions both count).
+func (n *Negotiator) Fallbacks() int { return n.fallbacks }

@@ -1,0 +1,195 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		err  bool
+	}{
+		{"", ModeNACK, false},
+		{"nack", ModeNACK, false},
+		{"fec", ModeFEC, false},
+		{"auto", ModeAuto, false},
+		{"raptor", ModeNACK, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Fatalf("ParseMode(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+	for _, m := range []Mode{ModeNACK, ModeFEC, ModeAuto} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip %v -> %q -> %v, %v", m, m.String(), back, err)
+		}
+	}
+}
+
+// TestNegotiatorFallbackContract pins the DESIGN §13 state machine: NACK
+// until accepted, FEC while the failure budget holds, a counted fallback
+// after FallbackAfter consecutive failures, and re-arming only through
+// Renegotiate.
+func TestNegotiatorFallbackContract(t *testing.T) {
+	var n Negotiator
+	if n.Active() != ModeNACK {
+		t.Fatal("flow must start on the NACK path")
+	}
+	n.HandleAck(true)
+	if n.Active() != ModeFEC {
+		t.Fatal("accepted proposal must activate FEC")
+	}
+	// Interleaved successes keep resetting the consecutive count.
+	for i := 0; i < 10; i++ {
+		if n.NoteDecodeFailure() {
+			t.Fatalf("fell back after %d non-consecutive failures", i+1)
+		}
+		if n.Active() != ModeFEC {
+			t.Fatal("mode flipped before the consecutive budget was spent")
+		}
+		n.NoteDecodeSuccess()
+	}
+	// Consecutive failures cross the threshold exactly once.
+	fell := 0
+	for i := 0; i < DefaultFallbackAfter+2; i++ {
+		if n.NoteDecodeFailure() {
+			fell++
+		}
+	}
+	if fell != 1 || n.Active() != ModeNACK || n.Fallbacks() != 1 {
+		t.Fatalf("fell=%d active=%v fallbacks=%d; want 1, nack, 1", fell, n.Active(), n.Fallbacks())
+	}
+	// A tolerance-gated graph update re-arms the flow.
+	n.Renegotiate()
+	if n.Active() != ModeFEC {
+		t.Fatal("Renegotiate must restore FEC for a still-accepted flow")
+	}
+	// A peer decline is also a counted fallback, and Renegotiate does not
+	// resurrect a flow the peer refused.
+	var d Negotiator
+	d.HandleAck(false)
+	if d.Active() != ModeNACK || d.Fallbacks() != 1 {
+		t.Fatalf("decline: active=%v fallbacks=%d; want nack, 1", d.Active(), d.Fallbacks())
+	}
+	d.Renegotiate()
+	if d.Active() != ModeNACK {
+		t.Fatal("Renegotiate must not activate FEC the peer never accepted")
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	pkt := AppendHandshake(nil, 42, 16, 0.375)
+	flow, k, r, ok := ParseHandshake(pkt)
+	if !ok || flow != 42 || k != 16 || r != 0.375 {
+		t.Fatalf("ParseHandshake = %d, %d, %v, %v", flow, k, r, ok)
+	}
+	ackPkt := AppendHandshakeAck(nil, 42, true)
+	flow, accept, ok := ParseHandshakeAck(ackPkt)
+	if !ok || flow != 42 || !accept {
+		t.Fatalf("ParseHandshakeAck = %d, %v, %v", flow, accept, ok)
+	}
+	if _, _, _, ok := ParseHandshake(pkt[:len(pkt)-1]); ok {
+		t.Fatal("truncated handshake parsed")
+	}
+	if _, _, ok := ParseHandshakeAck(ackPkt[:2]); ok {
+		t.Fatal("truncated handshake ack parsed")
+	}
+}
+
+// blockPackets encodes every block of the encoder's current generation.
+func blockPackets(e *Encoder, gen uint32) [][]byte {
+	total := e.NumSource() + e.NumRepair()
+	out := make([][]byte, 0, total)
+	for i := 0; i < e.NumSource(); i++ {
+		out = append(out, AppendBlock(nil, Block{
+			Gen: gen, K: e.NumSource(), Total: total, Idx: i,
+			FrameLen: e.FrameLen(), Payload: e.SourceBlock(i),
+		}))
+	}
+	for j := 0; j < e.NumRepair(); j++ {
+		out = append(out, AppendBlock(nil, Block{
+			Gen: gen, K: e.NumSource(), Total: total, Idx: j,
+			FrameLen: e.FrameLen(), Repair: true, Payload: e.RepairBlock(j),
+		}))
+	}
+	return out
+}
+
+// TestReceiverDeliversOnAnySufficientSubset wires codec, wire format, and
+// receiver together: blocks arrive shuffled with losses, the frame is
+// delivered exactly once the k-th block lands, and duplicates and stale
+// generations are ignored.
+func TestReceiverDeliversOnAnySufficientSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	frame := randFrame(rng, 5000)
+	e := NewEncoder()
+	if err := e.Encode(frame, 4, 2); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	pkts := blockPackets(e, 1)
+	// Drop two blocks (== repair budget), shuffle the rest.
+	keep := [][]byte{pkts[0], pkts[2], pkts[4], pkts[5]}
+	rng.Shuffle(len(keep), func(i, j int) { keep[i], keep[j] = keep[j], keep[i] })
+
+	r := NewReceiver()
+	var delivered []byte
+	for n, pkt := range keep {
+		out, ok := r.Ingest(pkt)
+		if ok {
+			if delivered != nil {
+				t.Fatal("frame delivered twice")
+			}
+			if n != len(keep)-1 {
+				t.Fatalf("delivered after %d of %d blocks", n+1, len(keep))
+			}
+			delivered = append([]byte(nil), out...)
+		}
+	}
+	if !bytes.Equal(delivered, frame) {
+		t.Fatal("delivered frame differs from encoded frame")
+	}
+	if r.FramesDelivered() != 1 || r.RepairUsed() != 2 {
+		t.Fatalf("FramesDelivered=%d RepairUsed=%d; want 1, 2", r.FramesDelivered(), r.RepairUsed())
+	}
+	// Duplicates and stale-generation blocks after delivery: ignored.
+	if _, ok := r.Ingest(keep[0]); ok {
+		t.Fatal("duplicate block re-delivered the frame")
+	}
+}
+
+// TestReceiverCountsDecodeFailures: a generation evicted before becoming
+// decodable is a decode failure, and consecutive failures drive the
+// negotiator's fallback.
+func TestReceiverCountsDecodeFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := NewEncoder()
+	var neg Negotiator
+	neg.HandleAck(true)
+	r := NewReceiver()
+	r.Neg = &neg
+
+	for gen := uint32(1); gen <= uint32(DefaultFallbackAfter)+1; gen++ {
+		frame := randFrame(rng, 2000)
+		if err := e.Encode(frame, 4, 1); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		// Only one block of each generation ever arrives: undecodable.
+		if _, ok := r.Ingest(blockPackets(e, gen)[0]); ok {
+			t.Fatal("decoded from a single block of a 4-source generation")
+		}
+	}
+	// Generations 1..FallbackAfter were evicted undecoded; the last one is
+	// still open, so exactly FallbackAfter failures are on the books.
+	if got := r.DecodeFailures(); got != uint64(DefaultFallbackAfter) {
+		t.Fatalf("DecodeFailures = %d, want %d", got, DefaultFallbackAfter)
+	}
+	if neg.Active() != ModeNACK || neg.Fallbacks() != 1 {
+		t.Fatalf("negotiator: active=%v fallbacks=%d; want nack, 1", neg.Active(), neg.Fallbacks())
+	}
+}

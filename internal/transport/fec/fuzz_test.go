@@ -1,0 +1,130 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the FEC wire codec and the generation-window receiver,
+// riding the CI fuzz-smoke job alongside the base transport's targets.
+// The block decoder is the part of the system that eats raw datagrams
+// from the network, so it must never panic, never over-read, and never
+// let an inconsistent header desynchronize reassembly.
+
+// FuzzParseFECBlock exercises the block decoder: arbitrary bytes must
+// never panic, and any packet that parses must re-encode to an
+// equivalent packet (header canonicalization round trip).
+func FuzzParseFECBlock(f *testing.F) {
+	// A valid 2-source generation block.
+	e := NewEncoder()
+	if err := e.Encode([]byte("fountain-coded frame payload"), 2, 1); err != nil {
+		f.Fatal(err)
+	}
+	valid := AppendBlock(nil, Block{
+		Gen: 7, K: 2, Total: 3, Idx: 0,
+		FrameLen: e.FrameLen(), Payload: e.SourceBlock(0),
+	})
+	repair := AppendBlock(nil, Block{
+		Gen: 7, K: 2, Total: 3, Idx: 0,
+		FrameLen: e.FrameLen(), Repair: true, Payload: e.RepairBlock(0),
+	})
+	f.Add(valid)
+	f.Add(repair)
+	f.Add(valid[:blockHdr-1]) // truncated header
+	f.Add([]byte("D\x07\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		b, ok := ParseBlock(pkt)
+		if !ok {
+			return
+		}
+		if b.K < 1 || b.K > MaxSourceBlocks || b.Total < b.K || b.Total > MaxTotalBlocks {
+			t.Fatalf("accepted impossible shape: %+v", b)
+		}
+		if len(b.Payload) != b.BlockSize() {
+			t.Fatalf("payload length %d != derived block size %d", len(b.Payload), b.BlockSize())
+		}
+		if b.Repair && b.Idx >= b.Total-b.K {
+			t.Fatalf("repair index %d outside [0,%d)", b.Idx, b.Total-b.K)
+		}
+		if !b.Repair && b.Idx >= b.K {
+			t.Fatalf("source index %d outside [0,%d)", b.Idx, b.K)
+		}
+		re := AppendBlock(nil, b)
+		if !bytes.Equal(re, pkt[:len(re)]) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", pkt, re)
+		}
+		b2, ok2 := ParseBlock(re)
+		if !ok2 {
+			t.Fatal("re-encoded packet does not parse")
+		}
+		if b.Gen != b2.Gen || b.K != b2.K || b.Total != b2.Total ||
+			b.Idx != b2.Idx || b.FrameLen != b2.FrameLen || b.Repair != b2.Repair {
+			t.Fatalf("header round trip: %+v != %+v", b, b2)
+		}
+	})
+}
+
+// FuzzFECReceiverIngest drives the generation-window receiver with an
+// arbitrary datagram stream (length-prefixed slices of the fuzz input,
+// the same framing the base transport's ingest fuzzer uses) and checks
+// the receiver's invariants: no panic, at most one delivery per
+// generation, delivered frames exactly FrameLen bytes, and monotone
+// counters.
+func FuzzFECReceiverIngest(f *testing.F) {
+	e := NewEncoder()
+	if err := e.Encode([]byte("generation zero frame bytes"), 2, 1); err != nil {
+		f.Fatal(err)
+	}
+	var stream []byte
+	for i := 0; i < 2; i++ {
+		pkt := AppendBlock(nil, Block{
+			Gen: 1, K: 2, Total: 3, Idx: i,
+			FrameLen: e.FrameLen(), Payload: e.SourceBlock(i),
+		})
+		stream = append(stream, byte(len(pkt)))
+		stream = append(stream, pkt...)
+	}
+	f.Add(stream)
+	f.Add([]byte{3, 'F', 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var neg Negotiator
+		neg.HandleAck(true)
+		r := NewReceiver()
+		r.Neg = &neg
+		var lastDelivered uint64
+		for len(data) > 0 {
+			take := 1 + int(data[0])%48
+			data = data[1:]
+			if take > len(data) {
+				take = len(data)
+			}
+			pkt := data[:take]
+			data = data[take:]
+			frame, ok := r.Ingest(pkt)
+			if ok != (frame != nil) {
+				t.Fatal("delivery flag and frame disagree")
+			}
+			if ok {
+				if r.FramesDelivered() != lastDelivered+1 {
+					t.Fatalf("FramesDelivered jumped %d -> %d", lastDelivered, r.FramesDelivered())
+				}
+				lastDelivered = r.FramesDelivered()
+				if len(frame) != r.dec.frameLen {
+					t.Fatalf("delivered %d bytes, generation frame length %d", len(frame), r.dec.frameLen)
+				}
+			}
+			if r.FramesDelivered() < lastDelivered {
+				t.Fatal("FramesDelivered went backwards")
+			}
+		}
+		// The negotiator only ever sees NACK after enough CONSECUTIVE
+		// failures; any delivered frame in between resets the count.
+		if neg.Fallbacks() > int(r.DecodeFailures()) {
+			t.Fatalf("fallbacks %d exceed decode failures %d", neg.Fallbacks(), r.DecodeFailures())
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package fec
+
+// Receiver is the block-ingestion side of the FEC flow: it tracks one
+// generation at a time (bounded memory — a newer generation evicts the
+// old one), feeds blocks to the decoder, and delivers each frame exactly
+// once, as soon as any sufficient subset of its blocks has arrived. An
+// evicted generation that never delivered counts as a decode failure
+// against the flow's Negotiator.
+type Receiver struct {
+	// Neg, when non-nil, is informed of per-generation decode outcomes so
+	// the flow can fall back after consecutive failures.
+	Neg *Negotiator
+
+	dec       Decoder
+	gen       uint32
+	total     int
+	started   bool
+	delivered bool
+	shapeBad  bool // current generation's header was unusable; ignore it
+
+	framesDelivered uint64
+	repairUsed      uint64
+	decodeFailures  uint64
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver() *Receiver { return &Receiver{} }
+
+// FramesDelivered reports frames handed to the caller.
+func (r *Receiver) FramesDelivered() uint64 { return r.framesDelivered }
+
+// RepairUsed reports repair blocks that substituted for lost source
+// blocks across all delivered frames.
+func (r *Receiver) RepairUsed() uint64 { return r.repairUsed }
+
+// DecodeFailures reports generations that ended (were evicted by a newer
+// one) without delivering.
+func (r *Receiver) DecodeFailures() uint64 { return r.decodeFailures }
+
+// Ingest processes one datagram. It returns the reconstructed frame
+// (aliasing receiver storage, valid until the next Ingest) and true the
+// moment a generation becomes decodable; all other packets — unparseable,
+// stale, duplicate, or insufficient — return (nil, false).
+func (r *Receiver) Ingest(pkt []byte) (frame []byte, ok bool) {
+	b, ok := ParseBlock(pkt)
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case !r.started || newerGen(r.gen, b.Gen):
+		r.closeGeneration()
+		r.started = true
+		r.gen = b.Gen
+		r.total = b.Total
+		r.delivered = false
+		r.shapeBad = r.dec.Reset(b.K, b.BlockSize(), b.FrameLen) != nil
+	case b.Gen != r.gen:
+		return nil, false // stale generation
+	}
+	if r.shapeBad || r.delivered {
+		return nil, false
+	}
+	// Cross-check against the established generation: a block whose shape
+	// disagrees with the first-seen header is corrupt or forged.
+	if b.K != r.dec.k || b.Total != r.total || b.FrameLen != r.dec.frameLen {
+		return nil, false
+	}
+	if b.Repair {
+		if r.dec.AddRepair(b.Idx, b.Payload) != nil {
+			return nil, false
+		}
+	} else if r.dec.AddSource(b.Idx, b.Payload) != nil {
+		return nil, false
+	}
+	if !r.dec.Ready() {
+		return nil, false
+	}
+	missing := r.dec.k - r.dec.nHave
+	out, err := r.dec.Decode()
+	if err != nil {
+		return nil, false
+	}
+	r.delivered = true
+	r.framesDelivered++
+	r.repairUsed += uint64(missing)
+	if r.Neg != nil {
+		r.Neg.NoteDecodeSuccess()
+	}
+	return out, true
+}
+
+// closeGeneration accounts the current generation's outcome before a new
+// one replaces it.
+func (r *Receiver) closeGeneration() {
+	if !r.started || r.delivered || r.shapeBad {
+		return
+	}
+	r.decodeFailures++
+	if r.Neg != nil {
+		r.Neg.NoteDecodeFailure()
+	}
+}
+
+// newerGen reports whether b is a later generation than a under serial
+// arithmetic (wraparound-safe, like TCP sequence comparison).
+func newerGen(a, b uint32) bool { return int32(b-a) > 0 }

@@ -1,0 +1,159 @@
+package fec
+
+import "encoding/binary"
+
+// This file is the FEC mode's wire codec, split out of the flow machinery
+// so the datagram formats are fuzzable in isolation (the same layering as
+// the base transport's wire.go). Layout (little endian):
+//
+//	source block: 'F' | gen uint32 | k uint16 | total uint16 | idx uint16 | flen uint32 | payload
+//	repair block: 'G' | same header | payload
+//	handshake:    'H' | flow uint32 | k uint16 | redQ uint16   (redQ = redundancy × 1024)
+//	handshake ack:'J' | flow uint32 | accept uint8
+//
+// The block payload length is exactly ceil(flen/k) — the decoder derives
+// the block size from the header rather than trusting a separate field,
+// so a forged size cannot desynchronize reassembly.
+
+const (
+	magicSource = 'F'
+	magicRepair = 'G'
+	magicHello  = 'H'
+	magicHelloA = 'J'
+
+	blockHdr  = 1 + 4 + 2 + 2 + 2 + 4
+	helloLen  = 1 + 4 + 2 + 2
+	helloALen = 1 + 4 + 1
+
+	// redQScale is the fixed-point scale of the handshake's redundancy
+	// field: 10 fractional bits bound the negotiable factor at 64, far
+	// above anything RepairBlocksFor can quantize.
+	redQScale = 1024
+)
+
+// Block is one decoded generation block header plus its payload view.
+type Block struct {
+	Gen      uint32
+	K        int // source blocks in the generation
+	Total    int // source + repair blocks
+	Idx      int // source index in [0,K) or repair index in [0,Total-K)
+	FrameLen int // unpadded frame length in bytes
+	Repair   bool
+	Payload  []byte // aliases the packet buffer
+}
+
+// BlockSize returns the generation's block payload size, derived from the
+// header as ceil(FrameLen/K).
+func (b Block) BlockSize() int { return (b.FrameLen + b.K - 1) / b.K }
+
+// AppendBlock encodes a block datagram onto dst. The payload length must
+// equal b.BlockSize(); inconsistent blocks are the decoder's to reject,
+// not the encoder's to emit.
+func AppendBlock(dst []byte, b Block) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, blockHdr+len(b.Payload))...)
+	pkt := dst[n:]
+	if b.Repair {
+		pkt[0] = magicRepair
+	} else {
+		pkt[0] = magicSource
+	}
+	binary.LittleEndian.PutUint32(pkt[1:], b.Gen)
+	binary.LittleEndian.PutUint16(pkt[5:], uint16(b.K))
+	binary.LittleEndian.PutUint16(pkt[7:], uint16(b.Total))
+	binary.LittleEndian.PutUint16(pkt[9:], uint16(b.Idx))
+	binary.LittleEndian.PutUint32(pkt[11:], uint32(b.FrameLen))
+	copy(pkt[blockHdr:], b.Payload)
+	return dst
+}
+
+// ParseBlock decodes a block datagram. ok is false for truncated,
+// foreign, or internally inconsistent packets: impossible generation
+// shapes, indices outside the generation, or a payload whose length does
+// not match the header-derived block size. The payload aliases pkt.
+func ParseBlock(pkt []byte) (b Block, ok bool) {
+	if len(pkt) < blockHdr || (pkt[0] != magicSource && pkt[0] != magicRepair) {
+		return Block{}, false
+	}
+	b.Repair = pkt[0] == magicRepair
+	b.Gen = binary.LittleEndian.Uint32(pkt[1:5])
+	b.K = int(binary.LittleEndian.Uint16(pkt[5:7]))
+	b.Total = int(binary.LittleEndian.Uint16(pkt[7:9]))
+	b.Idx = int(binary.LittleEndian.Uint16(pkt[9:11]))
+	b.FrameLen = int(binary.LittleEndian.Uint32(pkt[11:15]))
+	if b.K < 1 || b.K > MaxSourceBlocks || b.Total < b.K || b.Total > MaxTotalBlocks {
+		return Block{}, false
+	}
+	if b.FrameLen < 1 || b.FrameLen > b.K*MaxBlockBytes {
+		return Block{}, false
+	}
+	bs := b.BlockSize()
+	if len(pkt) != blockHdr+bs {
+		return Block{}, false
+	}
+	if b.Repair {
+		if b.Idx >= b.Total-b.K {
+			return Block{}, false
+		}
+	} else if b.Idx >= b.K {
+		return Block{}, false
+	}
+	b.Payload = pkt[blockHdr:]
+	return b, true
+}
+
+// AppendHandshake encodes a mode proposal: "flow wants FEC generations of
+// k source blocks at redundancy r". r is quantized to 1/1024 steps.
+func AppendHandshake(dst []byte, flow uint32, k int, r float64) []byte {
+	q := int(r * redQScale)
+	if q < 0 {
+		q = 0
+	}
+	if q > 0xffff {
+		q = 0xffff
+	}
+	n := len(dst)
+	dst = append(dst, make([]byte, helloLen)...)
+	pkt := dst[n:]
+	pkt[0] = magicHello
+	binary.LittleEndian.PutUint32(pkt[1:], flow)
+	binary.LittleEndian.PutUint16(pkt[5:], uint16(k))
+	binary.LittleEndian.PutUint16(pkt[7:], uint16(q))
+	return dst
+}
+
+// ParseHandshake decodes a mode proposal. ok is false for truncated,
+// foreign, or shape-invalid packets.
+func ParseHandshake(pkt []byte) (flow uint32, k int, r float64, ok bool) {
+	if len(pkt) < helloLen || pkt[0] != magicHello {
+		return 0, 0, 0, false
+	}
+	flow = binary.LittleEndian.Uint32(pkt[1:5])
+	k = int(binary.LittleEndian.Uint16(pkt[5:7]))
+	if k < 1 || k > MaxSourceBlocks {
+		return 0, 0, 0, false
+	}
+	r = float64(binary.LittleEndian.Uint16(pkt[7:9])) / redQScale
+	return flow, k, r, true
+}
+
+// AppendHandshakeAck encodes the peer's verdict on a proposal.
+func AppendHandshakeAck(dst []byte, flow uint32, accept bool) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, helloALen)...)
+	pkt := dst[n:]
+	pkt[0] = magicHelloA
+	binary.LittleEndian.PutUint32(pkt[1:], flow)
+	if accept {
+		pkt[5] = 1
+	}
+	return dst
+}
+
+// ParseHandshakeAck decodes a proposal verdict.
+func ParseHandshakeAck(pkt []byte) (flow uint32, accept, ok bool) {
+	if len(pkt) < helloALen || pkt[0] != magicHelloA {
+		return 0, false, false
+	}
+	return binary.LittleEndian.Uint32(pkt[1:5]), pkt[5] == 1, true
+}

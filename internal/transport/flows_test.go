@@ -26,8 +26,8 @@ func sharedPair(t *testing.T, seed int64, capacity float64, targets [2]float64, 
 	for i := 0; i < 2; i++ {
 		cfg := DefaultConfig(targets[i])
 		cfg.FlowID = i + 1
-		snd := NewSender(n, l.AB, cfg)
-		rcv := NewReceiver(n, l.BA, cfg)
+		snd := mustSender(t, n, l.AB, cfg)
+		rcv := mustReceiver(t, n, l.BA, cfg)
 		fwd.Register(rcv.HandlePacket)
 		rev.Register(snd.HandlePacket)
 		rcv.Start()
@@ -87,8 +87,8 @@ func TestFlowIsolationNoCrossTalk(t *testing.T) {
 	cfg1.FlowID = 1
 	cfg2 := DefaultConfig(1e6)
 	cfg2.FlowID = 2
-	r1 := NewReceiver(n, l.BA, cfg1)
-	r2 := NewReceiver(n, l.BA, cfg2)
+	r1 := mustReceiver(t, n, l.BA, cfg1)
+	r2 := mustReceiver(t, n, l.BA, cfg2)
 	demux.Register(r1.HandlePacket)
 	demux.Register(r2.HandlePacket)
 

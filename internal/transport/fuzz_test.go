@@ -97,7 +97,7 @@ func FuzzReceiverIngest(f *testing.F) {
 		a := n.AddNode("a", 1)
 		b := n.AddNode("b", 1)
 		l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: netsim.MB, Delay: time.Millisecond})
-		r := NewReceiver(n, l.BA, DefaultConfig(netsim.MB))
+		r := mustReceiver(t, n, l.BA, DefaultConfig(netsim.MB))
 
 		var lastCum uint64
 		for len(stream) > 0 {

@@ -1,0 +1,27 @@
+package transport
+
+import (
+	"testing"
+
+	"ricsa/internal/netsim"
+)
+
+// mustSender / mustReceiver fail the test on a construction error; the
+// configs tests pass are valid by design, so any error is a bug.
+func mustSender(t *testing.T, n *netsim.Network, data *netsim.Channel, cfg Config) *Sender {
+	t.Helper()
+	s, err := NewSender(n, data, cfg)
+	if err != nil {
+		t.Fatalf("NewSender: %v", err)
+	}
+	return s
+}
+
+func mustReceiver(t *testing.T, n *netsim.Network, ack *netsim.Channel, cfg Config) *Receiver {
+	t.Helper()
+	r, err := NewReceiver(n, ack, cfg)
+	if err != nil {
+		t.Fatalf("NewReceiver: %v", err)
+	}
+	return r
+}

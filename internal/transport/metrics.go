@@ -10,10 +10,17 @@ import (
 // RunStabilized wires a stabilized sender/receiver pair across the directed
 // channels fwd (data) and rev (feedback), runs the network for dur of
 // virtual time, and returns the sender-side goodput trace. It is the
-// harness used by the Section 3 stabilization experiments.
+// harness used by the Section 3 stabilization experiments. An invalid
+// config returns a nil trace (use Config.Validate for the typed error).
 func RunStabilized(n *netsim.Network, fwd, rev *netsim.Channel, cfg Config, dur time.Duration) []Sample {
-	snd := NewSender(n, fwd, cfg)
-	rcv := NewReceiver(n, rev, cfg)
+	snd, err := NewSender(n, fwd, cfg)
+	if err != nil {
+		return nil
+	}
+	rcv, err := NewReceiver(n, rev, cfg)
+	if err != nil {
+		return nil
+	}
 	rcv.Bind(fwd)
 	snd.Bind(rev)
 	rcv.Start()
@@ -25,10 +32,16 @@ func RunStabilized(n *netsim.Network, fwd, rev *netsim.Channel, cfg Config, dur 
 }
 
 // RunAIMD runs the AIMD baseline over the same channel pair and returns its
-// goodput trace.
+// goodput trace. As with RunStabilized, an invalid config returns nil.
 func RunAIMD(n *netsim.Network, fwd, rev *netsim.Channel, cfg Config, rtt, dur time.Duration) []Sample {
-	snd := NewAIMDSender(n, fwd, cfg, rtt)
-	rcv := NewReceiver(n, rev, cfg)
+	snd, err := NewAIMDSender(n, fwd, cfg, rtt)
+	if err != nil {
+		return nil
+	}
+	rcv, err := NewReceiver(n, rev, cfg)
+	if err != nil {
+		return nil
+	}
 	rcv.Bind(fwd)
 	snd.Bind(rev)
 	rcv.Start()

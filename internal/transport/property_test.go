@@ -19,7 +19,7 @@ func TestPropertyReceiverInOrderInvariant(t *testing.T) {
 		b := n.AddNode("b", 1)
 		l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e12})
 		cfg := DefaultConfig(1e6)
-		r := NewReceiver(n, l.BA, cfg)
+		r := mustReceiver(t, n, l.BA, cfg)
 		r.Bind(l.AB)
 
 		distinct := map[uint64]bool{}

@@ -34,15 +34,19 @@ type Receiver struct {
 }
 
 // NewReceiver creates a receiver that sends feedback on ack. Call Bind on
-// the forward (data) channel, then Start to begin the ACK clock.
-func NewReceiver(n *netsim.Network, ack *netsim.Channel, cfg Config) *Receiver {
+// the forward (data) channel, then Start to begin the ACK clock. A
+// nonsensical config is rejected with a *ConfigError.
+func NewReceiver(n *netsim.Network, ack *netsim.Channel, cfg Config) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	return &Receiver{
 		net:     n,
 		ack:     ack,
 		cfg:     cfg,
 		pending: make(map[uint64]bool),
-	}
+	}, nil
 }
 
 // Bind installs the data handler on the forward channel. To share a

@@ -16,7 +16,7 @@ func gapReceiver(t *testing.T) *Receiver {
 	b := n.AddNode("b", 1)
 	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e9})
 	cfg := DefaultConfig(1e6)
-	r := NewReceiver(n, l.BA, cfg)
+	r := mustReceiver(t, n, l.BA, cfg)
 	r.Bind(l.AB)
 	for _, s := range []uint64{0, 1, 4, 6, 8, 10} {
 		l.AB.Send(netsim.Packet{Size: cfg.PacketSize, Payload: dataMsg{Seq: s}})
@@ -63,7 +63,7 @@ func TestMissingCursorFollowsFrontier(t *testing.T) {
 	b := n.AddNode("b", 1)
 	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e9})
 	cfg := DefaultConfig(1e6)
-	r := NewReceiver(n, l.BA, cfg)
+	r := mustReceiver(t, n, l.BA, cfg)
 	r.Bind(l.AB)
 
 	send := func(seqs ...uint64) {

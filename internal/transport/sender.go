@@ -37,8 +37,12 @@ type Sender struct {
 }
 
 // NewSender creates a stabilized sender transmitting on data. Call Bind on
-// the reverse channel so ACKs reach the sender, then Start.
-func NewSender(n *netsim.Network, data *netsim.Channel, cfg Config) *Sender {
+// the reverse channel so ACKs reach the sender, then Start. A nonsensical
+// config is rejected with a *ConfigError.
+func NewSender(n *netsim.Network, data *netsim.Channel, cfg Config) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	return &Sender{
 		net:       n,
@@ -47,7 +51,7 @@ func NewSender(n *netsim.Network, data *netsim.Channel, cfg Config) *Sender {
 		sleep:     cfg.InitialSleep,
 		inRetrans: make(map[uint64]bool),
 		lastSent:  make(map[uint64]netsim.Time),
-	}
+	}, nil
 }
 
 // Bind installs the sender's ACK handler on the reverse channel. To share

@@ -20,8 +20,8 @@ func TestSenderRetransStateBounded(t *testing.T) {
 
 	cfg := DefaultConfig(target)
 	cfg.fillDefaults()
-	snd := NewSender(n, fwd, cfg)
-	rcv := NewReceiver(n, rev, cfg)
+	snd := mustSender(t, n, fwd, cfg)
+	rcv := mustReceiver(t, n, rev, cfg)
 	rcv.Bind(fwd)
 	snd.Bind(rev)
 	rcv.Start()

@@ -64,6 +64,12 @@ type Config struct {
 	// the bottleneck trigger duplicate sends that waste the very capacity
 	// the stabilizer is trying to meter.
 	RetransHold time.Duration
+	// Redundancy is the provisioned FEC redundancy factor for flows
+	// negotiated into fountain-coded mode (package transport/fec): repair
+	// bandwidth as a fraction of source bandwidth. Zero means adaptive —
+	// the redundancy is derived from the connection manager's per-edge
+	// loss/confidence estimates instead of being pinned.
+	Redundancy float64
 	// FlowID tags this connection's packets so several flows can share one
 	// channel through a Demux. Flows with different IDs ignore each
 	// other's datagrams and feedback.
@@ -101,12 +107,17 @@ func DefaultConfig(target float64) Config {
 	}
 }
 
+// fillDefaults substitutes the DefaultConfig value for every field left
+// at its zero value. Explicitly set but nonsensical values (a negative
+// window, Smoothing > 1) are NOT repaired here — validate rejects them
+// with a typed error, instead of the silent mid-flow misbehavior the old
+// fix-up policy allowed.
 func (c *Config) fillDefaults() {
 	d := DefaultConfig(c.Target)
-	if c.PacketSize <= 0 {
+	if c.PacketSize == 0 {
 		c.PacketSize = d.PacketSize
 	}
-	if c.Window <= 0 {
+	if c.Window == 0 {
 		c.Window = d.Window
 	}
 	if c.Gain == 0 {
@@ -115,36 +126,92 @@ func (c *Config) fillDefaults() {
 	if c.Alpha == 0 {
 		c.Alpha = d.Alpha
 	}
-	if c.InitialSleep <= 0 {
+	if c.InitialSleep == 0 {
 		c.InitialSleep = d.InitialSleep
 	}
-	if c.MinSleep <= 0 {
+	if c.MinSleep == 0 {
 		c.MinSleep = d.MinSleep
 	}
-	if c.MaxSleep <= 0 {
+	if c.MaxSleep == 0 {
 		c.MaxSleep = d.MaxSleep
 	}
-	if c.AckInterval <= 0 {
+	if c.AckInterval == 0 {
 		c.AckInterval = d.AckInterval
 	}
-	if c.UpdateInterval <= 0 {
+	if c.UpdateInterval == 0 {
 		c.UpdateInterval = d.UpdateInterval
 	}
-	if c.MaxNacksPerAck <= 0 {
+	if c.MaxNacksPerAck == 0 {
 		c.MaxNacksPerAck = d.MaxNacksPerAck
 	}
-	if c.MaxFlight <= 0 {
+	if c.MaxFlight == 0 {
 		c.MaxFlight = d.MaxFlight
 	}
-	if c.Smoothing <= 0 || c.Smoothing > 1 {
+	if c.Smoothing == 0 {
 		c.Smoothing = d.Smoothing
 	}
-	if c.RetransHold <= 0 {
+	if c.RetransHold == 0 {
 		c.RetransHold = d.RetransHold
 	}
 	if c.Clock == nil {
 		c.Clock = clock.Wall()
 	}
+}
+
+// ConfigError is the typed construction error for a nonsensical Config
+// field: which field, and why it is rejected.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "transport: invalid config: " + e.Field + " " + e.Reason
+}
+
+// Validate checks a config for nonsensical settings. Zero values mean
+// "use the default" and always pass; anything explicitly set must be
+// sane. Constructors (NewSender, NewReceiver, NewAIMDSender, ListenUDP,
+// DialUDP) run this after default filling, so a bad config fails at
+// construction with a *ConfigError instead of misbehaving mid-flow.
+func (c Config) Validate() error {
+	filled := c
+	filled.fillDefaults()
+	switch {
+	case filled.PacketSize <= 0:
+		return &ConfigError{"PacketSize", "must be positive"}
+	case filled.Window <= 0:
+		return &ConfigError{"Window", "must be positive"}
+	case filled.Target < 0:
+		return &ConfigError{"Target", "must be non-negative"}
+	case filled.Gain < 0:
+		return &ConfigError{"Gain", "must be non-negative"}
+	case filled.DecayExp < 0 || filled.DecayExp > 1:
+		return &ConfigError{"DecayExp", "must be in [0, 1]"}
+	case filled.InitialSleep <= 0:
+		return &ConfigError{"InitialSleep", "must be positive"}
+	case filled.MinSleep <= 0:
+		return &ConfigError{"MinSleep", "must be positive"}
+	case filled.MaxSleep <= 0:
+		return &ConfigError{"MaxSleep", "must be positive"}
+	case filled.MinSleep > filled.MaxSleep:
+		return &ConfigError{"MinSleep", "exceeds MaxSleep"}
+	case filled.AckInterval <= 0:
+		return &ConfigError{"AckInterval", "must be positive"}
+	case filled.UpdateInterval <= 0:
+		return &ConfigError{"UpdateInterval", "must be positive"}
+	case filled.MaxNacksPerAck <= 0:
+		return &ConfigError{"MaxNacksPerAck", "must be positive"}
+	case filled.MaxFlight <= 0:
+		return &ConfigError{"MaxFlight", "must be positive"}
+	case filled.Smoothing <= 0 || filled.Smoothing > 1:
+		return &ConfigError{"Smoothing", "must be in (0, 1]"}
+	case filled.RetransHold <= 0:
+		return &ConfigError{"RetransHold", "must be positive"}
+	case filled.Redundancy < 0:
+		return &ConfigError{"Redundancy", "must be non-negative"}
+	}
+	return nil
 }
 
 // dataMsg is a datagram payload.

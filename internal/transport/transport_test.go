@@ -137,7 +137,7 @@ func TestReceiverInOrderDeliveryAndDuplicates(t *testing.T) {
 	b := n.AddNode("b", 1)
 	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e9})
 	cfg := DefaultConfig(1e6)
-	r := NewReceiver(n, l.BA, cfg)
+	r := mustReceiver(t, n, l.BA, cfg)
 	r.Bind(l.AB)
 
 	send := func(seq uint64) {
@@ -165,7 +165,7 @@ func TestReceiverNackGeneration(t *testing.T) {
 	b := n.AddNode("b", 1)
 	l := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e9})
 	cfg := DefaultConfig(1e6)
-	r := NewReceiver(n, l.BA, cfg)
+	r := mustReceiver(t, n, l.BA, cfg)
 	r.Bind(l.AB)
 
 	for _, s := range []uint64{0, 1, 4, 6} {
@@ -191,8 +191,8 @@ func TestRetransmissionRecoversAllData(t *testing.T) {
 		Loss: 0.15, QueueLimit: 256}
 	n, fwd, rev := pair(9, lossy, cleanLink(2*netsim.MB))
 	cfg := DefaultConfig(400 * 1024)
-	snd := NewSender(n, fwd, cfg)
-	rcv := NewReceiver(n, rev, cfg)
+	snd := mustSender(t, n, fwd, cfg)
+	rcv := mustReceiver(t, n, rev, cfg)
 	rcv.Bind(fwd)
 	snd.Bind(rev)
 	rcv.Start()
@@ -213,8 +213,8 @@ func TestRetransmissionRecoversAllData(t *testing.T) {
 func TestSleepClampedToBounds(t *testing.T) {
 	cfg := DefaultConfig(100 * netsim.MB) // impossible target drives Ts to MinSleep
 	n, fwd, rev := pair(2, cleanLink(1*netsim.MB), cleanLink(1*netsim.MB))
-	snd := NewSender(n, fwd, cfg)
-	rcv := NewReceiver(n, rev, cfg)
+	snd := mustSender(t, n, fwd, cfg)
+	rcv := mustReceiver(t, n, rev, cfg)
 	rcv.Bind(fwd)
 	snd.Bind(rev)
 	rcv.Start()

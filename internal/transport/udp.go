@@ -52,6 +52,9 @@ type UDPReceiver struct {
 
 // ListenUDP binds a receiver to addr (use "127.0.0.1:0" for tests).
 func ListenUDP(addr string, cfg Config) (*UDPReceiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -227,6 +230,9 @@ type UDPSender struct {
 
 // DialUDP connects a sender to a receiver's address.
 func DialUDP(raddr string, cfg Config) (*UDPSender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	ua, err := net.ResolveUDPAddr("udp", raddr)
 	if err != nil {

@@ -221,20 +221,46 @@ func (h *Hub) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	cache := h.mgr.CacheStats()
 	cmgr := h.mgr.CM()
+	cmStatus := cmgr.Status()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	h.mgr.Telemetry().WritePrometheus(w,
-		telemetry.Gauge{Name: "ricsa_sessions_live", Help: "Currently live sessions.", Value: float64(h.mgr.Len())},
-		telemetry.Gauge{Name: "ricsa_viewers_live", Help: "Currently attached viewers across all sessions.", Value: float64(viewers)},
-		telemetry.Gauge{Name: "ricsa_load_fraction", Help: "Admitted frame-budget utilization (admission watermark input).", Value: h.mgr.LoadFraction()},
-		telemetry.Gauge{Name: "ricsa_frame_budget", Help: "Configured admission watermark (0 = disabled).", Value: h.mgr.FrameBudget()},
-		telemetry.Gauge{Name: "ricsa_cm_probe_epoch", Help: "Completed background probe sweeps.", Value: float64(cmgr.ProbeEpoch())},
-		telemetry.Gauge{Name: "ricsa_cm_probe_timeouts", Help: "Probe transfers abandoned at the probe budget.", Value: float64(cmgr.ProbeTimeouts())},
-		telemetry.Gauge{Name: "ricsa_cm_graph_restamps", Help: "Tolerance-gated graph re-stamps.", Value: float64(cmgr.Restamps())},
-		telemetry.Gauge{Name: "ricsa_cm_adaptations", Help: "Adapter-forced re-optimizations.", Value: float64(cmgr.Adaptations())},
-		telemetry.Gauge{Name: "ricsa_cache_hits", Help: "Optimizer cache hits.", Value: float64(cache.Hits)},
-		telemetry.Gauge{Name: "ricsa_cache_misses", Help: "Optimizer cache misses.", Value: float64(cache.Misses)},
-		telemetry.Gauge{Name: "ricsa_cache_entries", Help: "Optimizer cache entries.", Value: float64(cache.Entries)},
-	)
+	gauges := []telemetry.Gauge{
+		{Name: "ricsa_sessions_live", Help: "Currently live sessions.", Value: float64(h.mgr.Len())},
+		{Name: "ricsa_viewers_live", Help: "Currently attached viewers across all sessions.", Value: float64(viewers)},
+		{Name: "ricsa_load_fraction", Help: "Admitted frame-budget utilization (admission watermark input).", Value: h.mgr.LoadFraction()},
+		{Name: "ricsa_frame_budget", Help: "Configured admission watermark (0 = disabled).", Value: h.mgr.FrameBudget()},
+		{Name: "ricsa_cm_probe_epoch", Help: "Completed background probe sweeps.", Value: float64(cmStatus.ProbeEpoch)},
+		{Name: "ricsa_cm_probe_timeouts", Help: "Probe transfers abandoned at the probe budget.", Value: float64(cmStatus.ProbeTimeouts)},
+		{Name: "ricsa_cm_graph_restamps", Help: "Tolerance-gated graph re-stamps.", Value: float64(cmStatus.Restamps)},
+		{Name: "ricsa_cm_adaptations", Help: "Adapter-forced re-optimizations.", Value: float64(cmgr.Adaptations())},
+		{Name: "ricsa_cache_hits", Help: "Optimizer cache hits.", Value: float64(cache.Hits)},
+		{Name: "ricsa_cache_misses", Help: "Optimizer cache misses.", Value: float64(cache.Misses)},
+		{Name: "ricsa_cache_entries", Help: "Optimizer cache entries.", Value: float64(cache.Entries)},
+	}
+	// Per-edge loss estimates feeding FEC redundancy provisioning
+	// (DESIGN §13). The Gauge type carries no labels, so the edge pair is
+	// baked into the metric name; Status().Edges order is the Manager's
+	// construction order, so the exposition stays deterministic.
+	for _, e := range cmStatus.Edges {
+		gauges = append(gauges, telemetry.Gauge{
+			Name:  "ricsa_edge_loss_estimate_" + metricLabel(e.From) + "_" + metricLabel(e.To),
+			Help:  "EWMA packet-loss estimate for edge " + e.From + " -> " + e.To + ".",
+			Value: e.Loss,
+		})
+	}
+	h.mgr.Telemetry().WritePrometheus(w, gauges...)
+}
+
+// metricLabel folds a testbed node name into a Prometheus-safe metric
+// name fragment: lower-cased, with anything outside [a-z0-9] replaced by
+// an underscore.
+func metricLabel(name string) string {
+	b := []byte(strings.ToLower(name))
+	for i, c := range b {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }
 
 func (h *Hub) handleSteer(w http.ResponseWriter, r *http.Request) {
