@@ -6,6 +6,7 @@ package ricsa
 // completes quickly; cmd/ricsa-bench regenerates the full-scale tables.
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"time"
@@ -394,6 +395,71 @@ func BenchmarkPNGEncode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sc.Enc.Reset()
 		if err := img.EncodePNG(&sc.Enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTierEncodeDownscale box-filters the 512x512 framebuffer to the
+// quarter rung and PNG-encodes it into the encoder's reused buffer — the
+// per-frame cost of serving one reduced-tier viewer demand.
+func BenchmarkTierEncodeDownscale(b *testing.B) {
+	s := frameBenchSim()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	img, err := steering.RenderDataset(s.Density(), steering.DefaultRequest(), 512, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var enc viz.TierEncoder
+	var buf bytes.Buffer
+	if err := enc.EncodeDownscaled(img, 4, &buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.EncodeDownscaled(img, 4, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTierEncodeDelta alternates two adjacent frames through the
+// keyframe-relative delta encoder: the first repeats the keyframe content
+// (empty delta), the second carries a dirty region patch — the two warm
+// paths a delta viewer's session pays every frame.
+func BenchmarkTierEncodeDelta(b *testing.B) {
+	s := frameBenchSim()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	img1, err := steering.RenderDataset(s.Density(), steering.DefaultRequest(), 512, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Step()
+	img2, err := steering.RenderDataset(s.Density(), steering.DefaultRequest(), 512, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var enc viz.TierEncoder
+	var buf bytes.Buffer
+	if kind, err := enc.EncodeDelta(img1, false, &buf); err != nil || kind != viz.DeltaKey {
+		b.Fatalf("warm-up keyframe: kind=%v err=%v", kind, err)
+	}
+	if _, err := enc.EncodeDelta(img2, false, &buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := img1
+		if i&1 == 1 {
+			frame = img2
+		}
+		if _, err := enc.EncodeDelta(frame, false, &buf); err != nil {
 			b.Fatal(err)
 		}
 	}

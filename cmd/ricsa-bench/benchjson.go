@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -105,6 +106,30 @@ func frameBenches() []benchRow {
 	var produceSc viz.FrameScratch
 	var produceField *grid.ScalarField
 
+	// Tier ladder rows: the quarter-rung downscale encode and the
+	// keyframe-relative delta encode. The delta row alternates a repeat of
+	// the keyframe content (empty delta) with the adjacent solver frame
+	// (region patch), the two warm paths a delta viewer's session pays.
+	simTier := simengine.NewSod(64, 32, 32, simengine.DefaultSodParams())
+	simTier.SetWorkers(1)
+	for i := 0; i < 9; i++ {
+		simTier.Step()
+	}
+	var tierSc viz.FrameScratch
+	marchingcubes.ExtractInto(&tierSc.Mesh, simTier.Density(), req.Isovalue)
+	imgNext := render.RenderWith(&tierSc, &tierSc.Mesh, ropt)
+	var tierEnc viz.TierEncoder
+	var tierBuf bytes.Buffer
+	if err := tierEnc.EncodeDownscaled(img, 4, &tierBuf); err != nil {
+		panic(fmt.Sprintf("bench warm-up downscale encode: %v", err))
+	}
+	if kind, err := tierEnc.EncodeDelta(img, false, &tierBuf); err != nil || kind != viz.DeltaKey {
+		panic(fmt.Sprintf("bench warm-up delta keyframe: kind=%v err=%v", kind, err))
+	}
+	if _, err := tierEnc.EncodeDelta(imgNext, false, &tierBuf); err != nil {
+		panic(fmt.Sprintf("bench warm-up delta patch: %v", err))
+	}
+
 	// The observability tax per frame: counters + batch append through the
 	// collector with a no-op sink (the production shape). Warm path must be
 	// allocation-flat — the AllocsPerRun test in internal/telemetry pins 0.
@@ -142,6 +167,24 @@ func frameBenches() []benchRow {
 			for i := 0; i < b.N; i++ {
 				encSc.Enc.Reset()
 				if err := img.EncodePNG(&encSc.Enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"tier_encode_downscale", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := tierEnc.EncodeDownscaled(img, 4, &tierBuf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"tier_encode_delta", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				frame := img
+				if i&1 == 1 {
+					frame = imgNext
+				}
+				if _, err := tierEnc.EncodeDelta(frame, false, &tierBuf); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"ricsa/internal/cost"
 	"ricsa/internal/experiments"
 	"ricsa/internal/scenario"
 )
@@ -98,6 +99,60 @@ func main() {
 	run("fanout", func() error { return runFanout(opt) })
 	run("scenario", func() error { return runScenario(*soak) })
 	run("fecduel", runFECDuel)
+	run("tierduel", runTierDuel)
+}
+
+// runTierDuel prints the uniform-vs-mixed quality-ladder head-to-head:
+// the same flash-crowd script and seed run under two MaxTier budgets.
+// The uniform side (budget full) clamps every hint to the full-resolution
+// PNG; the mixed side lets viewers negotiate down the ladder, so its
+// congested-link train ships quarter-tier frames. The mixed side's Verify
+// re-runs the uniform sibling and asserts the constrained train's tail is
+// strictly better — the byte saving the optimizer prices.
+func runTierDuel() error {
+	fmt.Println("== Tier duel: uniform full-resolution vs negotiated quality ladder ==")
+	fmt.Printf("%-26s %-14s %-8s %8s %8s  %-28s %s\n",
+		"scenario", "train", "tier", "p50", "p99", "delivered(per tier)", "verdict")
+	var failed []string
+	for _, sc := range []scenario.Scenario{
+		scenario.TierFlashCrowdUniform(), scenario.TierFlashCrowdMixed(),
+	} {
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		verdict := "ok"
+		if err := sc.Verify(res); err != nil {
+			verdict = "FAIL: " + err.Error()
+			failed = append(failed, sc.Name)
+		}
+		var delivered []string
+		for t, n := range res.TierDelivered {
+			if n > 0 {
+				delivered = append(delivered, fmt.Sprintf("%s=%d", cost.Tier(t), n))
+			}
+		}
+		labels := make([]string, 0, len(res.FrameTrains))
+		for lbl := range res.FrameTrains {
+			labels = append(labels, lbl)
+		}
+		sort.Strings(labels)
+		for i, lbl := range labels {
+			ts := res.FrameTrains[lbl]
+			d, v := "", ""
+			if i == len(labels)-1 {
+				d, v = strings.Join(delivered, " "), verdict
+			}
+			fmt.Printf("%-26s %-14s %-8s %7.4fs %7.4fs  %-28s %s\n",
+				sc.Name, lbl, ts.Tier, ts.P50, ts.P99, d, v)
+		}
+	}
+	fmt.Println()
+	if len(failed) > 0 {
+		return fmt.Errorf("%d duel side(s) failed verification: %s",
+			len(failed), strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 // runFECDuel prints the NACK-vs-FEC head-to-head: each transport duel

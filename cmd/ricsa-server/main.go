@@ -97,10 +97,17 @@ func main() {
 		"frame delivery pricing over lossy edges: nack (retransmission), "+
 			"fec (fountain-coded forward error correction), or auto "+
 			"(cheaper of the two per edge)")
+	maxTierFlag := flag.String("max-tier", "full",
+		"deepest viewer quality tier the optimizer and frame endpoints may "+
+			"degrade to: full, half, quarter, or delta")
 	noBootstrap := flag.Bool("no-bootstrap", false, "do not create the default session at startup")
 	flag.Parse()
 
 	mode, err := cost.ParseTransportMode(*transportMode)
+	if err != nil {
+		log.Fatalf("ricsa-server: %v", err)
+	}
+	maxTier, err := cost.ParseTier(*maxTierFlag)
 	if err != nil {
 		log.Fatalf("ricsa-server: %v", err)
 	}
@@ -118,6 +125,7 @@ func main() {
 		FrameCost:         *frameCost,
 		MaxViewerLag:      *maxViewerLag,
 		TransportMode:     mode,
+		MaxTier:           maxTier,
 	})
 
 	if !*noBootstrap {

@@ -539,6 +539,14 @@ func (m *Manager) Optimize(p *pipeline.Pipeline, srcName, dstName string) (*pipe
 // viewer-set) instances — every viewer of a session after the first — are
 // answered from the cache.
 func (m *Manager) OptimizeMulti(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error) {
+	return m.OptimizeMultiTiered(p, srcName, dstNames, cost.TierFull)
+}
+
+// OptimizeMultiTiered is OptimizeMulti with a per-branch tier budget: the
+// optimizer may degrade individual delivery branches down the quality
+// ladder (up to maxTier) when the delivery gain beats the fidelity
+// penalty. The tier budget is part of the cache key.
+func (m *Manager) OptimizeMultiTiered(p *pipeline.Pipeline, srcName string, dstNames []string, maxTier cost.Tier) (*pipeline.VRTree, error) {
 	m.mu.Lock()
 	g := m.graph
 	m.mu.Unlock()
@@ -552,7 +560,7 @@ func (m *Manager) OptimizeMulti(p *pipeline.Pipeline, srcName string, dstNames [
 			return nil, fmt.Errorf("cm: unknown endpoint %q", name)
 		}
 	}
-	return m.cache.OptimizeMulti(g, p, src, dsts)
+	return m.cache.OptimizeMultiTiered(g, p, src, dsts, maxTier)
 }
 
 // NodeNames returns the measured hosts in graph order — the valid

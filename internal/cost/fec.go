@@ -59,6 +59,33 @@ func (m TransportMode) String() string {
 // shape would overflow the 256-block evaluation space anyway.
 const maxRedundancy = 4.0
 
+// BlackHoleLossClamp is the loss estimate at or above which a link is
+// priced as black-holed rather than merely lossy. Below it the geometric
+// retransmission (or redundancy) models apply; at or above it neither
+// model converges to anything physical — loss/(1-loss) explodes while the
+// FEC redundancy cap quietly *under*-prices a dead link at a flat (1+r)
+// factor, which is the bug this constant fixes.
+const BlackHoleLossClamp = 0.99
+
+// BlackHoleBudgetSeconds is the finite collapse bound adopted for a
+// black-holed edge — the same semantics as MeasureEPBBounded's timeout
+// adoption, where a probe that cannot complete within its budget prices
+// the link as if the whole budget were consumed. Finite, so the dynamic
+// program still produces a mapping when only dead links remain, but
+// dominating any live alternative path.
+const BlackHoleBudgetSeconds = 60.0
+
+// blackHoleDeliverySeconds is the transport-independent collapse price of
+// a transfer over a black-holed edge: the full collapse budget on top of
+// the serialization floor. Both delivery models return it identically, so
+// TransportAuto cannot sneak a dead link through the cheaper model.
+func blackHoleDeliverySeconds(bytes, bw, delaySec float64) float64 {
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return BlackHoleBudgetSeconds + bytes/bw + delaySec
+}
+
 // FECRedundancy derives the provisioned repair fraction r from the
 // connection manager's per-edge loss estimate and its confidence:
 //
@@ -95,12 +122,12 @@ func NACKDeliverySeconds(bytes, bw, delaySec, loss float64) float64 {
 	if bw <= 0 {
 		return math.Inf(1)
 	}
+	if loss >= BlackHoleLossClamp {
+		return blackHoleDeliverySeconds(bytes, bw, delaySec)
+	}
 	base := bytes/bw + delaySec
 	if loss <= 0 {
 		return base
-	}
-	if loss > 0.99 {
-		loss = 0.99
 	}
 	return base + 2*delaySec*loss/(1-loss)
 }
@@ -112,6 +139,9 @@ func NACKDeliverySeconds(bytes, bw, delaySec, loss float64) float64 {
 func FECDeliverySeconds(bytes, bw, delaySec, loss, conf float64) float64 {
 	if bw <= 0 {
 		return math.Inf(1)
+	}
+	if loss >= BlackHoleLossClamp {
+		return blackHoleDeliverySeconds(bytes, bw, delaySec)
 	}
 	return bytes*(1+FECRedundancy(loss, conf))/bw + delaySec
 }

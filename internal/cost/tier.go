@@ -1,0 +1,104 @@
+package cost
+
+import "fmt"
+
+// This file prices the viewer quality ladder the optimizer can trade pixels
+// against delay with (DESIGN §14): full-resolution PNG frames, box-filtered
+// downscales (2x and 4x), and delta/dirty-region frames against the last
+// keyframe. Like the transport modes, tiers are a pure pricing dimension
+// here — the encoders live in internal/viz, and the execution layer stamps
+// the chosen tier onto each delivery branch.
+
+// Tier is one rung of the per-branch encoding quality ladder, ordered from
+// highest fidelity (and largest frames) to most aggressive reduction.
+type Tier uint8
+
+const (
+	// TierFull is the full-resolution PNG — the historical behaviour and
+	// the zero value, so untiered callers price exactly as before.
+	TierFull Tier = iota
+	// TierHalf is the 2x box-filtered downscale: a quarter of the pixels.
+	TierHalf
+	// TierQuarter is the 4x downscale: a sixteenth of the pixels.
+	TierQuarter
+	// TierDelta ships dirty-region frames against the last keyframe,
+	// falling back to a keyframe when the dirty fraction is large.
+	TierDelta
+)
+
+// NumTiers is the ladder size, for per-tier arrays.
+const NumTiers = 4
+
+// ParseTier maps the -max-tier flag and viewer hint values. The empty
+// string selects full resolution, the historical default.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "full":
+		return TierFull, nil
+	case "half":
+		return TierHalf, nil
+	case "quarter":
+		return TierQuarter, nil
+	case "delta":
+		return TierDelta, nil
+	}
+	return TierFull, fmt.Errorf("cost: unknown tier %q (want full, half, quarter, or delta)", s)
+}
+
+func (t Tier) String() string {
+	switch t {
+	case TierHalf:
+		return "half"
+	case TierQuarter:
+		return "quarter"
+	case TierDelta:
+		return "delta"
+	}
+	return "full"
+}
+
+// Clamp caps a viewer's tier hint at the session's negotiated maximum.
+func (t Tier) Clamp(max Tier) Tier {
+	if t > max {
+		return max
+	}
+	return t
+}
+
+// TierScale returns the byte-scaling factor of one encoded frame at tier t
+// relative to the full-resolution frame. Downscales scale with the pixel
+// count; the delta tier's factor is the steady-state dirty-region fraction
+// (keyframes cost full size, but amortize over the run).
+func TierScale(t Tier) float64 {
+	switch t {
+	case TierHalf:
+		return 0.25
+	case TierQuarter:
+		return 0.0625
+	case TierDelta:
+		return 0.125
+	}
+	return 1
+}
+
+// TierBytes scales a full-resolution frame size to tier t — the delivery
+// payload the optimizer prices through DeliverySeconds.
+func TierBytes(t Tier, fullBytes float64) float64 {
+	return fullBytes * TierScale(t)
+}
+
+// TierPenaltySeconds is the quality penalty charged in the tier-selection
+// objective only — never in a branch's reported delay — so the optimizer
+// degrades a viewer only when the delivery gain exceeds the fidelity loss,
+// and prefers full resolution on ties.
+func TierPenaltySeconds(t Tier) float64 {
+	switch t {
+	case TierHalf:
+		return 0.25
+	case TierQuarter:
+		return 0.60
+	case TierDelta:
+		return 0.12
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseTier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Tier
+		ok   bool
+	}{
+		{"", TierFull, true},
+		{"full", TierFull, true},
+		{"half", TierHalf, true},
+		{"quarter", TierQuarter, true},
+		{"delta", TierDelta, true},
+		{"FULL", TierFull, false},
+		{"2x", TierFull, false},
+	}
+	for _, c := range cases {
+		got, err := ParseTier(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Fatalf("ParseTier(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, tier := range []Tier{TierFull, TierHalf, TierQuarter, TierDelta} {
+		rt, err := ParseTier(tier.String())
+		if err != nil || rt != tier {
+			t.Fatalf("round trip %v -> %q -> %v, %v", tier, tier.String(), rt, err)
+		}
+	}
+	if Tier(200).String() != "full" {
+		t.Fatal("unknown tier must stringify as full")
+	}
+}
+
+func TestTierScaleLadder(t *testing.T) {
+	if TierScale(TierFull) != 1 {
+		t.Fatal("full tier must not rescale")
+	}
+	// Every reduced tier strictly shrinks the payload, and the downscales
+	// follow the pixel-count ratios exactly.
+	if TierScale(TierHalf) != 0.25 || TierScale(TierQuarter) != 0.0625 {
+		t.Fatalf("downscale factors %v / %v, want pixel ratios 0.25 / 0.0625",
+			TierScale(TierHalf), TierScale(TierQuarter))
+	}
+	for _, tier := range []Tier{TierHalf, TierQuarter, TierDelta} {
+		if s := TierScale(tier); s <= 0 || s >= 1 {
+			t.Fatalf("tier %v scale %v out of (0, 1)", tier, s)
+		}
+		if got := TierBytes(tier, 1e6); got != 1e6*TierScale(tier) {
+			t.Fatalf("TierBytes(%v) = %v", tier, got)
+		}
+		if TierPenaltySeconds(tier) <= 0 {
+			t.Fatalf("reduced tier %v must carry a positive quality penalty", tier)
+		}
+	}
+	if TierPenaltySeconds(TierFull) != 0 {
+		t.Fatal("full tier must carry no quality penalty")
+	}
+}
+
+func TestTierClamp(t *testing.T) {
+	if got := TierQuarter.Clamp(TierHalf); got != TierHalf {
+		t.Fatalf("clamp quarter at half = %v", got)
+	}
+	if got := TierHalf.Clamp(TierDelta); got != TierHalf {
+		t.Fatalf("clamp half at delta = %v", got)
+	}
+	if got := TierFull.Clamp(TierFull); got != TierFull {
+		t.Fatalf("clamp full at full = %v", got)
+	}
+}
+
+// TestBlackHolePricing: at or above the clamp both delivery models adopt
+// the finite collapse bound — never +Inf (the DP must complete even when
+// only dead links remain), never cheap enough to beat a live path, and
+// identical across models so TransportAuto cannot prefer a dead link.
+func TestBlackHolePricing(t *testing.T) {
+	bytes, bw, delay := 1e6, 100e6, 0.001
+	for _, loss := range []float64{BlackHoleLossClamp, 0.995, 1.0} {
+		nack := NACKDeliverySeconds(bytes, bw, delay, loss)
+		fec := FECDeliverySeconds(bytes, bw, delay, loss, 0.9)
+		if math.IsInf(nack, 1) || math.IsInf(fec, 1) {
+			t.Fatalf("loss %v: collapse bound must stay finite (nack %v, fec %v)", loss, nack, fec)
+		}
+		if nack != fec {
+			t.Fatalf("loss %v: models disagree on a dead link: nack %v, fec %v", loss, nack, fec)
+		}
+		if nack < BlackHoleBudgetSeconds {
+			t.Fatalf("loss %v: collapse bound %v below the budget floor", loss, nack)
+		}
+		for _, mode := range []TransportMode{TransportNACK, TransportFEC, TransportAuto} {
+			if got := DeliverySeconds(mode, bytes, bw, delay, loss, 0.9); got != nack {
+				t.Fatalf("mode %v loss %v: %v != collapse bound %v", mode, loss, got, nack)
+			}
+		}
+	}
+	// The regression this fixes: the FEC redundancy cap used to price a
+	// fully black-holed fat link at a flat (1+4)x — cheaper than a healthy
+	// but slower alternative. The collapse bound must dominate any live
+	// delivery that completes inside the budget.
+	live := FECDeliverySeconds(bytes, 2e6, 0.050, 0.10, 0.5) // slow, lossy, but alive
+	dead := FECDeliverySeconds(bytes, 100e6, 0.001, 1.0, 0.9)
+	if dead <= live {
+		t.Fatalf("dead link priced %v, live alternative %v — dead must never win", dead, live)
+	}
+	// Just below the clamp the geometric models still apply and stay
+	// monotonic in loss.
+	lo := NACKDeliverySeconds(bytes, bw, delay, 0.90)
+	hi := NACKDeliverySeconds(bytes, bw, delay, 0.98)
+	if !(lo < hi && hi < NACKDeliverySeconds(bytes, bw, delay, 1.0)) {
+		t.Fatalf("pricing not monotonic across the clamp: %v, %v, %v",
+			lo, hi, NACKDeliverySeconds(bytes, bw, delay, 1.0))
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ricsa/internal/cost"
 )
 
 // This file adds the memoization layer the multi-session service sits on:
@@ -151,11 +153,15 @@ func (v *VRT) Clone() *VRT {
 // CacheKey identifies one optimization instance. Single-destination
 // instances key on Dst; multi-destination (tree) instances key on Dsts, an
 // order-insensitive fingerprint of the destination set, with Dst = -1 so
-// the two families can never collide.
+// the two families can never collide. Tier is the encoding-ladder budget a
+// tree was solved under (TierFull for single-destination instances and
+// untiered trees): the same viewer set optimized under a different tier
+// budget yields a different tree, so the budget is part of the key.
 type CacheKey struct {
 	Graph, Pipe uint64
 	Src, Dst    int
 	Dsts        uint64
+	Tier        cost.Tier
 }
 
 // dstSetFingerprint digests a destination set order-insensitively: two
@@ -260,10 +266,18 @@ func (c *Cache) OptimizeWith(g *Graph, p *Pipeline, src, dst int, opt OptimizeOp
 // misses on the same key are single-flight. The returned tree is a private
 // copy the caller may retain and mutate.
 func (c *Cache) OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) {
+	return c.OptimizeMultiTiered(g, p, src, dsts, cost.TierFull)
+}
+
+// OptimizeMultiTiered is the memoized equivalent of the package-level
+// OptimizeMultiTiered. The tier budget is part of the cache key, so a
+// session re-negotiating its ladder never sees a tree solved under a
+// different budget.
+func (c *Cache) OptimizeMultiTiered(g *Graph, p *Pipeline, src int, dsts []int, maxTier cost.Tier) (*VRTree, error) {
 	key := CacheKey{Graph: g.Fingerprint(), Pipe: p.Fingerprint(), Src: src, Dst: -1,
-		Dsts: dstSetFingerprint(dsts)}
+		Dsts: dstSetFingerprint(dsts), Tier: maxTier}
 	_, tree, err := c.memoize(key, func() (*VRT, *VRTree, error) {
-		tree, err := OptimizeMulti(g, p, src, dsts)
+		tree, err := OptimizeMultiTiered(g, p, src, dsts, maxTier)
 		return nil, tree, err
 	})
 	return tree, err

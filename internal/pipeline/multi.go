@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 	"math"
+
+	"ricsa/internal/cost"
 )
 
 // This file grows the optimizer from paths to shared trees: one data source
@@ -33,6 +35,11 @@ type VRTBranch struct {
 	// Delay is the end-to-end delay src -> this destination (seconds):
 	// shared prefix plus this branch's tail.
 	Delay float64
+	// Tier is the encoding quality tier the optimizer chose for this
+	// branch (TierFull unless the tree was solved with a tier budget —
+	// see OptimizeMultiTiered). The execution layer encodes once per
+	// distinct tier across the tree's branches.
+	Tier cost.Tier
 }
 
 // VRTree is the visualization routing tree for a multi-viewer session: the
@@ -105,7 +112,7 @@ func (t *VRTree) Clone() *VRTree {
 	out.Shared = cloneGroups(t.Shared)
 	out.Branches = make([]VRTBranch, len(t.Branches))
 	for i, b := range t.Branches {
-		out.Branches[i] = VRTBranch{Dst: b.Dst, Groups: cloneGroups(b.Groups), Delay: b.Delay}
+		out.Branches[i] = VRTBranch{Dst: b.Dst, Groups: cloneGroups(b.Groups), Delay: b.Delay, Tier: b.Tier}
 	}
 	return out
 }
@@ -131,7 +138,11 @@ func (t *VRTree) String() string {
 		if i > 0 {
 			s += ", "
 		}
-		s += fmt.Sprintf("%s (%.3fs)", b.Dst, b.Delay)
+		if b.Tier != cost.TierFull {
+			s += fmt.Sprintf("%s@%s (%.3fs)", b.Dst, b.Tier, b.Delay)
+		} else {
+			s += fmt.Sprintf("%s (%.3fs)", b.Dst, b.Delay)
+		}
 	}
 	return s + fmt.Sprintf("} (slowest %.3fs)", t.Delay)
 }
@@ -164,11 +175,53 @@ func RenderSplit(p *Pipeline) int {
 // the shared terminal's DP column. The shared terminal is chosen to
 // minimize the slowest branch's end-to-end delay. Destinations are
 // deduplicated; branch order follows the deduplicated request order.
+// Every branch delivers at full resolution; see OptimizeMultiTiered for
+// the (placement × encoding tier) generalization.
 func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) {
+	return OptimizeMultiTiered(g, p, src, dsts, cost.TierFull)
+}
+
+// tierScaledPipeline returns p with the tail modules [split, n) — and the
+// message feeding the first of them — rescaled to tier t's payload factor:
+// a downscaled or delta-encoded frame is proportionally cheaper both to
+// process and to ship. The shared prefix modules are untouched, so prefix
+// pricing is tier-independent. TierFull returns p itself.
+func tierScaledPipeline(p *Pipeline, split int, t cost.Tier) *Pipeline {
+	s := cost.TierScale(t)
+	if s == 1 {
+		return p
+	}
+	scaled := &Pipeline{Name: p.Name, SourceBytes: p.SourceBytes}
+	scaled.Modules = append([]Module(nil), p.Modules...)
+	if split == 0 {
+		scaled.SourceBytes *= s
+	} else {
+		scaled.Modules[split-1].OutBytes *= s
+	}
+	for k := split; k < len(scaled.Modules); k++ {
+		scaled.Modules[k].RefTime *= s
+		scaled.Modules[k].OutBytes *= s
+	}
+	return scaled
+}
+
+// OptimizeMultiTiered is OptimizeMulti with the encoding quality ladder as
+// an extra optimization dimension: the backward per-destination tail DP is
+// run once per tier up to maxTier (tail payloads and processing scaled by
+// cost.TierScale), and each branch independently adopts the tier minimizing
+// its tail delay plus the tier's fidelity penalty (cost.TierPenaltySeconds
+// — charged in the selection objective only, never in the reported delay),
+// preferring higher fidelity on ties. With maxTier == TierFull only the
+// full-resolution ladder rung is enumerated and the result is exactly
+// OptimizeMulti's — and over one destination, exactly Optimize's.
+func OptimizeMultiTiered(g *Graph, p *Pipeline, src int, dsts []int, maxTier cost.Tier) (*VRTree, error) {
 	nNodes := len(g.Nodes)
 	n := len(p.Modules)
 	if src < 0 || src >= nNodes || len(dsts) == 0 {
 		return nil, ErrBadEndpoints
+	}
+	if maxTier >= cost.NumTiers {
+		maxTier = cost.NumTiers - 1
 	}
 	seen := make(map[int]bool, len(dsts))
 	uniq := make([]int, 0, len(dsts))
@@ -243,52 +296,83 @@ func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) 
 		}
 	}
 
-	// Backward tail DP per destination: B[v] is the minimal delay of
-	// mapping the tail modules [split, n) given their input resides at v,
-	// ending with the last module at the destination. The recursion mirrors
-	// the forward one exactly (at most one edge crossing per module), so a
+	// Backward tail DP per (destination, tier): B[v] is the minimal delay
+	// of mapping the tail modules [split, n) given their input resides at
+	// v, ending with the last module at the destination, with the tail
+	// payloads scaled to the tier. The recursion mirrors the forward one
+	// exactly (at most one edge crossing per module), so a full-resolution
 	// tree over one destination prices identically to Optimize.
-	tails := make([][]float64, len(uniq))      // B at column split, per dst
-	tailChoice := make([][][]int32, len(uniq)) // where module j runs, given its input at v
+	nTiers := int(maxTier) + 1
+	scaledP := make([]*Pipeline, nTiers)
+	for t := 0; t < nTiers; t++ {
+		scaledP[t] = tierScaledPipeline(p, split, cost.Tier(t))
+	}
+	tails := make([][][]float64, len(uniq))      // [dst][tier] B at column split
+	tailChoice := make([][][][]int32, len(uniq)) // [dst][tier] where module j runs, given input at v
 	for di, d := range uniq {
-		B := make([]float64, nNodes)
-		next := make([]float64, nNodes)
-		ch := make([][]int32, n-split)
-		for v := range next {
-			next[v] = math.Inf(1)
-		}
-		next[d] = 0
-		for j := n - 1; j >= split; j-- {
-			cj := make([]int32, nNodes)
-			for v := 0; v < nNodes; v++ {
-				B[v] = math.Inf(1)
-				cj[v] = -1
-				// Run module j here.
-				if ct := computeTime(g, p, j, v); !math.IsInf(ct, 1) && !math.IsInf(next[v], 1) {
-					B[v] = ct + next[v]
-					cj[v] = int32(v)
-				}
-				// Or ship its input over one edge and run it there.
-				for _, e := range g.Adj[v] {
-					u := e.To
-					ct := computeTime(g, p, j, u)
-					if math.IsInf(ct, 1) || math.IsInf(next[u], 1) {
-						continue
-					}
-					if cand := transferTime(g, p, j, e) + ct + next[u]; cand < B[v] {
-						B[v] = cand
-						cj[v] = int32(u)
-					}
-				}
+		tails[di] = make([][]float64, nTiers)
+		tailChoice[di] = make([][][]int32, nTiers)
+		for t := 0; t < nTiers; t++ {
+			tp := scaledP[t]
+			B := make([]float64, nNodes)
+			next := make([]float64, nNodes)
+			ch := make([][]int32, n-split)
+			for v := range next {
+				next[v] = math.Inf(1)
 			}
-			ch[j-split] = cj
-			B, next = next, B
+			next[d] = 0
+			for j := n - 1; j >= split; j-- {
+				cj := make([]int32, nNodes)
+				for v := 0; v < nNodes; v++ {
+					B[v] = math.Inf(1)
+					cj[v] = -1
+					// Run module j here.
+					if ct := computeTime(g, tp, j, v); !math.IsInf(ct, 1) && !math.IsInf(next[v], 1) {
+						B[v] = ct + next[v]
+						cj[v] = int32(v)
+					}
+					// Or ship its input over one edge and run it there.
+					for _, e := range g.Adj[v] {
+						u := e.To
+						ct := computeTime(g, tp, j, u)
+						if math.IsInf(ct, 1) || math.IsInf(next[u], 1) {
+							continue
+						}
+						if cand := transferTime(g, tp, j, e) + ct + next[u]; cand < B[v] {
+							B[v] = cand
+							cj[v] = int32(u)
+						}
+					}
+				}
+				ch[j-split] = cj
+				B, next = next, B
+			}
+			tails[di][t] = append([]float64(nil), next...)
+			tailChoice[di][t] = ch
 		}
-		tails[di] = append([]float64(nil), next...)
-		tailChoice[di] = ch
 	}
 
-	// Shared terminal: the node minimizing the slowest branch.
+	// Per-branch tier adoption: at each candidate terminal every branch
+	// takes the tier minimizing tail delay plus fidelity penalty, ties to
+	// the higher-fidelity rung. The penalty biases selection only — the
+	// delay the tier choice is scored (and later reported) with is the
+	// real tail delay at the chosen tier.
+	bestTier := func(di, v int) (cost.Tier, float64, float64) {
+		tier, scored, delay := cost.TierFull, math.Inf(1), math.Inf(1)
+		for t := 0; t < nTiers; t++ {
+			tail := tails[di][t][v]
+			if math.IsInf(tail, 1) {
+				continue
+			}
+			if cand := tail + cost.TierPenaltySeconds(cost.Tier(t)); cand < scored {
+				tier, scored, delay = cost.Tier(t), cand, tail
+			}
+		}
+		return tier, scored, delay
+	}
+
+	// Shared terminal: the node minimizing the slowest branch under the
+	// penalty-inclusive objective.
 	vstar, best := -1, math.Inf(1)
 	for v := 0; v < nNodes; v++ {
 		if math.IsInf(P[v], 1) {
@@ -297,11 +381,12 @@ func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) 
 		worst := 0.0
 		feasible := true
 		for di := range uniq {
-			if math.IsInf(tails[di][v], 1) {
+			_, scored, _ := bestTier(di, v)
+			if math.IsInf(scored, 1) {
 				feasible = false
 				break
 			}
-			if tot := P[v] + tails[di][v]; tot > worst {
+			if tot := P[v] + scored; tot > worst {
 				worst = tot
 			}
 		}
@@ -342,13 +427,15 @@ func OptimizeMulti(g *Graph, p *Pipeline, src int, dsts []int) (*VRTree, error) 
 		last.Modules = append(last.Modules, p.Modules[k].Name)
 	}
 
-	// Branches: replay each destination's tail decisions from vstar.
+	// Branches: replay each destination's tail decisions from vstar at its
+	// adopted tier.
 	for di, d := range uniq {
-		br := VRTBranch{Dst: g.Nodes[d].Name, Delay: P[vstar] + tails[di][vstar]}
+		tier, _, tailDelay := bestTier(di, vstar)
+		br := VRTBranch{Dst: g.Nodes[d].Name, Delay: P[vstar] + tailDelay, Tier: tier}
 		at := vstar
 		var groups []Assignment
 		for j := split; j < n; j++ {
-			w := int(tailChoice[di][j-split][at])
+			w := int(tailChoice[di][tier][j-split][at])
 			if w < 0 {
 				return nil, fmt.Errorf("pipeline: broken branch backtrack at module %d", j)
 			}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"ricsa/internal/cost"
 	"ricsa/internal/netsim"
 	"ricsa/internal/steering"
 )
@@ -53,6 +54,14 @@ func TryStartSession(at time.Duration, alias string, req steering.Request) Event
 func TrackViewers(at time.Duration, alias string, n int) Event {
 	return Event{At: at, Name: fmt.Sprintf("track-viewers alias=%s n=%d", alias, n),
 		Apply: func(e *Engine) error { return e.TrackViewers(alias, n) }}
+}
+
+// TrackViewersTier attaches n tracked viewers hinting a quality tier; the
+// session clamps the hint to the scenario's MaxTier budget, so the same
+// script negotiates different ladders under different budgets.
+func TrackViewersTier(at time.Duration, alias string, n int, hint cost.Tier) Event {
+	return Event{At: at, Name: fmt.Sprintf("track-viewers-tier alias=%s n=%d hint=%s", alias, n, hint),
+		Apply: func(e *Engine) error { return e.TrackViewersTier(alias, n, hint) }}
 }
 
 // PollViewers polls every live tracked viewer of the given aliases once —
@@ -201,6 +210,18 @@ func FrameTrain(at time.Duration, label, a, b string, frames, size int) Event {
 		Name: fmt.Sprintf("frame-train label=%s %s->%s frames=%d size=%d", label, a, b, frames, size),
 		Apply: func(e *Engine) error {
 			return e.MeasureFrameTrainNow(at, label, a, b, frames, size)
+		}}
+}
+
+// TierFrameTrain is FrameTrain with the frame payload encoded at a viewer
+// quality tier: the hint clamps to the scenario's MaxTier budget and the
+// byte count scales by cost.TierBytes — the tier duels' evidence that a
+// constrained viewer's degraded frames actually cost less on the wire.
+func TierFrameTrain(at time.Duration, label, a, b string, frames, size int, hint cost.Tier) Event {
+	return Event{At: at,
+		Name: fmt.Sprintf("tier-frame-train label=%s %s->%s frames=%d size=%d hint=%s", label, a, b, frames, size, hint),
+		Apply: func(e *Engine) error {
+			return e.MeasureTierFrameTrainNow(at, label, a, b, frames, size, hint)
 		}}
 }
 

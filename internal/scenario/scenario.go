@@ -98,6 +98,11 @@ type Scenario struct {
 	// prices it — and governs which delivery model scripted FrameTrain
 	// events measure.
 	TransportMode cost.TransportMode
+	// MaxTier is the deepest viewer quality tier the run's manager may
+	// negotiate (DESIGN §14). The zero value pins every viewer to the full
+	// frame — the historical behaviour — so a tier duel runs one script
+	// under two budgets and diffs only in this knob.
+	MaxTier cost.Tier
 	// Events is the script, in any order; the engine sorts by At (ties keep
 	// authoring order, and run before the sample at the same instant).
 	Events []Event
@@ -161,6 +166,10 @@ type Result struct {
 	ViewersTracked   int
 	ViewersClosed    int
 	EvictedObserved  int
+	// TierDelivered counts, per quality tier, the scripted polls that
+	// delivered a frame — the engine-side ground truth the tier telemetry
+	// counters are reconciled against.
+	TierDelivered [cost.NumTiers]uint64
 	// FrameTrains holds each scripted FrameTrain measurement, keyed by the
 	// event's label.
 	FrameTrains map[string]TrainStats
@@ -181,6 +190,10 @@ type TrainStats struct {
 	// Mode is the delivery model used ("nack" or "fec" — auto resolves to
 	// one of the two against the CM's estimate before the train starts).
 	Mode string
+	// Tier is the viewer quality tier the train's frames were encoded at
+	// ("full" unless a TierFrameTrain resolved deeper under the scenario's
+	// MaxTier budget); the frame payload is scaled by cost.TierBytes.
+	Tier string
 	// Redundancy is the FEC provisioning used, derived from the CM's
 	// per-edge loss/confidence estimate at train time (0 in NACK mode).
 	Redundancy float64
@@ -347,12 +360,19 @@ func (e *Engine) AttachViewers(alias string, n int) error {
 // to the slow-consumer policy: the script must keep polling them via
 // PollViewers or the session evicts them at MaxViewerLag.
 func (e *Engine) TrackViewers(alias string, n int) error {
+	return e.TrackViewersTier(alias, n, cost.TierFull)
+}
+
+// TrackViewersTier attaches n tracked viewers hinting the given quality
+// tier; the session clamps the hint to the scenario's MaxTier budget, so
+// the same script negotiates different ladders under different budgets.
+func (e *Engine) TrackViewersTier(alias string, n int, hint cost.Tier) error {
 	s, err := e.Session(alias)
 	if err != nil {
 		return err
 	}
 	for i := 0; i < n; i++ {
-		e.viewers[alias] = append(e.viewers[alias], s.AttachViewer())
+		e.viewers[alias] = append(e.viewers[alias], s.AttachViewerTier(hint))
 	}
 	e.res.ViewersTracked += n
 	return nil
@@ -376,6 +396,7 @@ func (e *Engine) PollViewersNow(aliases []string) (delivered, evicted int, err e
 				return delivered, evicted, fmt.Errorf("poll %s: %w", alias, perr)
 			case seq > 0:
 				delivered++
+				e.res.TierDelivered[v.Tier()]++
 			}
 			alive = append(alive, v)
 		}
@@ -434,6 +455,21 @@ const trainBudget = 60 * time.Second
 // netsim event loop directly, like Remeasure; the measured times are a
 // deterministic function of the scenario seed and prior event history.
 func (e *Engine) MeasureFrameTrainNow(at time.Duration, label, a, b string, frames, size int) error {
+	return e.MeasureTierFrameTrainNow(at, label, a, b, frames, size, cost.TierFull)
+}
+
+// MeasureTierFrameTrainNow is MeasureFrameTrainNow with the frame payload
+// encoded at a viewer quality tier: the hint is clamped to the scenario's
+// MaxTier budget and the per-frame byte count scaled by cost.TierBytes —
+// the same quantity the optimizer prices — so a tier duel measures what a
+// constrained viewer's frames actually cost on the wire.
+func (e *Engine) MeasureTierFrameTrainNow(at time.Duration, label, a, b string, frames, size int, hint cost.Tier) error {
+	tier := hint.Clamp(e.sc.MaxTier)
+	if scaled := int(cost.TierBytes(tier, float64(size))); scaled >= 1 {
+		size = scaled
+	} else {
+		size = 1
+	}
 	if _, dup := e.res.FrameTrains[label]; dup {
 		return fmt.Errorf("scenario: duplicate frame-train label %q", label)
 	}
@@ -452,7 +488,7 @@ func (e *Engine) MeasureFrameTrainNow(at time.Duration, label, a, b string, fram
 	}
 
 	tel := &e.mgr.Telemetry().Counters
-	ts := TrainStats{Mode: mode.String(), Frames: frames}
+	ts := TrainStats{Mode: mode.String(), Tier: tier.String(), Frames: frames}
 	if mode == cost.TransportFEC {
 		ts.Redundancy = cost.FECRedundancy(est.Loss, est.LossConf)
 	}
@@ -488,8 +524,8 @@ func (e *Engine) MeasureFrameTrainNow(at time.Duration, label, a, b string, fram
 	ts.P50 = percentile(sorted, 0.50)
 	ts.P99 = percentile(sorted, 0.99)
 	e.res.FrameTrains[label] = ts
-	fmt.Fprintf(&e.log, "t=%s train label=%s mode=%s r=%.3f frames=%d delivered=%d decoded=%d fallbacks=%d sent=%d repair=%d p50=%s p99=%s\n",
-		fmtD(at), label, ts.Mode, ts.Redundancy, ts.Frames, ts.Delivered,
+	fmt.Fprintf(&e.log, "t=%s train label=%s mode=%s tier=%s r=%.3f frames=%d delivered=%d decoded=%d fallbacks=%d sent=%d repair=%d p50=%s p99=%s\n",
+		fmtD(at), label, ts.Mode, ts.Tier, ts.Redundancy, ts.Frames, ts.Delivered,
 		ts.Decoded, ts.Fallbacks, ts.BlocksSent, ts.RepairUsed, fmtF(ts.P50), fmtF(ts.P99))
 	return nil
 }
@@ -599,6 +635,7 @@ func Run(sc Scenario) (*Result, error) {
 		MaxViewerLag:      sc.MaxViewerLag,
 		ComputePool:       pool,
 		TransportMode:     sc.TransportMode,
+		MaxTier:           sc.MaxTier,
 	})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
@@ -610,9 +647,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	e.clk.AwaitArmed(e.waiters)
 
-	fmt.Fprintf(&e.log, "scenario=%s seed=%d duration=%s frame=%s probe=%s transport=%s\n",
+	fmt.Fprintf(&e.log, "scenario=%s seed=%d duration=%s frame=%s probe=%s transport=%s tier=%s\n",
 		sc.Name, sc.Seed, fmtD(sc.Duration), fmtD(sc.FramePeriod), fmtD(sc.ProbeInterval),
-		sc.TransportMode)
+		sc.TransportMode, sc.MaxTier)
 
 	// Merge script events with the sampling schedule.
 	var items []timelineItem

@@ -523,6 +523,143 @@ func FECDuelProbeStarvedNACK() Scenario { return fecDuelProbeStarved(cost.Transp
 func FECDuelProbeStarvedFEC() Scenario { return fecDuelProbeStarved(cost.TransportFEC) }
 
 // soakAliases returns the aliases s<lo>..s<hi> inclusive.
+// tierDuelChecks reconciles the run's tier telemetry against the engine's
+// scripted ground truth: every tier frame the service counted as sent must
+// match a scripted poll that delivered one, byte counters must agree on
+// which tiers ever served, and the full-tier encode counter must equal the
+// session renders (one full encode per rendered frame, by construction).
+func tierDuelChecks(r *Result) error {
+	if len(r.Violations) != 0 {
+		return fmt.Errorf("violations: %v", r.Violations)
+	}
+	for t := 0; t < cost.NumTiers; t++ {
+		name := cost.Tier(t).String()
+		if r.Telemetry.TierFramesSent[t] != r.TierDelivered[t] {
+			return fmt.Errorf("telemetry sent %d %s frames, scripted polls delivered %d",
+				r.Telemetry.TierFramesSent[t], name, r.TierDelivered[t])
+		}
+		if (r.Telemetry.TierBytesSent[t] > 0) != (r.TierDelivered[t] > 0) {
+			return fmt.Errorf("%s byte counter (%d) disagrees with %d delivered frames",
+				name, r.Telemetry.TierBytesSent[t], r.TierDelivered[t])
+		}
+	}
+	renders := 0
+	for _, n := range r.Renders {
+		renders += n
+	}
+	if r.Telemetry.TierEncodes[cost.TierFull] != uint64(renders) {
+		return fmt.Errorf("telemetry counted %d full-tier encodes, sessions rendered %d frames",
+			r.Telemetry.TierEncodes[cost.TierFull], renders)
+	}
+	if r.TierDelivered[cost.TierFull] == 0 {
+		return fmt.Errorf("no full-tier frames delivered")
+	}
+	return nil
+}
+
+// tierFlashCrowd builds one side of the viewer-tier duel: a mixed-
+// capability flash crowd lands on a session whose frame path is congested
+// to a fifth of its bandwidth. Both sides run the identical script and
+// seed and differ only in the MaxTier budget: the uniform side's zero
+// value clamps every hint to the full frame (the historical behaviour),
+// the mixed side lets constrained viewers negotiate down the ladder. The
+// mixed side's Verify re-runs the uniform sibling and asserts the
+// constrained crowd's head-to-head tail-delay claim.
+func tierFlashCrowd(maxTier cost.Tier) Scenario {
+	side := "uniform"
+	if maxTier != cost.TierFull {
+		side = "mixed"
+	}
+	events := []Event{
+		StartSession(0, "s1", sessionRequest(netsim.GaTech, netsim.ORNL)),
+		ScaleLink(time.Second, netsim.GaTech, netsim.ORNL, 0.2),
+		TrackViewersTier(2*time.Second, "s1", 4, cost.TierFull),
+		TrackViewersTier(2*time.Second, "s1", 6, cost.TierQuarter),
+		TrackViewersTier(2*time.Second, "s1", 3, cost.TierHalf),
+		TrackViewersTier(2*time.Second, "s1", 2, cost.TierDelta),
+		PollViewers(4*time.Second, "s1"),
+		PollViewers(6*time.Second, "s1"),
+		PollViewers(8*time.Second, "s1"),
+		PollViewers(10*time.Second, "s1"),
+		TierFrameTrain(12*time.Second, "constrained", netsim.GaTech, netsim.ORNL, 24, duelFrameSize, cost.TierQuarter),
+		TierFrameTrain(14*time.Second, "unconstrained", netsim.GaTech, netsim.ORNL, 12, duelFrameSize, cost.TierFull),
+	}
+	sc := Scenario{
+		Name:          "tier-flash-crowd-" + side,
+		Description:   "congested frame path + mixed-capability crowd under tier budget " + maxTier.String(),
+		Seed:          59,
+		Duration:      16 * time.Second,
+		ProbeInterval: 250 * time.Millisecond,
+		MaxTier:       maxTier,
+		Events:        events,
+	}
+	if maxTier == cost.TierFull {
+		sc.Verify = func(r *Result) error {
+			if err := tierDuelChecks(r); err != nil {
+				return err
+			}
+			// The zero budget clamps everything: no reduced tier is ever
+			// negotiated, encoded, or delivered.
+			for t := 1; t < cost.NumTiers; t++ {
+				if r.TierDelivered[t] != 0 || r.Telemetry.TierEncodes[t] != 0 {
+					return fmt.Errorf("%s tier escaped the full-resolution budget (%d delivered, %d encodes)",
+						cost.Tier(t), r.TierDelivered[t], r.Telemetry.TierEncodes[t])
+				}
+			}
+			for _, lbl := range []string{"constrained", "unconstrained"} {
+				if got := r.FrameTrains[lbl].Tier; got != "full" {
+					return fmt.Errorf("train %q ran at tier %s under the full budget", lbl, got)
+				}
+			}
+			return nil
+		}
+		return sc
+	}
+	sc.Verify = func(r *Result) error {
+		if err := tierDuelChecks(r); err != nil {
+			return err
+		}
+		// Every hinted rung was negotiated, encoded, and served.
+		for t := 1; t < cost.NumTiers; t++ {
+			if r.TierDelivered[t] == 0 || r.Telemetry.TierEncodes[t] == 0 {
+				return fmt.Errorf("%s tier never served (%d delivered, %d encodes)",
+					cost.Tier(t), r.TierDelivered[t], r.Telemetry.TierEncodes[t])
+			}
+		}
+		con := r.FrameTrains["constrained"]
+		if con.Tier != "quarter" {
+			return fmt.Errorf("constrained train ran at tier %s, want quarter", con.Tier)
+		}
+		if got := r.FrameTrains["unconstrained"].Tier; got != "full" {
+			return fmt.Errorf("unconstrained train ran at tier %s, want full", got)
+		}
+		if con.Delivered != con.Frames {
+			return fmt.Errorf("constrained train delivered %d of %d frames", con.Delivered, con.Frames)
+		}
+		// The head-to-head claim: same script, same seed, same congestion —
+		// a constrained viewer negotiating down the ladder must see strictly
+		// better tail frame delay than under the uniform full-frame budget.
+		sib, err := Run(tierFlashCrowd(cost.TierFull))
+		if err != nil {
+			return fmt.Errorf("uniform sibling: %w", err)
+		}
+		uni := sib.FrameTrains["constrained"]
+		if !(con.P99 < uni.P99) {
+			return fmt.Errorf("mixed-tier p99 %.4fs does not beat uniform p99 %.4fs on the congested path",
+				con.P99, uni.P99)
+		}
+		return nil
+	}
+	return sc
+}
+
+// TierFlashCrowdUniform is the tier duel's full-frames-only side.
+func TierFlashCrowdUniform() Scenario { return tierFlashCrowd(cost.TierFull) }
+
+// TierFlashCrowdMixed is the tier duel's negotiated-ladder side; its
+// Verify carries the head-to-head tail-delay assertion.
+func TierFlashCrowdMixed() Scenario { return tierFlashCrowd(cost.TierDelta) }
+
 func soakAliases(lo, hi int) []string {
 	out := make([]string, 0, hi-lo+1)
 	for i := lo; i <= hi; i++ {
@@ -740,6 +877,8 @@ func All() []Scenario {
 		FECDuelFlapStormFEC(),
 		FECDuelProbeStarvedNACK(),
 		FECDuelProbeStarvedFEC(),
+		TierFlashCrowdUniform(),
+		TierFlashCrowdMixed(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package steering
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -120,6 +121,11 @@ type ManagerConfig struct {
 	// stamped onto every published graph snapshot, so changing it reprices
 	// the whole DP without re-measuring.
 	TransportMode cost.TransportMode
+	// MaxTier is the deepest rung of the viewer quality ladder (DESIGN §14)
+	// the optimizer may degrade a delivery branch to, and the cap viewer
+	// tier hints are clamped against. The zero value (TierFull) keeps the
+	// historical uniform full-resolution behaviour.
+	MaxTier cost.Tier
 }
 
 // SessionManager owns the live sessions of one RICSA service instance. The
@@ -135,7 +141,7 @@ type SessionManager struct {
 	// fields so tests can inject optimizer failures; they default to the
 	// shared cm.Manager's memoized optimizers.
 	optFn      func(p *pipeline.Pipeline, srcName, dstName string) (*pipeline.VRT, error)
-	optMultiFn func(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error)
+	optMultiFn func(p *pipeline.Pipeline, srcName string, dstNames []string, maxTier cost.Tier) (*pipeline.VRTree, error)
 
 	tel  *telemetry.Collector
 	pool *fcp.Pool
@@ -198,7 +204,7 @@ func NewSessionManager(cfg ManagerConfig) *SessionManager {
 		Transport:          cfg.TransportMode,
 	})
 	m.optFn = m.cm.Optimize
-	m.optMultiFn = m.cm.OptimizeMulti
+	m.optMultiFn = m.cm.OptimizeMultiTiered
 	m.cm.Start()
 	return m
 }
@@ -259,10 +265,15 @@ func (m *SessionManager) optimize(p *pipeline.Pipeline, srcName, dstName string)
 }
 
 // optimizeMulti is the fan-out entry point: one shared tree from the data
-// source to every viewer host of a multi-viewer session.
+// source to every viewer host of a multi-viewer session, with the
+// configured tier budget — the optimizer may degrade individual branches
+// down the quality ladder when delivery gain beats the fidelity penalty.
 func (m *SessionManager) optimizeMulti(p *pipeline.Pipeline, srcName string, dstNames []string) (*pipeline.VRTree, error) {
-	return m.optMultiFn(p, srcName, dstNames)
+	return m.optMultiFn(p, srcName, dstNames, m.cfg.MaxTier)
 }
+
+// MaxTier reports the configured tier budget.
+func (m *SessionManager) MaxTier() cost.Tier { return m.cfg.MaxTier }
 
 // NodeNames returns the measured hosts a Request may name as endpoints.
 func (m *SessionManager) NodeNames() []string { return m.cm.NodeNames() }
@@ -432,6 +443,22 @@ type ManagedSession struct {
 	png     []byte // last rendered frame
 	pngSeq  uint64 // the frame seq png corresponds to
 	renders int    // RenderDataset invocations (lazy rendering skips idle frames)
+	// tierPNG/tierSeq publish the latest encoded frame per reduced tier
+	// (DESIGN §14); index TierFull is unused — the full frame stays in png.
+	// A tier is encoded only while demanded, by a tracked viewer at that
+	// tier or a delivery branch the optimizer degraded to it, so the slots
+	// can lag the full frame; viewers fall back to the full frame then.
+	tierPNG [cost.NumTiers][]byte
+	tierSeq [cost.NumTiers]uint64
+	// tierDemand counts tracked viewers per negotiated tier.
+	tierDemand [cost.NumTiers]int
+	// deltaKey retains the delta tier's newest keyframe and the frame seq
+	// it was published at. Region patches are keyframe-relative, so the
+	// retained key plus the latest patch reconstructs the current frame: a
+	// delta viewer joining mid-stream is served the key first, with no
+	// forced re-key.
+	deltaKey    []byte
+	deltaKeySeq uint64
 	// latest is the newest unrendered dataset snapshot (with the request it
 	// was produced under), kept so a viewer arriving after idle frames can
 	// have the current frame rendered on demand. lazyTarget is the frame
@@ -481,6 +508,11 @@ type ManagedSession struct {
 	// WaitFrame run concurrently with the producer, so they allocate their
 	// own buffers); published PNG bytes are always copied out of it.
 	scratch viz.FrameScratch
+	// tierEnc/tierBuf are the producer-owned per-tier encoders and encode
+	// buffers (downscale scratch, delta reference canvas, PNG buffers),
+	// reused across frames like scratch; published bytes are copied out.
+	tierEnc [cost.NumTiers]viz.TierEncoder
+	tierBuf [cost.NumTiers]bytes.Buffer
 	// fieldScratch is the producer-owned dataset snapshot buffer. Ownership
 	// transfers to `latest` when an idle frame stashes the snapshot for
 	// on-demand rendering, and is reclaimed when a snapshot is superseded
@@ -663,9 +695,25 @@ func (s *ManagedSession) produce() {
 
 	s.mu.Lock()
 	wantRender := s.viewers > 0
+	// Tier demand for this frame: tracked viewers' negotiated tiers plus
+	// every reduced tier the installed tree's branches were degraded to.
+	// The full frame is always encoded when rendering at all.
+	var wantTier [cost.NumTiers]bool
+	for t := 1; t < cost.NumTiers; t++ {
+		wantTier[t] = s.tierDemand[t] > 0
+	}
+	if s.tree != nil {
+		for i := range s.tree.Branches {
+			if bt := s.tree.Branches[i].Tier; bt != cost.TierFull && int(bt) < cost.NumTiers {
+				wantTier[bt] = true
+			}
+		}
+	}
 	s.mu.Unlock()
 
 	var png []byte
+	var tierOut [cost.NumTiers][]byte
+	deltaKeyed := false
 	var err error
 	if wantRender {
 		var img *viz.Image
@@ -681,6 +729,30 @@ func (s *ManagedSession) produce() {
 			s.scratch.Enc.Reset()
 			if err = img.EncodePNG(&s.scratch.Enc); err == nil {
 				png = append([]byte(nil), s.scratch.Enc.Bytes()...)
+				// One extra encode per *distinct* demanded reduced tier,
+				// into producer-owned reused encoders; a tier that fails to
+				// encode is simply not published this frame and its viewers
+				// fall back to the full frame.
+				for t := cost.Tier(1); int(t) < cost.NumTiers; t++ {
+					if !wantTier[t] {
+						continue
+					}
+					buf := &s.tierBuf[t]
+					var terr error
+					switch t {
+					case cost.TierHalf:
+						terr = s.tierEnc[t].EncodeDownscaled(img, 2, buf)
+					case cost.TierQuarter:
+						terr = s.tierEnc[t].EncodeDownscaled(img, 4, buf)
+					case cost.TierDelta:
+						var kind viz.DeltaKind
+						kind, terr = s.tierEnc[t].EncodeDelta(img, false, buf)
+						deltaKeyed = terr == nil && kind == viz.DeltaKey
+					}
+					if terr == nil {
+						tierOut[t] = append([]byte(nil), buf.Bytes()...)
+					}
+				}
 			}
 			rec.EncodeNS = encodeStart.ElapsedNS()
 		}
@@ -709,6 +781,16 @@ func (s *ManagedSession) produce() {
 		s.png = png
 		s.pngSeq = s.seq
 		s.renders++
+		for t := 1; t < cost.NumTiers; t++ {
+			if tierOut[t] != nil {
+				s.tierPNG[t] = tierOut[t]
+				s.tierSeq[t] = s.seq
+			}
+		}
+		if deltaKeyed {
+			s.deltaKey = tierOut[cost.TierDelta]
+			s.deltaKeySeq = s.seq
+		}
 		s.latest = nil
 		// The render consumed the snapshot synchronously; reclaim it.
 		s.fieldScratch = field
@@ -729,6 +811,14 @@ func (s *ManagedSession) produce() {
 	s.mu.Unlock()
 
 	if published {
+		if rec.Rendered {
+			s.mgr.tel.TierEncodes[cost.TierFull].Add(1)
+			for t := 1; t < cost.NumTiers; t++ {
+				if tierOut[t] != nil {
+					s.mgr.tel.TierEncodes[t].Add(1)
+				}
+			}
+		}
 		rec.ProduceNS = produceStart.ElapsedNS()
 		// The queue accumulated the producer's stall behind other sessions'
 		// pool batches across this frame's sim sweeps and extraction.
@@ -773,6 +863,7 @@ func (s *ManagedSession) evictSlowLocked() {
 			v.evicted = true
 			delete(s.tracked, v)
 			s.viewers--
+			s.tierDemand[v.tier]--
 			s.mgr.tel.ViewersEvicted.Add(1)
 		}
 	}
@@ -921,10 +1012,49 @@ func (s *ManagedSession) waitFrame(ctx context.Context, since uint64, v *Viewer)
 			s.mu.Unlock()
 			return 0, nil, ErrViewerEvicted
 		}
-		if s.pngSeq > since && s.png != nil {
+		// A delta viewer that has not seen the current keyframe lineage is
+		// served the retained keyframe before anything else — region patches
+		// are keyframe-relative, so the key plus the latest patch is a
+		// complete reconstruction. The since guard keeps stateless long-poll
+		// clients (one fresh Viewer per HTTP request) from being re-served a
+		// key their cursor already covers.
+		if v != nil && v.tier == cost.TierDelta && s.deltaKey != nil &&
+			v.keySeq != s.deltaKeySeq && s.deltaKeySeq > since {
+			v.keySeq = s.deltaKeySeq
+			if s.deltaKeySeq > v.delivered {
+				v.delivered = s.deltaKeySeq
+			}
+			frame := s.deltaKey
+			s.mgr.tel.TierFramesSent[v.tier].Add(1)
+			s.mgr.tel.TierBytesSent[v.tier].Add(uint64(len(frame)))
+			s.mu.Unlock()
+			return s.deltaKeySeq, frame, nil
+		}
+		// A reduced-tier viewer blocks until its own tier's frame is at
+		// least as fresh as the full frame: the viewer's attach is itself
+		// the demand, so the next produced frame encodes the tier. Unlike
+		// the non-blocking Poll there is no full-frame fallback here — a
+		// blocking wait can afford one frame period, and the reply then
+		// always carries the negotiated representation.
+		if v != nil && v.tier != cost.TierFull {
+			if ts := s.tierSeq[v.tier]; ts > since && ts >= s.pngSeq && s.tierPNG[v.tier] != nil {
+				frame := s.tierPNG[v.tier]
+				if ts > v.delivered {
+					v.delivered = ts
+				}
+				s.mgr.tel.TierFramesSent[v.tier].Add(1)
+				s.mgr.tel.TierBytesSent[v.tier].Add(uint64(len(frame)))
+				s.mu.Unlock()
+				return ts, frame, nil
+			}
+		} else if s.pngSeq > since && s.png != nil {
 			seq, png := s.pngSeq, s.png
 			if v != nil && seq > v.delivered {
 				v.delivered = seq
+			}
+			if v != nil {
+				s.mgr.tel.TierFramesSent[cost.TierFull].Add(1)
+				s.mgr.tel.TierBytesSent[cost.TierFull].Add(uint64(len(png)))
 			}
 			s.mu.Unlock()
 			return seq, png, nil
@@ -962,6 +1092,7 @@ func (s *ManagedSession) waitFrame(ctx context.Context, since uint64, v *Viewer)
 				s.png = png
 				s.pngSeq = target
 				s.renders++
+				s.mgr.tel.TierEncodes[cost.TierFull].Add(1)
 				if s.seq == target {
 					s.latest = nil
 				}
@@ -1066,6 +1197,7 @@ func (s *ManagedSession) Status() map[string]any {
 		"left_density":    p.LeftDensity,
 		"reoptimizations": s.reopts,
 		"adaptations":     s.adapts,
+		"max_tier":        s.mgr.cfg.MaxTier.String(),
 	}
 	if s.tree != nil {
 		st["vrt_path"] = s.tree.SharedPath()
@@ -1075,6 +1207,7 @@ func (s *ManagedSession) Status() map[string]any {
 		for i, b := range s.tree.Branches {
 			branches[i] = map[string]any{
 				"dst": b.Dst, "path": s.tree.BranchPath(i), "delay_s": b.Delay,
+				"tier": b.Tier.String(),
 			}
 		}
 		st["tree_branches"] = branches

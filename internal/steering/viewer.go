@@ -1,6 +1,10 @@
 package steering
 
-import "context"
+import (
+	"context"
+
+	"ricsa/internal/cost"
+)
 
 // Viewer is a tracked per-client attachment to a ManagedSession, the
 // backpressure-aware successor to the presence-only Attach: the session
@@ -21,20 +25,46 @@ type Viewer struct {
 	delivered uint64
 	evicted   bool
 	closed    bool
+	// tier is the viewer's negotiated quality rung (DESIGN §14), fixed at
+	// attach: the hint clamped to the manager's MaxTier budget. The
+	// session encodes each tier with at least one subscriber; this
+	// viewer's Wait/Poll serve its tier's frames, falling back to the full
+	// frame when the tier has not been encoded yet.
+	tier cost.Tier
+	// keySeq is the frame seq of the delta keyframe this viewer has been
+	// served (0 = none). A delta viewer whose keySeq lags the session's
+	// retained keyframe is served the key before any patch.
+	keySeq uint64
 }
 
-// AttachViewer registers a tracked viewer. The viewer joins at the live
-// edge: its lag starts at zero and only grows if it stops consuming. The
-// caller must Close it (eviction also releases it).
+// AttachViewer registers a tracked full-resolution viewer. The viewer
+// joins at the live edge: its lag starts at zero and only grows if it
+// stops consuming. The caller must Close it (eviction also releases it).
 func (s *ManagedSession) AttachViewer() *Viewer {
+	return s.AttachViewerTier(cost.TierFull)
+}
+
+// AttachViewerTier registers a tracked viewer at the hinted quality tier,
+// clamped to the manager's MaxTier budget — the subscribe-time half of the
+// tier negotiation. A delta-tier viewer is served the session's retained
+// keyframe on its first frame, so it always has a reference canvas.
+func (s *ManagedSession) AttachViewerTier(hint cost.Tier) *Viewer {
+	tier := hint.Clamp(s.mgr.cfg.MaxTier)
+	if int(tier) >= cost.NumTiers {
+		tier = cost.TierFull
+	}
 	s.mu.Lock()
-	v := &Viewer{s: s, delivered: s.seq}
+	v := &Viewer{s: s, delivered: s.seq, tier: tier}
 	s.tracked[v] = struct{}{}
 	s.viewers++
+	s.tierDemand[tier]++
 	s.mu.Unlock()
 	s.mgr.tel.ViewersAttached.Add(1)
 	return v
 }
+
+// Tier reports the viewer's negotiated quality tier.
+func (v *Viewer) Tier() cost.Tier { return v.tier }
 
 // Close detaches the viewer. It is idempotent, and a no-op after
 // eviction (the eviction already released the slot).
@@ -45,6 +75,7 @@ func (v *Viewer) Close() {
 		v.closed = true
 		delete(s.tracked, v)
 		s.viewers--
+		s.tierDemand[v.tier]--
 		s.mgr.tel.ViewersDetached.Add(1)
 	}
 	s.mu.Unlock()
@@ -61,7 +92,8 @@ func (v *Viewer) Wait(ctx context.Context, since uint64) (uint64, []byte, error)
 // if one is newer than what this viewer has seen, (0, nil, nil) when
 // nothing new exists, and ErrViewerEvicted after eviction. The scenario
 // engine's scripted viewers use Poll — a blocked Wait would park a
-// goroutine the virtual clock cannot see.
+// goroutine the virtual clock cannot see. Reduced-tier viewers are served
+// their tier's frame when it is at least as fresh as the full frame.
 func (v *Viewer) Poll() (uint64, []byte, error) {
 	s := v.s
 	s.mu.Lock()
@@ -71,8 +103,33 @@ func (v *Viewer) Poll() (uint64, []byte, error) {
 		return 0, nil, ErrViewerEvicted
 	case v.closed:
 		return 0, nil, ErrNoSession
-	case s.pngSeq > v.delivered && s.png != nil:
+	}
+	// Keyframe first: a delta viewer behind the current key lineage gets
+	// the retained keyframe; the next poll serves the latest patch, which
+	// reconstructs the current frame (patches are keyframe-relative).
+	if v.tier == cost.TierDelta && s.deltaKey != nil && v.keySeq != s.deltaKeySeq {
+		v.keySeq = s.deltaKeySeq
+		if s.deltaKeySeq > v.delivered {
+			v.delivered = s.deltaKeySeq
+		}
+		frame := s.deltaKey
+		s.mgr.tel.TierFramesSent[v.tier].Add(1)
+		s.mgr.tel.TierBytesSent[v.tier].Add(uint64(len(frame)))
+		return s.deltaKeySeq, frame, nil
+	}
+	if v.tier != cost.TierFull {
+		if ts := s.tierSeq[v.tier]; ts > v.delivered && ts >= s.pngSeq && s.tierPNG[v.tier] != nil {
+			v.delivered = ts
+			frame := s.tierPNG[v.tier]
+			s.mgr.tel.TierFramesSent[v.tier].Add(1)
+			s.mgr.tel.TierBytesSent[v.tier].Add(uint64(len(frame)))
+			return ts, frame, nil
+		}
+	}
+	if s.pngSeq > v.delivered && s.png != nil {
 		v.delivered = s.pngSeq
+		s.mgr.tel.TierFramesSent[cost.TierFull].Add(1)
+		s.mgr.tel.TierBytesSent[cost.TierFull].Add(uint64(len(s.png)))
 		return s.pngSeq, s.png, nil
 	}
 	// Nothing rendered past this viewer's last frame. Mark the bare

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Tier indices, mirroring cost.Tier (the pin lives in tier_ladder_test.go
+// to keep this package import-cycle-free).
+const (
+	tierFull = iota
+	tierHalf
+	tierQuarter
+	tierDelta
+)
+
+func TestTierCountersExported(t *testing.T) {
+	c := NewCollector(nil, 0)
+	c.TierEncodes[tierFull].Add(5)
+	c.TierEncodes[tierDelta].Add(2)
+	c.TierFramesSent[tierQuarter].Add(9)
+	c.TierBytesSent[tierQuarter].Add(4096)
+
+	snap := c.Snapshot()
+	if snap.TierEncodes[tierFull] != 5 || snap.TierEncodes[tierDelta] != 2 ||
+		snap.TierFramesSent[tierQuarter] != 9 || snap.TierBytesSent[tierQuarter] != 4096 {
+		t.Fatalf("snapshot lost tier counters: %+v", snap)
+	}
+
+	var sb strings.Builder
+	c.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"ricsa_tier_encodes_full_total 5\n",
+		"ricsa_tier_encodes_delta_total 2\n",
+		"ricsa_tier_frames_sent_quarter_total 9\n",
+		"ricsa_tier_bytes_sent_quarter_total 4096\n",
+		"ricsa_tier_encodes_half_total 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ricsa_edge_loss_estimate_a_b", "ricsa_edge_loss_estimate_a_b"},
+		{"", "_"},
+		{"9starts_with_digit", "_starts_with_digit"},
+		{"host-1.lab", "host_1_lab"},
+		{"evil name\nricsa_fake 1", "evil_name_ricsa_fake_1"},
+		{"curly{label=\"x\"}", "curly_label__x__"},
+		{"unicodeé", "unicode__"},
+		{"UPPER:colon_ok", "UPPER:colon_ok"},
+	}
+	for _, tc := range cases {
+		if got := SanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// validExposition is a strict line-level checker for the Prometheus text
+// format subset WritePrometheus emits: every line is a HELP comment, a TYPE
+// comment, or a `name value` sample; names stay in the legal alphabet and
+// HELP text never contains a raw newline (escapeHelp guarantees it).
+func validExposition(t *testing.T, out string) {
+	t.Helper()
+	validName := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			b := s[i]
+			ok := b == '_' || b == ':' ||
+				(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') ||
+				(b >= '0' && b <= '9' && i > 0)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			name, meta, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				t.Fatalf("line %d: illegal metric name %q in %q", ln+1, name, line)
+			}
+			if strings.HasPrefix(line, "# TYPE ") && meta != "counter" && meta != "gauge" {
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, meta)
+			}
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || !validName(name) {
+			t.Fatalf("line %d: malformed sample line %q", ln+1, line)
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("line %d: unparseable sample value %q: %v", ln+1, val, err)
+		}
+	}
+}
+
+// TestPrometheusExpositionSurvivesHostileNames feeds gauges whose names and
+// help text are built from hostile node names — newlines, exposition
+// syntax, spaces, unicode — and requires the whole output to stay a valid
+// exposition with the hostile bytes neutralized.
+func TestPrometheusExpositionSurvivesHostileNames(t *testing.T) {
+	hostile := []string{
+		"evil\nricsa_injected_total 999",
+		"node with spaces",
+		"node{label=\"x\"} 1",
+		"9digit-lead",
+		"back\\slash",
+		"hôsté",
+		"",
+	}
+	c := NewCollector(nil, 0)
+	var gauges []Gauge
+	for _, from := range hostile {
+		for _, to := range hostile {
+			gauges = append(gauges, Gauge{
+				Name:  "ricsa_edge_loss_estimate_" + SanitizeMetricName(from) + "_" + SanitizeMetricName(to),
+				Help:  "Loss estimate for edge " + from + " -> " + to + ".",
+				Value: 0.5,
+			})
+		}
+	}
+	// One gauge that skips the caller-side sanitization entirely: the
+	// writer's last-line-of-defense must still neutralize it.
+	gauges = append(gauges, Gauge{Name: "raw\nricsa_forged_total 1", Help: "bad\nworse", Value: 1})
+
+	var sb strings.Builder
+	c.WritePrometheus(&sb, gauges...)
+	out := sb.String()
+	validExposition(t, out)
+	// The forged series must never appear at the start of a line — escaped
+	// inside a HELP string it is inert text, as its own line it is a scrape.
+	for _, forged := range []string{"\nricsa_injected_total 999", "\nricsa_forged_total 1"} {
+		if strings.Contains(out, forged) {
+			t.Fatalf("hostile name injected a forged series line %q", forged[1:])
+		}
+	}
+}

@@ -260,6 +260,32 @@ type Counters struct {
 	FECRepairUsed     atomic.Uint64
 	FECDecodeFailures atomic.Uint64
 	FECFallbacks      atomic.Uint64
+
+	// Viewer tier ladder (DESIGN §14), indexed by the tier's enum value:
+	// encodes the producer performed at each tier, and frames/bytes the
+	// delivery train shipped per tier. Arrays rather than maps keep the
+	// registry flat and the hot-path increment a single atomic add.
+	TierEncodes    [NumTierSeries]atomic.Uint64
+	TierFramesSent [NumTierSeries]atomic.Uint64
+	TierBytesSent  [NumTierSeries]atomic.Uint64
+}
+
+// NumTierSeries is the tier ladder size the per-tier counter arrays are
+// indexed by. It must equal cost.NumTiers; telemetry stays dependency-free
+// so the equality is pinned by a test instead of an import.
+const NumTierSeries = 4
+
+// tierSeriesNames maps a tier index to the suffix its Prometheus series
+// carries, matching cost.Tier.String().
+var tierSeriesNames = [NumTierSeries]string{"full", "half", "quarter", "delta"}
+
+// TierSeriesName returns the series suffix for a tier index, for callers
+// (and tests) that need to locate a tier's exposition lines.
+func TierSeriesName(t int) string {
+	if t < 0 || t >= NumTierSeries {
+		return "unknown"
+	}
+	return tierSeriesNames[t]
 }
 
 // CounterSnapshot is a plain-value copy of every counter, for tests and
@@ -289,11 +315,14 @@ type CounterSnapshot struct {
 	FECRepairUsed            uint64
 	FECDecodeFailures        uint64
 	FECFallbacks             uint64
+	TierEncodes              [NumTierSeries]uint64
+	TierFramesSent           [NumTierSeries]uint64
+	TierBytesSent            [NumTierSeries]uint64
 }
 
 // Snapshot copies every counter into a plain value.
 func (c *Counters) Snapshot() CounterSnapshot {
-	return CounterSnapshot{
+	s := CounterSnapshot{
 		SessionsAdmitted:         c.SessionsAdmitted.Load(),
 		SessionsRejectedLimit:    c.SessionsRejectedLimit.Load(),
 		SessionsRejectedOverload: c.SessionsRejectedOverload.Load(),
@@ -319,4 +348,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		FECDecodeFailures:        c.FECDecodeFailures.Load(),
 		FECFallbacks:             c.FECFallbacks.Load(),
 	}
+	for t := 0; t < NumTierSeries; t++ {
+		s.TierEncodes[t] = c.TierEncodes[t].Load()
+		s.TierFramesSent[t] = c.TierFramesSent[t].Load()
+		s.TierBytesSent[t] = c.TierBytesSent[t].Load()
+	}
+	return s
 }

@@ -1,0 +1,24 @@
+// External test package: telemetry itself must stay dependency-free (fcp
+// imports it from inside the render stack), so the pin against the cost
+// ladder lives out here where importing cost is cycle-safe.
+package telemetry_test
+
+import (
+	"testing"
+
+	"ricsa/internal/cost"
+	"ricsa/internal/telemetry"
+)
+
+// TestTierSeriesMatchesCost pins telemetry's dependency-free tier array
+// size and series suffixes to the cost package's ladder.
+func TestTierSeriesMatchesCost(t *testing.T) {
+	if telemetry.NumTierSeries != cost.NumTiers {
+		t.Fatalf("NumTierSeries %d != cost.NumTiers %d", telemetry.NumTierSeries, cost.NumTiers)
+	}
+	for i := 0; i < telemetry.NumTierSeries; i++ {
+		if got := cost.Tier(i).String(); got != telemetry.TierSeriesName(i) {
+			t.Fatalf("tier %d series suffix %q != cost name %q", i, telemetry.TierSeriesName(i), got)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package viz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseDeltaFrame hammers the delta-tier wire container with hostile
+// bytes: parsing must never panic, and anything it accepts must survive
+// the decoder without panicking either (errors are fine).
+func FuzzParseDeltaFrame(f *testing.F) {
+	var e TierEncoder
+	var buf bytes.Buffer
+	img := NewImage(16, 16)
+	if _, err := e.EncodeDelta(img, false, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	img.Set(3, 3, 0xff, 0, 0, 0xff)
+	if _, err := e.EncodeDelta(img, false, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	if _, err := e.EncodeDelta(img, true, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	f.Add([]byte("RDF1\x00\x00\x00\x00\x00\x00\x00\x00\x00\x10\x00\x10junk"))
+
+	var dec DeltaDecoder
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := ParseDeltaFrame(data)
+		if err != nil {
+			return
+		}
+		_, _ = dec.Apply(frame)
+	})
+}

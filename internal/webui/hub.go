@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"ricsa/internal/cost"
 	"ricsa/internal/steering"
 	"ricsa/internal/telemetry"
 )
@@ -203,12 +204,20 @@ func (h *Hub) handleFrame(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
+	// Tier negotiation: the client hints a quality rung (?tier=half etc.)
+	// and the session clamps it to the manager's MaxTier budget; the
+	// X-Frame-Tier response header reports what was actually served.
+	tier, err := cost.ParseTier(r.URL.Query().Get("tier"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	// Tracked attach: the session accounts what this client has consumed,
 	// and the slow-consumer policy may evict it mid-poll (503 below tells
 	// the client to back off and re-join at the live edge).
-	v := s.AttachViewer()
+	v := s.AttachViewerTier(tier)
 	defer v.Close()
-	serveFrame(w, r, h.PollTimeout, v.Wait)
+	serveFrame(w, r, h.PollTimeout, v.Tier(), v.Wait)
 }
 
 // handleMetrics serves the Prometheus text exposition: the telemetry
@@ -251,16 +260,11 @@ func (h *Hub) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricLabel folds a testbed node name into a Prometheus-safe metric
-// name fragment: lower-cased, with anything outside [a-z0-9] replaced by
-// an underscore.
+// name fragment: lower-cased, then sanitized by the telemetry writer's
+// own name rules, so a hostile node name can never splice extra series or
+// break the exposition syntax.
 func metricLabel(name string) string {
-	b := []byte(strings.ToLower(name))
-	for i, c := range b {
-		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
-			b[i] = '_'
-		}
-	}
-	return string(b)
+	return telemetry.SanitizeMetricName(strings.ToLower(name))
 }
 
 func (h *Hub) handleSteer(w http.ResponseWriter, r *http.Request) {

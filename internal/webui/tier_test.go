@@ -1,0 +1,212 @@
+package webui
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"image/png"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"ricsa/internal/cost"
+	"ricsa/internal/steering"
+	"ricsa/internal/viz"
+)
+
+// tierHub builds a hub whose manager permits the full quality ladder.
+func tierHub(t *testing.T) *Hub {
+	t.Helper()
+	mgr := steering.NewSessionManager(steering.ManagerConfig{
+		MaxSessions:     2,
+		ReoptimizeEvery: 2,
+		Seed:            42,
+		MaxTier:         cost.TierDelta,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	})
+	return NewHub(mgr)
+}
+
+func getFrame(t *testing.T, base, id, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + "/sessions/" + id + "/api/frame?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// TestHubFrameTierNegotiation drives the subscribe-time negotiation over
+// HTTP: ?tier= selects the quality rung, the reply is typed and labelled
+// by what was actually served, and the delta wire protocol starts with a
+// keyframe that later patches reconstruct against.
+func TestHubFrameTierNegotiation(t *testing.T) {
+	h := tierHub(t)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	id := createSession(t, srv.URL)
+
+	// Full (no hint): a PNG at the session's resolution.
+	resp, full := getFrame(t, srv.URL, id, "since=0")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Frame-Tier") != "full" {
+		t.Fatalf("full: status %d tier %q", resp.StatusCode, resp.Header.Get("X-Frame-Tier"))
+	}
+	fullImg, err := png.Decode(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("full frame not PNG: %v", err)
+	}
+
+	// Downscaled rungs: still PNG, at the reduced dimensions.
+	for _, tc := range []struct {
+		tier   string
+		factor int
+	}{{"half", 2}, {"quarter", 4}} {
+		resp, body := getFrame(t, srv.URL, id, "since=0&tier="+tc.tier)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", tc.tier, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Frame-Tier"); got != tc.tier {
+			t.Fatalf("%s: X-Frame-Tier %q", tc.tier, got)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+			t.Fatalf("%s: content type %q", tc.tier, ct)
+		}
+		img, err := png.Decode(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.tier, err)
+		}
+		wantW := (fullImg.Bounds().Dx() + tc.factor - 1) / tc.factor
+		if img.Bounds().Dx() != wantW {
+			t.Fatalf("%s: width %d, want %d", tc.tier, img.Bounds().Dx(), wantW)
+		}
+	}
+
+	// Delta: an octet-stream wire message, keyframe first, and the cursor
+	// protocol yields patches that reconstruct against it.
+	resp, body := getFrame(t, srv.URL, id, "since=0&tier=delta")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Frame-Tier") != "delta" {
+		t.Fatalf("delta: status %d tier %q", resp.StatusCode, resp.Header.Get("X-Frame-Tier"))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("delta: content type %q", ct)
+	}
+	f, err := viz.ParseDeltaFrame(body)
+	if err != nil {
+		t.Fatalf("delta: unparseable wire frame: %v", err)
+	}
+	if f.Kind != viz.DeltaKey {
+		t.Fatalf("delta: first frame kind %v, want a keyframe", f.Kind)
+	}
+	var dec viz.DeltaDecoder
+	if _, err := dec.Apply(f); err != nil {
+		t.Fatalf("delta: apply key: %v", err)
+	}
+	seq := resp.Header.Get("X-Frame-Seq")
+	resp, body = getFrame(t, srv.URL, id, "since="+seq+"&tier=delta")
+	if resp.StatusCode != 200 {
+		t.Fatalf("delta follow-up: status %d", resp.StatusCode)
+	}
+	f, err = viz.ParseDeltaFrame(body)
+	if err != nil {
+		t.Fatalf("delta follow-up: %v", err)
+	}
+	if _, err := dec.Apply(f); err != nil {
+		t.Fatalf("delta follow-up: apply: %v", err)
+	}
+
+	// Unknown rungs are a client error, not a silent downgrade.
+	resp, body = getFrame(t, srv.URL, id, "since=0&tier=ultra")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad tier: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestHubFrameTierClamped: under the default zero MaxTier budget every
+// hint degrades to the full-resolution frame and the header says so.
+func TestHubFrameTierClamped(t *testing.T) {
+	h, _ := testHub(t, 2)
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	id := createSession(t, srv.URL)
+
+	resp, body := getFrame(t, srv.URL, id, "since=0&tier=quarter")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Frame-Tier"); got != "full" {
+		t.Fatalf("X-Frame-Tier %q, want full (clamped)", got)
+	}
+	if _, err := png.Decode(bytes.NewReader(body)); err != nil {
+		t.Fatalf("clamped frame not PNG: %v", err)
+	}
+}
+
+// FuzzTierNegotiation throws arbitrary tier hints at the frame endpoint:
+// the handler must never panic and must answer every hint with either a
+// well-formed frame or a 400.
+func FuzzTierNegotiation(f *testing.F) {
+	mgr := steering.NewSessionManager(steering.ManagerConfig{
+		MaxSessions:     1,
+		ReoptimizeEvery: 2,
+		Seed:            42,
+		MaxTier:         cost.TierHalf,
+	})
+	h := NewHub(mgr)
+	srv := httptest.NewServer(h.Handler())
+	f.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	})
+
+	body := bytes.NewReader([]byte(`{"simulator":"sod","nx":16,"ny":8,"nz":8,"steps_per_frame":1,"frame_period_ms":3}`))
+	resp, err := http.Post(srv.URL+"/api/sessions", "application/json", body)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		f.Fatal(err)
+	}
+	resp.Body.Close()
+
+	f.Add("full")
+	f.Add("delta")
+	f.Add("")
+	f.Add("ultra")
+	f.Add("full\x00;DROP")
+	f.Fuzz(func(t *testing.T, tier string) {
+		resp, err := http.Get(srv.URL + "/sessions/" + created.ID +
+			"/api/frame?since=0&tier=" + url.QueryEscape(tier))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case 200:
+			b, _ := io.ReadAll(resp.Body)
+			if isDeltaWire(b) {
+				if _, err := viz.ParseDeltaFrame(b); err != nil {
+					t.Fatalf("tier %q: bad delta wire frame: %v", tier, err)
+				}
+			} else if _, err := png.Decode(bytes.NewReader(b)); err != nil {
+				t.Fatalf("tier %q: bad PNG: %v", tier, err)
+			}
+		case 204, 400, 503:
+		default:
+			t.Fatalf("tier %q: unexpected status %d", tier, resp.StatusCode)
+		}
+	})
+}

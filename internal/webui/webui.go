@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"time"
 
+	"ricsa/internal/cost"
 	"ricsa/internal/steering"
 )
 
@@ -86,7 +87,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // asks for any frame newer than the one it has; the server holds the
 // request open until one exists.
 func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
-	serveFrame(w, r, s.PollTimeout, func(ctx context.Context, since uint64) (uint64, []byte, error) {
+	serveFrame(w, r, s.PollTimeout, cost.TierFull, func(ctx context.Context, since uint64) (uint64, []byte, error) {
 		if cs, ok := s.src.(ClientFrameSource); ok {
 			return cs.WaitFrameFor(ctx, r.URL.Query().Get("client"), since)
 		}
@@ -97,8 +98,11 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 // serveFrame implements the long-poll frame protocol shared by the
 // single-session Server and the Hub's per-session routes: parse ?since,
 // wait under the poll timeout (204 on expiry, 410 if the session died
-// mid-wait), and reply with the PNG and its sequence header.
-func serveFrame(w http.ResponseWriter, r *http.Request, timeout time.Duration,
+// mid-wait), and reply with the frame, its sequence header, and the tier
+// actually served. tier is the viewer's negotiated tier; the body is
+// sniffed so a full-frame fallback (or a delta wire frame) is labelled
+// truthfully and typed application/octet-stream when it is not a PNG.
+func serveFrame(w http.ResponseWriter, r *http.Request, timeout time.Duration, tier cost.Tier,
 	wait func(ctx context.Context, since uint64) (uint64, []byte, error)) {
 	since := uint64(0)
 	if v := r.URL.Query().Get("since"); v != "" {
@@ -127,10 +131,28 @@ func serveFrame(w http.ResponseWriter, r *http.Request, timeout time.Duration,
 		}
 		return
 	}
-	w.Header().Set("Content-Type", "image/png")
+	served := tier
+	if isDeltaWire(png) {
+		served = cost.TierDelta
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		if served == cost.TierDelta {
+			// Delta negotiated but a PNG arrived: the tier was not encoded
+			// yet and the full frame was served instead.
+			served = cost.TierFull
+		}
+		w.Header().Set("Content-Type", "image/png")
+	}
 	w.Header().Set("X-Frame-Seq", strconv.FormatUint(seq, 10))
+	w.Header().Set("X-Frame-Tier", served.String())
 	w.Header().Set("Cache-Control", "no-store")
 	w.Write(png)
+}
+
+// isDeltaWire reports whether a frame body is a delta-tier wire message
+// (viz keyframe or delta container) rather than a bare PNG.
+func isDeltaWire(b []byte) bool {
+	return len(b) >= 4 && b[0] == 'R' && (b[1] == 'K' || b[1] == 'D') && b[2] == 'F' && b[3] == '1'
 }
 
 func (s *Server) handleSteer(w http.ResponseWriter, r *http.Request) {
